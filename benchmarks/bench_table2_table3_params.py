@@ -1,0 +1,81 @@
+"""Tables II & III — fault-model parameter spaces, generated from the code.
+
+Rather than restating the paper, these tables are rendered from the live
+implementation (group sizes from the 171-opcode ISA table, mask formulas
+evaluated), so any drift between the paper's model and this code surfaces
+here.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import emit
+from repro.core.bitflip import BitFlipModel, compute_mask
+from repro.core.groups import InstructionGroup, in_group
+from repro.sass.isa import NUM_OPCODES, OPCODES, WARP_SIZE
+from repro.utils.text import format_table
+
+
+def _group_rows():
+    rows = []
+    descriptions = {
+        InstructionGroup.G_FP64: "FP64 arithmetic instructions",
+        InstructionGroup.G_FP32: "FP32 arithmetic instructions",
+        InstructionGroup.G_LD: "instructions that read from memory",
+        InstructionGroup.G_PR: "instructions that write predicate registers only",
+        InstructionGroup.G_NODEST: "instructions with no destination register",
+        InstructionGroup.G_OTHERS: "other GP-register-writing instructions",
+        InstructionGroup.G_GPPR: "all - G_NODEST",
+        InstructionGroup.G_GP: "all - G_NODEST - G_PR",
+    }
+    for group in InstructionGroup:
+        members = sum(in_group(info, group) for info in OPCODES)
+        rows.append([int(group), group.name, descriptions[group], members])
+    return rows
+
+
+def _mask_rows():
+    examples = []
+    for model in BitFlipModel:
+        sample = compute_mask(model, 0.5, 0xDEADBEEF)
+        formula = {
+            BitFlipModel.FLIP_SINGLE_BIT: "0x1 << int(32 * value)",
+            BitFlipModel.FLIP_TWO_BITS: "0x3 << int(31 * value)",
+            BitFlipModel.RANDOM_VALUE: "int(0xffffffff * value)",
+            BitFlipModel.ZERO_VALUE: "mask == original value (XOR -> 0)",
+        }[model]
+        examples.append(
+            [int(model), model.name, formula, f"0x{sample:08x}"]
+        )
+    return examples
+
+
+def test_table2_transient_parameters(benchmark):
+    rows = benchmark.pedantic(_group_rows, rounds=1, iterations=1)
+    groups = format_table(
+        ["id", "arch state id", "description", "# opcodes in this ISA"],
+        rows,
+        title="Table II (fault types): instruction groups over the 171-opcode table",
+    )
+    masks = format_table(
+        ["id", "bit-flip model", "mask formula", "mask @ value=0.5, old=0xdeadbeef"],
+        _mask_rows(),
+        title="Table II (bit-flip models)",
+    )
+    emit("table2_params", groups + "\n\n" + masks)
+
+
+def test_table3_permanent_parameters(benchmark):
+    def build():
+        return format_table(
+            ["parameter", "range in this implementation"],
+            [
+                ["SM id", "0 .. num_sms-1 (80 on the simulated Titan V)"],
+                ["Lane id", f"0 .. {WARP_SIZE - 1}"],
+                ["Bit mask", "any 32-bit XOR mask"],
+                ["Opcode id", f"0 .. {NUM_OPCODES - 1} "
+                              f"('the Volta ISA contains {NUM_OPCODES} opcodes')"],
+            ],
+            title="Table III: permanent fault parameters",
+        )
+
+    emit("table3_params", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,129 @@
+"""Table V — possible error-propagation outcomes.
+
+Each row of the taxonomy is *produced by an actual injected fault* (not a
+synthetic artifact): crafted fault sites drive one real run per symptom and
+the classifier must report the corresponding row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.harness import emit
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.outcomes import Outcome, classify
+from repro.core.params import TransientParams
+from repro.runner.app import Application
+from repro.runner.golden import capture_golden
+from repro.runner.sandbox import SandboxConfig, run_app
+from repro.utils.text import format_table
+
+# One kernel whose different registers, when corrupted, produce each
+# Table V symptom:  R2 = loop bound (hang), R4 = output address (DUE or
+# potential-DUE via illegal address), R6 = data (SDC), dead R8 (masked).
+_KERNEL = """
+.kernel victim
+.params 2
+    S2R R1, SR_TID.X ;
+    MOV R2, 20 ;
+    MOV R3, RZ ;
+    MOV R4, c[0x0][0x0] ;
+    MOV32I R6, 0x42280000 ;
+    MOV R8, 1234 ;
+    PBK DONE ;
+LOOP:
+    ISETP.GE P0, R3, R2 ;
+@P0 BRK ;
+    FADD R6, R6, 1.0f ;
+    IADD R3, R3, 1 ;
+    BRA LOOP ;
+DONE:
+    ISCADD R9, R1, R4, 2 ;
+    STG.32 [R9], R6 ;
+    EXIT ;
+"""
+
+
+class VictimApp(Application):
+    name = "victim"
+
+    def __init__(self, check_errors: bool = False):
+        self.check_errors = check_errors
+
+    def run(self, ctx):
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "victim")
+        out = ctx.cuda.alloc(32, np.float32)
+        ctx.cuda.launch(func, 1, 32, out, 0)
+        if self.check_errors and ctx.cuda.synchronize() != 0:
+            ctx.exit(1)
+        ctx.print("victim done")
+        ctx.write_file("out", out.to_host().tobytes())
+
+
+def _site(instruction_count: int, bit_value: float,
+          model=BitFlipModel.FLIP_SINGLE_BIT) -> TransientParams:
+    return TransientParams(
+        group=InstructionGroup.G_GP, model=model, kernel_name="victim",
+        kernel_count=0, instruction_count=instruction_count,
+        dest_reg_selector=0.0, bit_pattern_value=bit_value,
+    )
+
+
+def _demonstrate() -> list[list[str]]:
+    rows = []
+    config = SandboxConfig(instruction_budget=100_000)
+
+    def run_case(expected_label: str, app: Application, site: TransientParams):
+        golden = capture_golden(app, config)
+        injector = TransientInjectorTool(site)
+        observed = run_app(app, preload=[injector], config=config)
+        record = classify(app, golden, observed)
+        rows.append([
+            expected_label,
+            record.outcome.value + (" (potential DUE)" if record.potential_due else ""),
+            record.symptom,
+            injector.record.describe()[:64],
+        ])
+        return record
+
+    # G_GP stream per warp (32 threads each): S2R,MOV,MOV,MOV,MOV32I,MOV
+    # then per-iteration FADD/IADD pairs, then ISCADD.
+    # SDC: corrupt the FADD data value's high mantissa on lane 0, iter 0.
+    record = run_case("SDC / output file differs", VictimApp(),
+                      _site(6 * 32, 20.2 / 32))
+    assert record.outcome is Outcome.SDC
+
+    # DUE via hang: flip bit 30 of the loop bound (R2, the 2nd MOV).
+    record = run_case("DUE / timeout (hang)", VictimApp(),
+                      _site(1 * 32, 30.2 / 32))
+    assert record.outcome is Outcome.DUE
+
+    # DUE via application detection: corrupt the output pointer (4th MOV)
+    # with a random value; the checking variant exits non-zero.
+    record = run_case("DUE / application detection", VictimApp(check_errors=True),
+                      _site(3 * 32, 0.77, BitFlipModel.RANDOM_VALUE))
+    assert record.outcome is Outcome.DUE
+
+    # Potential DUE: same pointer corruption, but the host never checks.
+    record = run_case("Potential DUE / unchecked CUDA error", VictimApp(),
+                      _site(3 * 32, 0.77, BitFlipModel.RANDOM_VALUE))
+    assert record.potential_due
+
+    # Masked: corrupt the dead register R8 (the 6th GP write, a MOV).
+    record = run_case("Masked / dead value", VictimApp(), _site(5 * 32, 10.2 / 32))
+    assert record.outcome is Outcome.MASKED
+    return rows
+
+
+def test_table5_outcomes(benchmark):
+    rows = benchmark.pedantic(_demonstrate, rounds=1, iterations=1)
+    table = format_table(
+        ["Engineered fault", "Classified outcome", "Table V symptom",
+         "Injection record (truncated)"],
+        rows,
+        title="Table V: every outcome row produced by a real injection",
+    )
+    emit("table5_outcomes", table)

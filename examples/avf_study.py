@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""An end-to-end AVF study: parallel campaign + persistence + analysis.
+
+Shows the workflow a resilience researcher would actually run on top of
+NVBitFI: execute a campaign with injection runs fanned out over worker
+processes, persist every artifact to a study directory (so the campaign is
+auditable and resumable), and derive AVF estimates with per-kernel and
+per-instruction-group breakdowns.
+
+Run:  python examples/avf_study.py [workload] [injections] [study_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import (
+    Campaign,
+    CampaignConfig,
+    CampaignStore,
+    estimate_avf,
+    format_avf_report,
+    run_transient_parallel,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "352.ep"
+    injections = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    study_dir = Path(
+        sys.argv[3] if len(sys.argv) > 3 else tempfile.mkdtemp(prefix="avf_study_")
+    )
+
+    config = CampaignConfig(num_transient=injections, seed=1234)
+
+    print(f"== parallel campaign: {injections} faults into {workload} ==")
+    started = time.perf_counter()
+    result = run_transient_parallel(workload, config, max_workers=4)
+    elapsed = time.perf_counter() - started
+    print(f"completed in {elapsed:.1f}s "
+          f"(sum of injection runtimes: "
+          f"{sum(r.wall_time for r in result.results):.1f}s)")
+
+    print("\n== persisting the study ==")
+    campaign = Campaign(get_workload(workload), config)
+    campaign.run_golden()
+    campaign.run_profile()
+    store = CampaignStore(study_dir)
+    store.save_campaign(campaign.golden, campaign.profile, result)
+    print(f"study directory: {study_dir}")
+    print(f"  {len(store.completed_injections())} injections on disk, "
+          f"plus golden/, profile.txt and results.csv")
+
+    print("\n== reloading + analysing ==")
+    tally = store.load_tally()  # rebuilt purely from disk
+    print(f"reloaded tally: {tally.report(samples=injections)}")
+    print(f"overall: {estimate_avf(tally)}")
+    print()
+    print(format_avf_report(workload, result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Writing a custom NVBit tool (the substrate NVBitFI is built on, §III-C).
+
+NVBitFI's profiler and injectors are ordinary NVBit tools; this example
+builds two more from scratch against the same API:
+
+* ``OpcodeHistogramTool`` — a minimal dynamic-instruction histogrammer
+  (what `nvbit/tools/opcode_hist` does in the real framework);
+* ``ValueWatchTool``      — watches one register of one kernel and records
+  every value it takes (a tiny debugger).
+
+Run:  python examples/build_your_own_tool.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cuda.driver import CudaEvent
+from repro.nvbit import IPoint, NVBitTool
+from repro.runner import run_app
+from repro.workloads import get_workload
+
+
+class OpcodeHistogramTool(NVBitTool):
+    """Counts executed instructions per opcode across the whole program."""
+
+    name = "opcode_hist"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.histogram: Counter[str] = Counter()
+        self._instrumented = set()
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        if event is not CudaEvent.LAUNCH_KERNEL or is_exit:
+            return
+        func = payload.func
+        if func not in self._instrumented:
+            self._instrumented.add(func)
+            for instr in self.nvbit.get_instrs(func):
+                instr.insert_call(self._count, IPoint.AFTER)
+        self.nvbit.enable_instrumented(func, True)
+
+    def _count(self, site) -> None:
+        self.histogram[site.opcode] += site.num_executed
+
+
+class ValueWatchTool(NVBitTool):
+    """Records every value written to one register of one kernel."""
+
+    name = "value_watch"
+
+    def __init__(self, kernel_name: str, register: int, lane: int = 0) -> None:
+        super().__init__()
+        self.kernel_name = kernel_name
+        self.register = register
+        self.lane = lane
+        self.trace: list[tuple[int, str, int]] = []  # (pc, opcode, value)
+        self._instrumented = set()
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        if event is not CudaEvent.LAUNCH_KERNEL or is_exit:
+            return
+        func = payload.func
+        if func.name != self.kernel_name:
+            self.nvbit.enable_instrumented(func, False)
+            return
+        if func not in self._instrumented:
+            self._instrumented.add(func)
+            for instr in self.nvbit.get_instrs(func):
+                # Only instructions that write the watched register.
+                if self.register in instr.get_dest_regs():
+                    instr.insert_call(self._watch, IPoint.AFTER)
+        self.nvbit.enable_instrumented(func, True)
+
+    def _watch(self, site) -> None:
+        if site.exec_mask[self.lane]:
+            self.trace.append(
+                (site.instr.pc, site.opcode, site.read_reg(self.lane, self.register))
+            )
+
+
+def main() -> None:
+    app = get_workload("314.omriq")
+
+    print("== tool 1: opcode histogram over 314.omriq ==")
+    histogram_tool = OpcodeHistogramTool()
+    run_app(app, preload=[histogram_tool])
+    total = sum(histogram_tool.histogram.values())
+    for opcode, count in histogram_tool.histogram.most_common(10):
+        print(f"  {opcode:8} {count:8,}  ({count / total * 100:4.1f}%)")
+    print(f"  {'total':8} {total:8,}")
+
+    print("\n== tool 2: watch R13 of computeQ, lane 0 (accumulator) ==")
+    watcher = ValueWatchTool("computeQ", register=13, lane=0)
+    run_app(app, preload=[watcher])
+    print(f"  {len(watcher.trace)} writes observed; first 8:")
+    for pc, opcode, value in watcher.trace[:8]:
+        print(f"    pc={pc:3d} {opcode:6} -> 0x{value:08x}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Quickstart: inject one transient fault into a SAXPY kernel.
+
+Walks the whole Figure-1 workflow by hand on a five-line application:
+
+1. define a target program (host code + one GPU kernel),
+2. capture the golden run,
+3. profile it (exact mode),
+4. pick a fault site uniformly from the profile,
+5. run the injection and classify the outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    BitFlipModel,
+    InstructionGroup,
+    ProfilerTool,
+    ProfilingMode,
+    TransientInjectorTool,
+    classify,
+    select_transient_site,
+)
+from repro.runner import Application, capture_golden, run_app
+from repro.utils.rng import SeedSequenceStream
+
+SAXPY = """
+.kernel saxpy
+.params 4
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;          // n
+    ISETP.GE.U32 P0, R1, R2 ;
+@P0 EXIT ;
+    MOV R3, c[0x0][0x4] ;          // x
+    ISCADD R4, R1, R3, 2 ;
+    LDG.32 R5, [R4] ;
+    MOV R6, c[0x0][0x8] ;          // y
+    ISCADD R7, R1, R6, 2 ;
+    LDG.32 R8, [R7] ;
+    MOV R9, c[0x0][0xc] ;          // a (f32 bits)
+    FFMA R10, R5, R9, R8 ;         // a*x + y
+    STG.32 [R7], R10 ;
+    EXIT ;
+"""
+
+
+class SaxpyApp(Application):
+    """y = a*x + y over 64 elements; prints a checksum, writes y out."""
+
+    name = "saxpy_demo"
+
+    def run(self, ctx):
+        n = 64
+        rt = ctx.cuda
+        module = rt.load_module(SAXPY, name="saxpy_module")
+        saxpy = rt.get_function(module, "saxpy")
+        x = rt.to_device(np.arange(n, dtype=np.float32))
+        y = rt.to_device(np.ones(n, dtype=np.float32))
+        rt.launch(saxpy, 2, 32, n, x, y, 2.0)
+        result = y.to_host()
+        ctx.print(f"saxpy checksum: {result.sum():.2f}")
+        ctx.write_file("y.bin", result.tobytes())
+
+
+def main() -> None:
+    app = SaxpyApp()
+
+    # -- 1. golden run -------------------------------------------------------
+    golden = capture_golden(app)
+    print(f"golden run : {golden.summary()}")
+    print(f"golden out : {golden.stdout.strip()}")
+
+    # -- 2. profile (the LD_PRELOAD=profiler.so step) -------------------------
+    profiler = ProfilerTool(ProfilingMode.EXACT)
+    run_app(app, preload=[profiler])
+    profile = profiler.profile
+    print(f"\nprofile    : {profile.num_dynamic_kernels} dynamic kernel(s), "
+          f"{profile.total_count()} dynamic instructions")
+    for kernel_profile in profile.kernels:
+        print(f"             {kernel_profile.to_line()}")
+
+    # -- 3. select a fault site uniformly over G_GP instructions --------------
+    rng = SeedSequenceStream(2021).child("sites").generator()
+    site = select_transient_site(
+        profile, InstructionGroup.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng
+    )
+    print("\nfault site (the parameter file of Figure 1):")
+    for line in site.to_text().splitlines():
+        print(f"             {line}")
+
+    # -- 4. inject (the LD_PRELOAD=injector.so step) ---------------------------
+    injector = TransientInjectorTool(site)
+    observed = run_app(app, preload=[injector])
+    print(f"\ninjection  : {injector.record.describe()}")
+
+    # -- 5. classify against the golden run (Table V) --------------------------
+    outcome = classify(app, golden, observed)
+    print(f"outcome    : {outcome.label()}")
+    if observed.stdout != golden.stdout:
+        print(f"faulty out : {observed.stdout.strip()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e . --no-build-isolation` needs wheel for PEP 660 builds; this
+shim lets `python setup.py develop` provide the editable install instead.
+"""
+
+from setuptools import setup
+
+setup()

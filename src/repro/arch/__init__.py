@@ -1,0 +1,5 @@
+"""Architecture family parameters (Kepler .. Ampere)."""
+
+from repro.arch.families import ARCH_FAMILIES, ArchFamily, arch_by_name
+
+__all__ = ["ARCH_FAMILIES", "ArchFamily", "arch_by_name"]

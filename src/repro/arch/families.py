@@ -1,0 +1,56 @@
+"""GPU architecture families.
+
+The paper's "architectural abstraction" claim is that one tool binary works
+across Kepler..Ampere because NVBit hides per-family SASS encoding
+differences.  We model the same thing: each family carries its own device
+parameters and a distinct *encoding salt* (standing in for the per-family
+binary encodings); the NVBit layer and everything above it never looks at
+the salt — which is exactly the abstraction boundary the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchFamily:
+    """Parameters of one GPU architecture family."""
+
+    name: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    max_threads_per_block: int
+    shared_mem_per_block: int
+    max_regs_per_thread: int
+    encoding_salt: int  # stands in for family-specific SASS encodings
+    year: int
+
+    def __str__(self) -> str:
+        major, minor = self.compute_capability
+        return f"{self.name} (sm_{major}{minor})"
+
+
+ARCH_FAMILIES: dict[str, ArchFamily] = {
+    family.name: family
+    for family in (
+        ArchFamily("kepler", (3, 5), 15, 1024, 49152, 255, 0x35, 2012),
+        ArchFamily("maxwell", (5, 2), 24, 1024, 49152, 255, 0x52, 2014),
+        ArchFamily("pascal", (6, 1), 28, 1024, 49152, 255, 0x61, 2016),
+        ArchFamily("volta", (7, 0), 80, 1024, 49152, 255, 0x70, 2017),
+        ArchFamily("turing", (7, 5), 68, 1024, 49152, 255, 0x75, 2018),
+        ArchFamily("ampere", (8, 0), 108, 1024, 49152, 255, 0x80, 2020),
+    )
+}
+
+DEFAULT_FAMILY = "volta"  # the paper evaluates on a Titan V (Volta)
+
+
+def arch_by_name(name: str) -> ArchFamily:
+    """Look up a family by name, with a helpful error."""
+    try:
+        return ARCH_FAMILIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; available: {sorted(ARCH_FAMILIES)}"
+        ) from None

@@ -1,0 +1,58 @@
+"""Bit-flip models and mask computation — Table II, 'bit-pattern value'.
+
+The mask is XORed into the destination register after the target
+instruction executes:
+
+========================= ==============================================
+model                     mask
+========================= ==============================================
+``FLIP_SINGLE_BIT``       ``0x1 << int(32 * value)``
+``FLIP_TWO_BITS``         ``0x3 << int(31 * value)``
+``RANDOM_VALUE``          ``int(0xffffffff * value)``
+``ZERO_VALUE``            the original register value (XOR yields 0x0)
+========================= ==============================================
+
+``value`` is the uniform float in [0, 1) selected at campaign time, so one
+parameter file line fully determines the corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ParamError
+from repro.utils.bits import MASK32
+
+
+class BitFlipModel(enum.IntEnum):
+    """The bit-flip model ids of Table II."""
+
+    FLIP_SINGLE_BIT = 1
+    FLIP_TWO_BITS = 2
+    RANDOM_VALUE = 3
+    ZERO_VALUE = 4
+
+
+def compute_mask(model: BitFlipModel, value: float, old_value: int) -> int:
+    """The 32-bit XOR mask for one injection (Table II formulas, verbatim)."""
+    if not 0.0 <= value < 1.0:
+        raise ParamError(f"bit-pattern value {value} must lie in [0, 1)")
+    model = BitFlipModel(model)
+    if model is BitFlipModel.FLIP_SINGLE_BIT:
+        return (0x1 << int(32 * value)) & MASK32
+    if model is BitFlipModel.FLIP_TWO_BITS:
+        return (0x3 << int(31 * value)) & MASK32
+    if model is BitFlipModel.RANDOM_VALUE:
+        return int(0xFFFFFFFF * value) & MASK32
+    # ZERO_VALUE: mask equals the original value so new = old ^ mask = 0.
+    return old_value & MASK32
+
+
+def apply_mask(model: BitFlipModel, value: float, old_value: int) -> int:
+    """The corrupted register value after the XOR."""
+    return (old_value ^ compute_mask(model, value, old_value)) & MASK32
+
+
+def corrupt_predicate(old_value: bool) -> bool:
+    """Predicate destinations are one bit wide: corruption is a flip."""
+    return not old_value

@@ -1,0 +1,262 @@
+"""Campaign orchestration — the convenience scripts of the NVBitFI package.
+
+A campaign automates Figure 1 end-to-end for one application:
+
+1. golden run (uninstrumented reference, also calibrates the hang watchdog),
+2. profiling run (exact or approximate),
+3. uniform site selection over the profile,
+4. one sandboxed run per injection, each with a fresh device and an
+   injector tool attached,
+5. Table V classification and aggregation.
+
+Timing of every phase is recorded so the overhead figures (paper Figures 4
+and 5) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import InjectionRecord, TransientInjectorTool
+from repro.core.outcomes import OutcomeRecord, classify
+from repro.core.params import IntermittentParams, PermanentParams, TransientParams
+from repro.core.pf_injector import IntermittentInjectorTool, PermanentInjectorTool
+from repro.core.profile_data import ProgramProfile
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.core.report import OutcomeTally
+from repro.core.site_selection import select_permanent_sites, select_transient_sites
+from repro.runner.app import Application
+from repro.runner.artifacts import RunArtifacts
+from repro.runner.golden import capture_golden, hang_budget
+from repro.runner.sandbox import SandboxConfig, run_app
+from repro.sass.isa import opcode_by_id
+from repro.utils.rng import SeedSequenceStream
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign."""
+
+    group: InstructionGroup = InstructionGroup.G_GP
+    model: BitFlipModel = BitFlipModel.FLIP_SINGLE_BIT
+    num_transient: int = 100  # paper default: 100 injections per program
+    seed: int = 0
+    profiling: ProfilingMode = ProfilingMode.EXACT
+    hang_budget_factor: int = 10
+    sandbox: SandboxConfig = field(default_factory=SandboxConfig)
+
+
+@dataclass
+class TransientResult:
+    """One transient injection run."""
+
+    params: TransientParams
+    record: InjectionRecord
+    outcome: OutcomeRecord
+    wall_time: float
+
+
+@dataclass
+class PermanentResult:
+    """One permanent injection run (one opcode)."""
+
+    params: PermanentParams
+    opcode: str
+    weight: float  # dynamic instruction share of this opcode (Fig 3 weighting)
+    activations: int
+    outcome: OutcomeRecord
+    wall_time: float
+
+
+@dataclass
+class TransientCampaignResult:
+    results: list[TransientResult]
+    tally: OutcomeTally
+    golden_time: float
+    profile_time: float
+    median_injection_time: float
+
+    @property
+    def total_time(self) -> float:
+        """Aggregate campaign time (Fig 5): profile once + all injection runs."""
+        return self.profile_time + sum(r.wall_time for r in self.results)
+
+
+@dataclass
+class PermanentCampaignResult:
+    results: list[PermanentResult]
+    tally: OutcomeTally  # weighted by opcode dynamic counts
+    golden_time: float
+    median_injection_time: float
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.wall_time for r in self.results)
+
+
+class Campaign:
+    """Fault-injection campaign for one application."""
+
+    def __init__(self, app: Application, config: CampaignConfig | None = None) -> None:
+        self.app = app
+        self.config = config or CampaignConfig()
+        self._stream = SeedSequenceStream(self.config.seed, path=app.name)
+        self.golden: RunArtifacts | None = None
+        self.profile: ProgramProfile | None = None
+        self.golden_time = 0.0
+        self.profile_time = 0.0
+
+    # -- phases -----------------------------------------------------------------
+
+    def run_golden(self) -> RunArtifacts:
+        config = self._sandbox_config()
+        self.golden = capture_golden(self.app, config)
+        self.golden_time = self.golden.wall_time
+        return self.golden
+
+    def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
+        if self.golden is None:
+            self.run_golden()
+        profiler = ProfilerTool(mode or self.config.profiling)
+        artifacts = run_app(self.app, preload=[profiler], config=self._injection_config())
+        if artifacts.crashed or artifacts.timed_out:
+            raise RuntimeError(
+                f"profiling run failed unexpectedly: {artifacts.summary()}"
+            )
+        self.profile = profiler.profile
+        self.profile_time = artifacts.wall_time
+        return self.profile
+
+    def select_sites(self, count: int | None = None) -> list[TransientParams]:
+        if self.profile is None:
+            self.run_profile()
+        rng = self._stream.child("sites").generator()
+        return select_transient_sites(
+            self.profile,
+            self.config.group,
+            self.config.model,
+            count if count is not None else self.config.num_transient,
+            rng,
+        )
+
+    def run_transient(self, sites: list[TransientParams] | None = None) -> TransientCampaignResult:
+        """The full transient campaign (Figure 1 for N faults)."""
+        if sites is None:
+            sites = self.select_sites()
+        tally = OutcomeTally()
+        results = []
+        for params in sites:
+            injector = TransientInjectorTool(params)
+            artifacts = run_app(
+                self.app, preload=[injector], config=self._injection_config()
+            )
+            outcome = classify(self.app, self.golden, artifacts)
+            tally.add(outcome)
+            results.append(
+                TransientResult(params, injector.record, outcome, artifacts.wall_time)
+            )
+        return TransientCampaignResult(
+            results=results,
+            tally=tally,
+            golden_time=self.golden_time,
+            profile_time=self.profile_time,
+            median_injection_time=_median(r.wall_time for r in results),
+        )
+
+    def run_permanent(
+        self, sites: list[PermanentParams] | None = None
+    ) -> PermanentCampaignResult:
+        """One injection per executed opcode, outcomes weighted by dynamic count."""
+        if self.profile is None:
+            self.run_profile()
+        if sites is None:
+            rng = self._stream.child("permanent").generator()
+            sites = select_permanent_sites(
+                self.profile, rng, sm_ids=self._active_sm_ids()
+            )
+        total_dynamic = max(self.profile.total_count(), 1)
+        tally = OutcomeTally()
+        results = []
+        for params in sites:
+            opcode = opcode_by_id(params.opcode_id).name
+            weight = self.profile.opcode_count(opcode) / total_dynamic
+            injector = PermanentInjectorTool(params)
+            artifacts = run_app(
+                self.app, preload=[injector], config=self._injection_config()
+            )
+            outcome = classify(self.app, self.golden, artifacts)
+            tally.add(outcome, weight=weight)
+            results.append(
+                PermanentResult(
+                    params=params,
+                    opcode=opcode,
+                    weight=weight,
+                    activations=injector.activations,
+                    outcome=outcome,
+                    wall_time=artifacts.wall_time,
+                )
+            )
+        return PermanentCampaignResult(
+            results=results,
+            tally=tally,
+            golden_time=self.golden_time,
+            median_injection_time=_median(r.wall_time for r in results),
+        )
+
+    def run_intermittent(self, params: IntermittentParams) -> PermanentResult:
+        """One intermittent-fault run (§V extension)."""
+        if self.golden is None:
+            self.run_golden()
+        injector = IntermittentInjectorTool(params)
+        artifacts = run_app(
+            self.app, preload=[injector], config=self._injection_config()
+        )
+        outcome = classify(self.app, self.golden, artifacts)
+        opcode = opcode_by_id(params.permanent.opcode_id).name
+        return PermanentResult(
+            params=params.permanent,
+            opcode=opcode,
+            weight=1.0,
+            activations=injector.activations,
+            outcome=outcome,
+            wall_time=artifacts.wall_time,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _sandbox_config(self) -> SandboxConfig:
+        base = self.config.sandbox
+        return SandboxConfig(
+            seed=base.seed,
+            instruction_budget=base.instruction_budget,
+            family=base.family,
+            num_sms=base.num_sms,
+            global_mem_bytes=base.global_mem_bytes,
+        )
+
+    def _injection_config(self) -> SandboxConfig:
+        config = self._sandbox_config()
+        if self.golden is not None:
+            config.instruction_budget = hang_budget(
+                self.golden, factor=self.config.hang_budget_factor
+            )
+        return config
+
+    def _active_sm_ids(self) -> list[int]:
+        """SMs that actually ran blocks in the golden run.
+
+        A permanent fault pinned to an idle SM can never activate; real
+        campaigns target populated SMs, so site selection draws from the
+        golden run's active set.
+        """
+        if self.golden is not None and self.golden.active_sms:
+            return list(self.golden.active_sms)
+        return list(range(self.config.sandbox.num_sms or 8))
+
+
+def _median(values) -> float:
+    values = list(values)
+    return statistics.median(values) if values else 0.0

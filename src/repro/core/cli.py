@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the real package's convenience scripts: profile a target, select
+fault sites, run a single injection from a parameter file, or run a whole
+campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.outcomes import classify
+from repro.core.params import TransientParams
+from repro.core.profiler import ProfilingMode
+from repro.runner.golden import capture_golden, hang_budget
+from repro.runner.sandbox import SandboxConfig, run_app
+from repro.workloads import WORKLOADS, get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NVBitFI reproduction: GPU fault-injection campaigns "
+        "on a simulated device",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    profile = sub.add_parser("profile", help="profile a workload")
+    _add_common(profile)
+    profile.add_argument(
+        "--mode", choices=["exact", "approximate"], default="exact"
+    )
+    profile.add_argument("--output", help="write the profile to this file")
+
+    select = sub.add_parser("select", help="select transient fault sites")
+    _add_common(select)
+    select.add_argument("--count", type=int, default=10)
+    select.add_argument("--group", type=int, default=8, help="arch state id (Table II)")
+    select.add_argument("--model", type=int, default=1, help="bit-flip model (Table II)")
+
+    inject = sub.add_parser("inject", help="run one injection from a parameter file")
+    inject.add_argument("workload")
+    inject.add_argument("params_file", help="7-line transient parameter file")
+    inject.add_argument("--seed", type=int, default=0)
+
+    campaign = sub.add_parser("campaign", help="run a full transient campaign")
+    _add_common(campaign)
+    campaign.add_argument("--injections", type=int, default=100)
+    campaign.add_argument("--group", type=int, default=8)
+    campaign.add_argument("--model", type=int, default=1)
+    campaign.add_argument(
+        "--profiling", choices=["exact", "approximate"], default="exact"
+    )
+    campaign.add_argument("--permanent", action="store_true",
+                          help="also run the permanent-fault campaign")
+
+    dump = sub.add_parser(
+        "dump", help="disassemble a workload's kernels (cuobjdump analogue)"
+    )
+    dump.add_argument("workload")
+    dump.add_argument("--kernel", help="dump only this kernel")
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="e.g. 303.ostencil (see `repro list`)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into `head` etc.; the POSIX-polite exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(WORKLOADS):
+            cls = WORKLOADS[name]
+            print(f"{name:16} {cls.description}")
+        return 0
+
+    app = get_workload(args.workload)
+
+    if args.command == "dump":
+        from repro.sass import assemble, disassemble_kernel
+
+        module = assemble(app.module_text(), module_name=app.name)
+        for kernel in module:
+            if args.kernel and kernel.name != args.kernel:
+                continue
+            print(disassemble_kernel(kernel))
+        return 0
+
+    if args.command == "profile":
+        campaign = Campaign(app, CampaignConfig(seed=args.seed))
+        profile = campaign.run_profile(ProfilingMode(args.mode))
+        text = profile.to_text()
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"profile written to {args.output}")
+        else:
+            print(text, end="")
+        print(
+            f"# {profile.num_dynamic_kernels} dynamic kernels, "
+            f"{profile.num_static_kernels} static, "
+            f"{profile.total_count()} dynamic instructions",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "select":
+        campaign = Campaign(app, CampaignConfig(
+            seed=args.seed,
+            group=InstructionGroup(args.group),
+            model=BitFlipModel(args.model),
+        ))
+        for site in campaign.select_sites(args.count):
+            print(site.to_text())
+            print()
+        return 0
+
+    if args.command == "inject":
+        with open(args.params_file) as handle:
+            params = TransientParams.from_text(handle.read())
+        golden = capture_golden(app, SandboxConfig(seed=args.seed))
+        injector = TransientInjectorTool(params)
+        config = SandboxConfig(
+            seed=args.seed, instruction_budget=hang_budget(golden)
+        )
+        observed = run_app(app, preload=[injector], config=config)
+        outcome = classify(app, golden, observed)
+        print(injector.record.describe())
+        print(outcome.label())
+        return 0 if outcome.outcome.value == "Masked" else 1
+
+    if args.command == "campaign":
+        config = CampaignConfig(
+            seed=args.seed,
+            num_transient=args.injections,
+            group=InstructionGroup(args.group),
+            model=BitFlipModel(args.model),
+            profiling=ProfilingMode(args.profiling),
+        )
+        campaign = Campaign(app, config)
+        result = campaign.run_transient()
+        print(f"{app.name}: {len(result.results)} transient injections")
+        print(result.tally.report(samples=len(result.results)))
+        if args.permanent:
+            permanent = campaign.run_permanent()
+            print(f"{app.name}: {len(permanent.results)} permanent injections "
+                  "(one per executed opcode)")
+            print(permanent.tally.report())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

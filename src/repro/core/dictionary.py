@@ -1,0 +1,87 @@
+"""Fault dictionary (paper §V, future directions — implemented here).
+
+A fault dictionary replaces the single campaign-wide bit-flip model with a
+per-opcode distribution of error patterns, e.g. derived from circuit-level
+simulation: an FADD whose adder is faulty mostly corrupts low mantissa
+bits, a faulty multiplier corrupts wide swathes.  The dictionary is
+consulted by the injectors at injection time, conditioned on the opcode
+that produced the destination value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitflip import BitFlipModel
+from repro.errors import ParamError
+from repro.sass.isa import OPCODES_BY_NAME
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One weighted error pattern for an opcode."""
+
+    model: BitFlipModel
+    weight: float
+    # Optional sub-range of the bit-pattern selector, letting an entry pin
+    # corruption to, say, low mantissa bits (value in [lo, hi)).
+    value_low: float = 0.0
+    value_high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ParamError("dictionary entry weight must be positive")
+        if not 0.0 <= self.value_low < self.value_high <= 1.0:
+            raise ParamError("dictionary entry value range must be within [0, 1)")
+
+
+class FaultDictionary:
+    """Per-opcode error-pattern distributions."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._entries: dict[str, list[DictionaryEntry]] = {}
+        self._default: list[DictionaryEntry] = [
+            DictionaryEntry(BitFlipModel.FLIP_SINGLE_BIT, 1.0)
+        ]
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, opcode: str, entry: DictionaryEntry) -> None:
+        if opcode not in OPCODES_BY_NAME:
+            raise ParamError(f"unknown opcode {opcode!r} in fault dictionary")
+        self._entries.setdefault(opcode, []).append(entry)
+
+    def set_default(self, entries: list[DictionaryEntry]) -> None:
+        if not entries:
+            raise ParamError("default entry list must be non-empty")
+        self._default = list(entries)
+
+    def entries_for(self, opcode: str) -> list[DictionaryEntry]:
+        return self._entries.get(opcode, self._default)
+
+    def draw(self, opcode: str) -> tuple[BitFlipModel, float]:
+        """Sample (model, bit-pattern value) conditioned on the opcode."""
+        entries = self.entries_for(opcode)
+        weights = np.array([e.weight for e in entries], dtype=float)
+        weights /= weights.sum()
+        entry = entries[int(self._rng.choice(len(entries), p=weights))]
+        span = entry.value_high - entry.value_low
+        value = entry.value_low + float(self._rng.random()) * span
+        # Guard the half-open upper bound against float rounding.
+        return entry.model, min(value, np.nextafter(entry.value_high, 0.0))
+
+    @classmethod
+    def low_mantissa_fp(cls, seed: int = 0) -> "FaultDictionary":
+        """A ready-made example: FP arithmetic corrupts mostly low mantissa bits."""
+        dictionary = cls(seed=seed)
+        for opcode in ("FADD", "FMUL", "FFMA", "DADD", "DMUL", "DFMA"):
+            dictionary.add(
+                opcode,
+                DictionaryEntry(BitFlipModel.FLIP_SINGLE_BIT, 0.8, 0.0, 0.5),
+            )
+            dictionary.add(
+                opcode,
+                DictionaryEntry(BitFlipModel.FLIP_TWO_BITS, 0.2, 0.0, 0.5),
+            )
+        return dictionary

@@ -1,0 +1,78 @@
+"""Instruction groups — the ``arch state id`` parameter of Table II.
+
+Groups 1..6 partition the ISA; groups 7..8 are the aggregates
+``G_GPPR = all - G_NODEST`` and ``G_GP = all - G_NODEST - G_PR`` that
+campaigns typically inject (they cover every instruction that writes a
+general-purpose register, with or without predicate writers).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ParamError
+from repro.sass.instruction import Instruction
+from repro.sass.isa import Category, DestKind, OpcodeInfo
+
+
+class InstructionGroup(enum.IntEnum):
+    """The eight arch-state-id values of Table II."""
+
+    G_FP64 = 1
+    G_FP32 = 2
+    G_LD = 3
+    G_PR = 4
+    G_NODEST = 5
+    G_OTHERS = 6
+    G_GPPR = 7
+    G_GP = 8
+
+
+_FP32_CATEGORIES = frozenset({Category.FP32, Category.CONVERSION, Category.FP16})
+_LD_CATEGORIES = frozenset({Category.LOAD, Category.ATOMIC})
+
+
+def base_group(info: OpcodeInfo) -> InstructionGroup:
+    """Classify an opcode into its *base* group (1..6).
+
+    Destination kind takes priority (matching the paper's definitions of
+    G_PR and G_NODEST), then the functional category decides between FP64,
+    FP32, LD and OTHERS.
+    """
+    if info.dest_kind is DestKind.NONE:
+        return InstructionGroup.G_NODEST
+    if info.dest_kind is DestKind.PRED:
+        return InstructionGroup.G_PR
+    if info.category is Category.FP64:
+        return InstructionGroup.G_FP64
+    if info.category in _LD_CATEGORIES:
+        return InstructionGroup.G_LD
+    if info.category in _FP32_CATEGORIES:
+        return InstructionGroup.G_FP32
+    return InstructionGroup.G_OTHERS
+
+
+def in_group(info: OpcodeInfo, group: InstructionGroup) -> bool:
+    """True if an opcode belongs to ``group`` (handles the aggregates)."""
+    base = base_group(info)
+    if group is InstructionGroup.G_GPPR:
+        return base is not InstructionGroup.G_NODEST
+    if group is InstructionGroup.G_GP:
+        return base not in (InstructionGroup.G_NODEST, InstructionGroup.G_PR)
+    return base is group
+
+
+def instruction_in_group(instr: Instruction, group: InstructionGroup) -> bool:
+    return in_group(instr.info, group)
+
+
+def injectable(group: InstructionGroup) -> bool:
+    """Whether the group has destinations a transient injector can corrupt."""
+    return group is not InstructionGroup.G_NODEST
+
+
+def require_injectable(group: InstructionGroup) -> None:
+    if not injectable(group):
+        raise ParamError(
+            f"{group.name} instructions have no destination register to corrupt"
+        )

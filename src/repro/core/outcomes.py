@@ -1,0 +1,64 @@
+"""Outcome classification — Table V of the paper.
+
+Priority order follows the table: DUE symptoms (hang, crash, non-zero exit)
+are checked first; then the application's SDC-check script decides between
+SDC and Masked; finally, runs whose outcome is SDC or Masked but which left
+a non-handled system anomaly (CUDA error, dmesg/Xid entry) are flagged as
+*potential DUEs* — counted within their SDC/Masked bucket, as in §IV-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.runner.app import Application
+from repro.runner.artifacts import RunArtifacts
+
+
+class Outcome(enum.Enum):
+    SDC = "SDC"
+    DUE = "DUE"
+    MASKED = "Masked"
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """Classification of one injection run."""
+
+    outcome: Outcome
+    symptom: str  # the Table V row that fired
+    potential_due: bool = False
+
+    def label(self) -> str:
+        suffix = " (potential DUE)" if self.potential_due else ""
+        return f"{self.outcome.value}: {self.symptom}{suffix}"
+
+
+def classify(
+    app: Application,
+    golden: RunArtifacts,
+    observed: RunArtifacts,
+) -> OutcomeRecord:
+    """Classify one run against the golden reference (Table V)."""
+    if observed.timed_out:
+        return OutcomeRecord(Outcome.DUE, "Timeout, indicating a hang (Monitor detection)")
+    if observed.crashed:
+        return OutcomeRecord(Outcome.DUE, "Process crash (OS detection)")
+    if observed.exit_status != 0:
+        return OutcomeRecord(Outcome.DUE, "Non-zero exit status (Application detection)")
+
+    check = app.check(golden, observed)
+    anomalous = _has_new_anomalies(golden, observed)
+    if not check.passed:
+        return OutcomeRecord(Outcome.SDC, check.detail or "SDC check failed",
+                             potential_due=anomalous)
+    return OutcomeRecord(Outcome.MASKED, "No difference detected",
+                         potential_due=anomalous)
+
+
+def _has_new_anomalies(golden: RunArtifacts, observed: RunArtifacts) -> bool:
+    """Anomalies beyond whatever the golden run already produced."""
+    return len(observed.cuda_errors) > len(golden.cuda_errors) or len(
+        observed.dmesg
+    ) > len(golden.dmesg)

@@ -1,0 +1,154 @@
+"""Fault-injection parameter records (Tables II and III) and their files.
+
+The on-disk format matches the paper's Figure 1 workflow: one parameter per
+line, written by the site-selection step and read by the injector attached
+to the next run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup, require_injectable
+from repro.errors import ParamError
+from repro.sass.isa import NUM_OPCODES, WARP_SIZE
+from repro.utils.bits import MASK32
+
+
+@dataclass(frozen=True)
+class TransientParams:
+    """One transient fault: the seven parameters of Table II."""
+
+    group: InstructionGroup  # arch state id
+    model: BitFlipModel  # bit-flip model
+    kernel_name: str
+    kernel_count: int  # n => the (n+1)th dynamic instance of the kernel
+    instruction_count: int  # n => the (n+1)th dynamic instruction in the group
+    dest_reg_selector: float  # [0,1): picks among multiple destinations
+    bit_pattern_value: float  # [0,1): drives the bit-flip mask
+
+    def __post_init__(self) -> None:
+        # Accept raw Table II integers as well as the enums.
+        object.__setattr__(self, "group", InstructionGroup(self.group))
+        object.__setattr__(self, "model", BitFlipModel(self.model))
+        require_injectable(self.group)
+        if self.kernel_count < 0 or self.instruction_count < 0:
+            raise ParamError("kernel/instruction counts must be non-negative")
+        if not 0.0 <= self.dest_reg_selector < 1.0:
+            raise ParamError("destination-register selector must lie in [0, 1)")
+        if not 0.0 <= self.bit_pattern_value < 1.0:
+            raise ParamError("bit-pattern value must lie in [0, 1)")
+        if not self.kernel_name:
+            raise ParamError("kernel name must be non-empty")
+
+    def to_text(self) -> str:
+        """Serialise in the one-parameter-per-line injection file format."""
+        return "\n".join(
+            [
+                f"{int(self.group)} # arch state id: {self.group.name}",
+                f"{int(self.model)} # bit flip model: {self.model.name}",
+                f"{self.kernel_name} # kernel name",
+                f"{self.kernel_count} # kernel count",
+                f"{self.instruction_count} # instruction count",
+                f"{self.dest_reg_selector!r} # destination register selector",
+                f"{self.bit_pattern_value!r} # bit pattern value",
+            ]
+        )
+
+    @classmethod
+    def from_text(cls, text: str) -> "TransientParams":
+        values = _bare_lines(text)
+        if len(values) != 7:
+            raise ParamError(
+                f"transient parameter file needs 7 lines, found {len(values)}"
+            )
+        return cls(
+            group=InstructionGroup(int(values[0])),
+            model=BitFlipModel(int(values[1])),
+            kernel_name=values[2],
+            kernel_count=int(values[3]),
+            instruction_count=int(values[4]),
+            dest_reg_selector=float(values[5]),
+            bit_pattern_value=float(values[6]),
+        )
+
+
+@dataclass(frozen=True)
+class PermanentParams:
+    """One permanent fault: the four parameters of Table III."""
+
+    sm_id: int
+    lane_id: int
+    bit_mask: int  # the XOR mask applied to every dynamic instance
+    opcode_id: int  # index into the ISA table
+
+    def __post_init__(self) -> None:
+        if self.sm_id < 0:
+            raise ParamError("SM id must be non-negative")
+        if not 0 <= self.lane_id < WARP_SIZE:
+            raise ParamError(f"lane id must lie in 0..{WARP_SIZE - 1}")
+        if not 0 <= self.bit_mask <= MASK32:
+            raise ParamError("bit mask must be a 32-bit value")
+        if not 0 <= self.opcode_id < NUM_OPCODES:
+            raise ParamError(
+                f"opcode id must lie in 0..{NUM_OPCODES - 1}, got {self.opcode_id}"
+            )
+
+    def to_text(self) -> str:
+        return "\n".join(
+            [
+                f"{self.sm_id} # SM id",
+                f"{self.lane_id} # lane id",
+                f"0x{self.bit_mask:08x} # XOR bit mask",
+                f"{self.opcode_id} # opcode id",
+            ]
+        )
+
+    @classmethod
+    def from_text(cls, text: str) -> "PermanentParams":
+        values = _bare_lines(text)
+        if len(values) != 4:
+            raise ParamError(
+                f"permanent parameter file needs 4 lines, found {len(values)}"
+            )
+        return cls(
+            sm_id=int(values[0]),
+            lane_id=int(values[1]),
+            bit_mask=int(values[2], 0),
+            opcode_id=int(values[3]),
+        )
+
+
+@dataclass(frozen=True)
+class IntermittentParams:
+    """Paper §V extension: a permanent-fault site with an activation process.
+
+    ``process`` is ``"random"`` (each dynamic instance independently active
+    with probability ``activation_probability``) or ``"bursty"`` (a two-state
+    on/off process with geometric burst lengths of mean ``burst_length``).
+    """
+
+    permanent: PermanentParams
+    process: str = "random"
+    activation_probability: float = 0.5
+    burst_length: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.process not in ("random", "bursty"):
+            raise ParamError(f"unknown activation process {self.process!r}")
+        if not 0.0 < self.activation_probability <= 1.0:
+            raise ParamError("activation probability must lie in (0, 1]")
+        if self.burst_length < 1.0:
+            raise ParamError("mean burst length must be >= 1")
+
+
+def _bare_lines(text: str) -> list[str]:
+    """Strip comments and blanks from a parameter file."""
+    values = []
+    for line in text.splitlines():
+        bare = line.split("#", 1)[0].strip()
+        if bare:
+            values.append(bare)
+    return values

@@ -1,0 +1,115 @@
+"""The permanent-fault injector (``pf_injector.so`` in the real package).
+
+A permanent fault is pinned to a physical location — an SM and a hardware
+lane — and corrupts *every* dynamic instance of one opcode executing there
+with the same XOR mask (Table III).  Unlike the transient injector, every
+kernel of the program is instrumented (only at instructions of the target
+opcode), which is why the paper measures higher overhead for permanent
+injection runs (§IV-C).
+
+The intermittent injector (paper §V future work) reuses the same site but
+gates each corruption through an activation process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import IntermittentParams, PermanentParams
+from repro.cuda.driver import CudaEvent, CudaFunction
+from repro.gpusim.context import InstrSite
+from repro.nvbit.instr import IPoint
+from repro.nvbit.tool import NVBitTool
+from repro.sass.isa import opcode_by_id
+
+
+class PermanentInjectorTool(NVBitTool):
+    """Corrupts all dynamic instances of one opcode on one SM/lane."""
+
+    name = "pf_injector"
+
+    def __init__(self, params: PermanentParams, extra_opcode_ids: list[int] | None = None) -> None:
+        super().__init__()
+        self.params = params
+        # §V extension: one physical fault may affect multiple opcodes that
+        # share the faulty unit (e.g. an ALU used by IADD and ISETP).
+        opcode_ids = [params.opcode_id] + list(extra_opcode_ids or [])
+        self.target_opcodes = {opcode_by_id(i).name for i in opcode_ids}
+        self.activations = 0
+        self.opportunities = 0
+        self._instrumented: set[CudaFunction] = set()
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        if event is not CudaEvent.LAUNCH_KERNEL or is_exit:
+            return
+        func = payload.func
+        if func not in self._instrumented:
+            matched = False
+            for instr in self.nvbit.get_instrs(func):
+                if instr.get_opcode_short() in self.target_opcodes:
+                    instr.insert_call(self._visit, IPoint.AFTER)
+                    matched = True
+            self._instrumented.add(func)
+            self.nvbit.enable_instrumented(func, matched)
+        # Every launch of a matching kernel runs instrumented (the permanent
+        # fault never goes away), so the enable flag set above persists.
+
+    # -- the corruption instrumentation function ---------------------------------
+
+    def _visit(self, site: InstrSite) -> None:
+        if site.sm_id != self.params.sm_id:
+            return
+        lane = self.params.lane_id
+        if not site.exec_mask[lane]:
+            return
+        self.opportunities += 1
+        if not self._activate():
+            return
+        self.activations += 1
+        instr = site.instr
+        for reg in instr.dest_regs:
+            before = site.read_reg(lane, reg)
+            site.write_reg(lane, reg, before ^ self.params.bit_mask)
+        pred = instr.dest_pred
+        if pred is not None and self.params.bit_mask & 1:
+            site.write_pred(lane, pred, not site.read_pred(lane, pred))
+
+    def _activate(self) -> bool:
+        """Permanent faults are always active; subclasses override."""
+        return True
+
+
+class IntermittentInjectorTool(PermanentInjectorTool):
+    """Paper §V: a permanent-fault site active only part of the time."""
+
+    name = "intermittent_injector"
+
+    def __init__(self, params: IntermittentParams) -> None:
+        super().__init__(params.permanent)
+        self.intermittent = params
+        self._rng = np.random.default_rng(params.seed)
+        self._bursty_on = False
+
+    def _activate(self) -> bool:
+        cfg = self.intermittent
+        if cfg.process == "random":
+            return bool(self._rng.random() < cfg.activation_probability)
+        # Bursty: a two-state process.  Mean ON-burst length is
+        # ``burst_length``; the OFF->ON rate is chosen so the stationary
+        # active fraction equals ``activation_probability``.
+        p_exit_on = 1.0 / cfg.burst_length
+        if cfg.activation_probability >= 1.0:
+            return True
+        p_enter_on = min(
+            1.0,
+            p_exit_on
+            * cfg.activation_probability
+            / (1.0 - cfg.activation_probability),
+        )
+        if self._bursty_on:
+            if self._rng.random() < p_exit_on:
+                self._bursty_on = False
+        else:
+            if self._rng.random() < p_enter_on:
+                self._bursty_on = True
+        return self._bursty_on

@@ -1,0 +1,111 @@
+"""Instruction profiles: the output of the profiling step (Figure 1, step 1).
+
+A profile holds one record per *dynamic kernel* (each launch of each static
+kernel) with the total dynamic instruction count of every opcode across all
+threads — predicated-off instructions excluded.  The profile defines the
+uniform population that transient fault sites are drawn from, and the
+executed-opcode set that prunes permanent-fault campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.groups import InstructionGroup, in_group
+from repro.errors import ProfileError
+from repro.sass.isa import OPCODES_BY_NAME
+
+
+@dataclass
+class KernelProfile:
+    """Dynamic instruction histogram of one dynamic kernel."""
+
+    kernel_name: str
+    invocation: int  # 0-based dynamic instance index of this kernel name
+    counts: dict[str, int] = field(default_factory=dict)
+    approximated: bool = False  # True if copied from the first instance
+
+    def add(self, opcode: str, executed_threads: int) -> None:
+        if executed_threads:
+            self.counts[opcode] = self.counts.get(opcode, 0) + executed_threads
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def group_count(self, group: InstructionGroup) -> int:
+        return sum(
+            count
+            for opcode, count in self.counts.items()
+            if in_group(OPCODES_BY_NAME[opcode], group)
+        )
+
+    def to_line(self) -> str:
+        pairs = ",".join(
+            f"{opcode}:{count}" for opcode, count in sorted(self.counts.items())
+        )
+        flag = "~" if self.approximated else "="
+        return f"{self.kernel_name};{self.invocation};{flag};{pairs}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "KernelProfile":
+        try:
+            name, invocation, flag, pairs = line.strip().split(";")
+        except ValueError:
+            raise ProfileError(f"malformed profile line: {line!r}") from None
+        counts: dict[str, int] = {}
+        if pairs:
+            for pair in pairs.split(","):
+                opcode, _, count = pair.partition(":")
+                if opcode not in OPCODES_BY_NAME:
+                    raise ProfileError(f"unknown opcode {opcode!r} in profile")
+                counts[opcode] = int(count)
+        return cls(
+            kernel_name=name,
+            invocation=int(invocation),
+            counts=counts,
+            approximated=flag == "~",
+        )
+
+
+@dataclass
+class ProgramProfile:
+    """All dynamic kernels of one program run, in launch order."""
+
+    kernels: list[KernelProfile] = field(default_factory=list)
+
+    def append(self, kernel_profile: KernelProfile) -> None:
+        self.kernels.append(kernel_profile)
+
+    def total_count(self, group: InstructionGroup | None = None) -> int:
+        if group is None:
+            return sum(kp.total() for kp in self.kernels)
+        return sum(kp.group_count(group) for kp in self.kernels)
+
+    def executed_opcodes(self) -> set[str]:
+        """Opcodes with a non-zero dynamic count (prunes permanent campaigns)."""
+        opcodes: set[str] = set()
+        for kp in self.kernels:
+            opcodes.update(op for op, count in kp.counts.items() if count)
+        return opcodes
+
+    def opcode_count(self, opcode: str) -> int:
+        return sum(kp.counts.get(opcode, 0) for kp in self.kernels)
+
+    @property
+    def num_dynamic_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def num_static_kernels(self) -> int:
+        return len({kp.kernel_name for kp in self.kernels})
+
+    def to_text(self) -> str:
+        return "\n".join(kp.to_line() for kp in self.kernels) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "ProgramProfile":
+        profile = cls()
+        for line in text.splitlines():
+            if line.strip():
+                profile.append(KernelProfile.from_line(line))
+        return profile

@@ -1,0 +1,96 @@
+"""The profiler tool (``profiler.so`` in the real package).
+
+Two modes, as in paper §III-A:
+
+* **exact** — every dynamic kernel is instrumented and every dynamic
+  instruction counted;
+* **approximate** — only the *first* dynamic instance of each static kernel
+  is instrumented; later instances run uninstrumented and are assumed to
+  execute the same instruction mix (their profile records are copies,
+  flagged ``approximated``).
+
+Counting uses an after-instruction callback that adds the number of lanes
+that actually executed (``InstrSite.num_executed``), so predicated-off
+instructions contribute nothing — the paper's profiling rule.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.profile_data import KernelProfile, ProgramProfile
+from repro.cuda.driver import CudaEvent, CudaFunction
+from repro.gpusim.context import InstrSite
+from repro.nvbit.instr import IPoint
+from repro.nvbit.tool import NVBitTool
+
+
+class ProfilingMode(enum.Enum):
+    EXACT = "exact"
+    APPROXIMATE = "approximate"
+
+
+class ProfilerTool(NVBitTool):
+    """Builds a :class:`ProgramProfile` for the program it is attached to."""
+
+    name = "profiler"
+
+    def __init__(self, mode: ProfilingMode = ProfilingMode.EXACT) -> None:
+        super().__init__()
+        self.mode = mode
+        self.profile = ProgramProfile()
+        self._instrumented: set[CudaFunction] = set()
+        self._invocations: dict[str, int] = {}
+        self._first_instance: dict[CudaFunction, KernelProfile] = {}
+        self._current: KernelProfile | None = None
+        self._current_func: CudaFunction | None = None
+
+    # -- NVBit callbacks ------------------------------------------------------
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        if event is not CudaEvent.LAUNCH_KERNEL:
+            return
+        if not is_exit:
+            self._on_launch_enter(payload.func)
+        else:
+            self._on_launch_exit(payload.func)
+
+    def _on_launch_enter(self, func: CudaFunction) -> None:
+        invocation = self._invocations.get(func.name, 0)
+        profile_record = KernelProfile(func.name, invocation)
+        instrument = (
+            self.mode is ProfilingMode.EXACT or func not in self._first_instance
+        )
+        if instrument:
+            if func not in self._instrumented:
+                for instr in self.nvbit.get_instrs(func):
+                    instr.insert_call(self._count, IPoint.AFTER)
+                self._instrumented.add(func)
+            self.nvbit.enable_instrumented(func, True)
+            self._current = profile_record
+            self._current_func = func
+        else:
+            # Approximate mode, later instance: run uninstrumented.
+            self.nvbit.enable_instrumented(func, False)
+            first = self._first_instance[func]
+            profile_record.counts = dict(first.counts)
+            profile_record.approximated = True
+            self.profile.append(profile_record)
+            self._current = None
+            self._current_func = None
+        self._pending = profile_record
+
+    def _on_launch_exit(self, func: CudaFunction) -> None:
+        self._invocations[func.name] = self._invocations.get(func.name, 0) + 1
+        if self._current is not None and self._current_func is func:
+            self.profile.append(self._current)
+            if func not in self._first_instance:
+                self._first_instance[func] = self._current
+            self._current = None
+            self._current_func = None
+
+    # -- the counting instrumentation function ------------------------------------
+
+    def _count(self, site: InstrSite) -> None:
+        if self._current is not None:
+            self._current.add(site.instr.opcode, site.num_executed)

@@ -1,0 +1,168 @@
+"""Error-propagation tracking.
+
+The paper's subject is *error propagation* — how an injected fault spreads
+through live state until it reaches (or fails to reach) program outputs.
+This module makes propagation observable: a tool snapshots the device's
+live global-memory contents after every dynamic kernel, and comparing the
+faulty run's trace against the golden run's yields the corruption front —
+when the error first reached memory, how many bytes it occupies after each
+kernel, and whether it grew, shrank or was overwritten away (the
+architectural-masking mechanism behind Table V's Masked outcomes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cuda.driver import CudaEvent
+from repro.nvbit.tool import NVBitTool
+from repro.runner.app import Application
+from repro.runner.sandbox import SandboxConfig, run_app
+
+
+@dataclass
+class MemorySnapshot:
+    """Live global memory after one dynamic kernel."""
+
+    kernel_name: str
+    launch_index: int
+    regions: dict[int, bytes]  # allocation start -> contents
+
+    def digest(self) -> str:
+        hasher = hashlib.sha256()
+        for start in sorted(self.regions):
+            hasher.update(start.to_bytes(8, "little"))
+            hasher.update(self.regions[start])
+        return hasher.hexdigest()[:16]
+
+
+class MemoryTraceTool(NVBitTool):
+    """Snapshots live allocations after every kernel launch."""
+
+    name = "memory_trace"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.snapshots: list[MemorySnapshot] = []
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        if event is not CudaEvent.LAUNCH_KERNEL or not is_exit:
+            return
+        memory = driver.device.global_mem
+        regions = {}
+        for start, size in memory.allocator._allocated.items():
+            regions[start] = memory.read_bytes(start, size)
+        self.snapshots.append(
+            MemorySnapshot(
+                kernel_name=payload.func.name,
+                launch_index=len(self.snapshots),
+                regions=regions,
+            )
+        )
+
+
+@dataclass
+class PropagationPoint:
+    """Corruption state after one dynamic kernel."""
+
+    launch_index: int
+    kernel_name: str
+    corrupt_bytes: int
+    corrupt_regions: int
+
+
+@dataclass
+class PropagationTrace:
+    """The corruption front over the whole run."""
+
+    points: list[PropagationPoint] = field(default_factory=list)
+
+    @property
+    def first_divergence(self) -> PropagationPoint | None:
+        for point in self.points:
+            if point.corrupt_bytes:
+                return point
+        return None
+
+    @property
+    def final_corruption(self) -> int:
+        return self.points[-1].corrupt_bytes if self.points else 0
+
+    @property
+    def peak_corruption(self) -> int:
+        return max((p.corrupt_bytes for p in self.points), default=0)
+
+    @property
+    def was_overwritten(self) -> bool:
+        """True if corruption appeared and later vanished (architectural
+        masking: the corrupted state was dead or rewritten)."""
+        return self.peak_corruption > 0 and self.final_corruption == 0
+
+    def describe(self) -> str:
+        if self.peak_corruption == 0:
+            return "no memory corruption ever observed"
+        first = self.first_divergence
+        lines = [
+            f"first divergence: launch {first.launch_index} "
+            f"({first.kernel_name}), {first.corrupt_bytes} byte(s)",
+            f"peak corruption : {self.peak_corruption} byte(s)",
+            f"final corruption: {self.final_corruption} byte(s)"
+            + (" — overwritten (architecturally masked)" if self.was_overwritten else ""),
+        ]
+        return "\n".join(lines)
+
+
+def compare_traces(
+    golden: list[MemorySnapshot], faulty: list[MemorySnapshot]
+) -> PropagationTrace:
+    """Diff two memory traces launch-by-launch."""
+    trace = PropagationTrace()
+    for index in range(min(len(golden), len(faulty))):
+        reference = golden[index]
+        observed = faulty[index]
+        corrupt_bytes = 0
+        corrupt_regions = 0
+        for start, payload in reference.regions.items():
+            other = observed.regions.get(start)
+            if other is None or len(other) != len(payload):
+                corrupt_regions += 1
+                corrupt_bytes += len(payload)
+                continue
+            diff = int(
+                np.count_nonzero(
+                    np.frombuffer(payload, np.uint8)
+                    != np.frombuffer(other, np.uint8)
+                )
+            )
+            if diff:
+                corrupt_regions += 1
+                corrupt_bytes += diff
+        trace.points.append(
+            PropagationPoint(
+                launch_index=index,
+                kernel_name=observed.kernel_name,
+                corrupt_bytes=corrupt_bytes,
+                corrupt_regions=corrupt_regions,
+            )
+        )
+    return trace
+
+
+def trace_propagation(
+    app: Application,
+    injector: NVBitTool,
+    config: SandboxConfig | None = None,
+) -> PropagationTrace:
+    """Convenience: golden trace + faulty trace + diff in one call.
+
+    Both runs must be deterministic (same seed/config), which the sandbox
+    guarantees for registry workloads.
+    """
+    golden_tracer = MemoryTraceTool()
+    run_app(app, preload=[golden_tracer], config=config)
+    faulty_tracer = MemoryTraceTool()
+    run_app(app, preload=[injector, faulty_tracer], config=config)
+    return compare_traces(golden_tracer.snapshots, faulty_tracer.snapshots)

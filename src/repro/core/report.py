@@ -1,0 +1,99 @@
+"""Campaign statistics: outcome fractions and binomial confidence intervals.
+
+The paper (§IV-B, citing [24], [25]) notes that 100 injections give 90%
+confidence with ±8% error margins and 1000 injections give 95% with ±3%;
+:func:`confidence_interval` reproduces those margins (normal approximation
+at worst-case p = 0.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.outcomes import Outcome, OutcomeRecord
+
+# Two-sided z values.
+_Z = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_value(confidence: float) -> float:
+    try:
+        return _Z[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(
+            f"unsupported confidence level {confidence}; choose from {sorted(_Z)}"
+        ) from None
+
+
+def confidence_interval(
+    p_hat: float, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation binomial CI for an outcome fraction."""
+    if n <= 0:
+        raise ValueError("sample size must be positive")
+    if not 0.0 <= p_hat <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    margin = z_value(confidence) * math.sqrt(p_hat * (1.0 - p_hat) / n)
+    return max(0.0, p_hat - margin), min(1.0, p_hat + margin)
+
+
+def error_margin(n: int, confidence: float = 0.90, p_hat: float = 0.5) -> float:
+    """Worst-case half-width of the CI (the paper's ±8% / ±3% numbers)."""
+    if n <= 0:
+        raise ValueError("sample size must be positive")
+    return z_value(confidence) * math.sqrt(p_hat * (1.0 - p_hat) / n)
+
+
+@dataclass
+class OutcomeTally:
+    """Aggregated outcome counts, optionally weighted."""
+
+    counts: dict[Outcome, float] = field(
+        default_factory=lambda: {o: 0.0 for o in Outcome}
+    )
+    potential_due: float = 0.0
+    total: float = 0.0
+
+    def add(self, record: OutcomeRecord, weight: float = 1.0) -> None:
+        self.counts[record.outcome] += weight
+        if record.potential_due:
+            self.potential_due += weight
+        self.total += weight
+
+    def fraction(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts[outcome] / self.total
+
+    def fractions(self) -> dict[str, float]:
+        return {outcome.value: self.fraction(outcome) for outcome in Outcome}
+
+    def potential_due_fraction(self) -> float:
+        return self.potential_due / self.total if self.total else 0.0
+
+    def merge(self, other: "OutcomeTally") -> "OutcomeTally":
+        merged = OutcomeTally()
+        for outcome in Outcome:
+            merged.counts[outcome] = self.counts[outcome] + other.counts[outcome]
+        merged.potential_due = self.potential_due + other.potential_due
+        merged.total = self.total + other.total
+        return merged
+
+    def report(self, confidence: float = 0.90, samples: int | None = None) -> str:
+        """One-line report with confidence intervals."""
+        n = int(samples if samples is not None else self.total)
+        parts = []
+        for outcome in Outcome:
+            frac = self.fraction(outcome)
+            if n > 0:
+                low, high = confidence_interval(frac, n, confidence)
+                parts.append(
+                    f"{outcome.value}={frac * 100:.1f}% "
+                    f"[{low * 100:.1f}, {high * 100:.1f}]"
+                )
+            else:
+                parts.append(f"{outcome.value}={frac * 100:.1f}%")
+        if self.potential_due:
+            parts.append(f"potentialDUE={self.potential_due_fraction() * 100:.1f}%")
+        return "  ".join(parts)

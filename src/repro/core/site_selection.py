@@ -1,0 +1,91 @@
+"""Fault-site selection (Figure 1, step 2).
+
+A transient site is one dynamic instruction drawn uniformly from the
+profiled population of the chosen instruction group: pick ``n`` in
+``[0, N)`` where ``N`` is the group's total dynamic instruction count, then
+translate ``n`` into the ``<kernel_name, kernel_count, instruction_count>``
+tuple the injector consumes.  The destination-register and bit-pattern
+selectors are independent uniforms in [0, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup, require_injectable
+from repro.core.params import PermanentParams, TransientParams
+from repro.core.profile_data import ProgramProfile
+from repro.errors import ProfileError
+from repro.sass.isa import WARP_SIZE, opcode_info
+
+
+def select_transient_site(
+    profile: ProgramProfile,
+    group: InstructionGroup,
+    model: BitFlipModel,
+    rng: np.random.Generator,
+) -> TransientParams:
+    """Draw one uniform transient fault site from a profile."""
+    require_injectable(group)
+    total = profile.total_count(group)
+    if total == 0:
+        raise ProfileError(
+            f"profile contains no {group.name} instructions to inject"
+        )
+    index = int(rng.integers(total))
+    remaining = index
+    for kernel_profile in profile.kernels:
+        group_count = kernel_profile.group_count(group)
+        if remaining < group_count:
+            return TransientParams(
+                group=group,
+                model=model,
+                kernel_name=kernel_profile.kernel_name,
+                kernel_count=kernel_profile.invocation,
+                instruction_count=remaining,
+                dest_reg_selector=float(rng.random()),
+                bit_pattern_value=float(rng.random()),
+            )
+        remaining -= group_count
+    raise ProfileError("site index walked past the end of the profile")
+
+
+def select_transient_sites(
+    profile: ProgramProfile,
+    group: InstructionGroup,
+    model: BitFlipModel,
+    count: int,
+    rng: np.random.Generator,
+) -> list[TransientParams]:
+    """Draw ``count`` independent uniform sites."""
+    return [select_transient_site(profile, group, model, rng) for _ in range(count)]
+
+
+def select_permanent_sites(
+    profile: ProgramProfile,
+    rng: np.random.Generator,
+    sm_ids: list[int] | None = None,
+    opcodes: list[str] | None = None,
+) -> list[PermanentParams]:
+    """One permanent site per executed opcode (paper §IV-B).
+
+    Unused opcodes are pruned via the profile; the SM, lane and single-bit
+    XOR mask are drawn uniformly per site.
+    """
+    names = opcodes if opcodes is not None else sorted(profile.executed_opcodes())
+    if not names:
+        raise ProfileError("profile contains no executed opcodes")
+    sites = []
+    for name in names:
+        info = opcode_info(name)
+        sm_id = int(rng.choice(sm_ids)) if sm_ids else int(rng.integers(0, 16))
+        sites.append(
+            PermanentParams(
+                sm_id=sm_id,
+                lane_id=int(rng.integers(WARP_SIZE)),
+                bit_mask=1 << int(rng.integers(32)),
+                opcode_id=info.opcode_id,
+            )
+        )
+    return sites

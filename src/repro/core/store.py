@@ -1,0 +1,209 @@
+"""Campaign persistence: the on-disk layout of a fault-injection study.
+
+Mirrors the real package's campaign directory (``logs/``, golden outputs,
+one parameter file + one outcome record per injection) so a campaign can
+be stopped, resumed, audited or re-analysed later:
+
+    <campaign_dir>/
+      golden/stdout.txt           the fault-free reference
+      golden/files/<name>         golden output files
+      profile.txt                 the instruction profile
+      injections/run_00042/
+        params.txt                the 7-line Table II parameter file
+        record.txt                what the injector actually did
+        outcome.txt               the Table V classification
+      results.csv                 one row per completed injection
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.core.campaign import TransientCampaignResult, TransientResult
+from repro.core.outcomes import Outcome, OutcomeRecord
+from repro.core.params import TransientParams
+from repro.core.profile_data import ProgramProfile
+from repro.core.report import OutcomeTally
+from repro.errors import ReproError
+from repro.runner.artifacts import RunArtifacts
+
+
+class CampaignStore:
+    """Reads and writes one campaign directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- golden ------------------------------------------------------------
+
+    def save_golden(self, golden: RunArtifacts) -> None:
+        golden_dir = self.root / "golden"
+        (golden_dir / "files").mkdir(parents=True, exist_ok=True)
+        (golden_dir / "stdout.txt").write_text(golden.stdout)
+        for name, payload in golden.files.items():
+            (golden_dir / "files" / name).write_bytes(payload)
+
+    def load_golden(self) -> RunArtifacts:
+        golden_dir = self.root / "golden"
+        if not golden_dir.exists():
+            raise ReproError(f"no golden run stored under {self.root}")
+        files = {
+            path.name: path.read_bytes()
+            for path in sorted((golden_dir / "files").iterdir())
+        }
+        return RunArtifacts(
+            stdout=(golden_dir / "stdout.txt").read_text(), files=files
+        )
+
+    # -- profile -------------------------------------------------------------
+
+    def save_profile(self, profile: ProgramProfile) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "profile.txt").write_text(profile.to_text())
+
+    def load_profile(self) -> ProgramProfile:
+        path = self.root / "profile.txt"
+        if not path.exists():
+            raise ReproError(f"no profile stored under {self.root}")
+        return ProgramProfile.from_text(path.read_text())
+
+    # -- injections -------------------------------------------------------------
+
+    def save_injection(self, index: int, result: TransientResult) -> None:
+        run_dir = self.root / "injections" / f"run_{index:05d}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / "params.txt").write_text(result.params.to_text())
+        (run_dir / "record.txt").write_text(result.record.describe() + "\n")
+        (run_dir / "outcome.txt").write_text(
+            f"{result.outcome.outcome.value}\n{result.outcome.symptom}\n"
+            f"potential_due={result.outcome.potential_due}\n"
+            f"wall_time={result.wall_time!r}\n"
+        )
+
+    def completed_injections(self) -> list[int]:
+        injections_dir = self.root / "injections"
+        if not injections_dir.exists():
+            return []
+        indices = []
+        for run_dir in sorted(injections_dir.iterdir()):
+            if (run_dir / "outcome.txt").exists():
+                indices.append(int(run_dir.name.split("_")[1]))
+        return indices
+
+    def load_injection(self, index: int) -> TransientResult:
+        run_dir = self.root / "injections" / f"run_{index:05d}"
+        if not run_dir.exists():
+            raise ReproError(f"injection {index} not stored under {self.root}")
+        params = TransientParams.from_text((run_dir / "params.txt").read_text())
+        lines = (run_dir / "outcome.txt").read_text().splitlines()
+        outcome = OutcomeRecord(
+            outcome=Outcome(lines[0]),
+            symptom=lines[1],
+            potential_due=lines[2] == "potential_due=True",
+        )
+        wall_time = float(lines[3].split("=", 1)[1])
+        from repro.core.injector import InjectionRecord
+
+        record_text = (run_dir / "record.txt").read_text().strip()
+        record = InjectionRecord(injected=record_text.startswith("injected"))
+        result = TransientResult(params, record, outcome, wall_time)
+        return result
+
+    # -- aggregate results ----------------------------------------------------------
+
+    def save_results_csv(self, result: TransientCampaignResult) -> None:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["index", "kernel", "kernel_count", "instruction_count",
+             "group", "model", "outcome", "symptom", "potential_due",
+             "injected", "wall_time_s"]
+        )
+        for index, item in enumerate(result.results):
+            writer.writerow([
+                index,
+                item.params.kernel_name,
+                item.params.kernel_count,
+                item.params.instruction_count,
+                item.params.group.name,
+                item.params.model.name,
+                item.outcome.outcome.value,
+                item.outcome.symptom,
+                item.outcome.potential_due,
+                item.record.injected,
+                f"{item.wall_time:.4f}",
+            ])
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "results.csv").write_text(buffer.getvalue())
+
+    def load_tally(self) -> OutcomeTally:
+        """Rebuild the outcome tally from stored per-injection records."""
+        tally = OutcomeTally()
+        for index in self.completed_injections():
+            tally.add(self.load_injection(index).outcome)
+        return tally
+
+    def save_campaign(
+        self,
+        golden: RunArtifacts,
+        profile: ProgramProfile,
+        result: TransientCampaignResult,
+    ) -> None:
+        """Persist everything in one call."""
+        self.save_golden(golden)
+        self.save_profile(profile)
+        for index, item in enumerate(result.results):
+            self.save_injection(index, item)
+        self.save_results_csv(result)
+
+
+def run_resumable_campaign(
+    campaign, store: CampaignStore
+) -> TransientCampaignResult:
+    """Run (or resume) a transient campaign against a study directory.
+
+    Completed injections found in the store are loaded instead of re-run —
+    a crashed or interrupted campaign continues where it stopped, exactly
+    like restarting the real package's ``run_injections.py`` over an
+    existing ``logs/`` tree.  Site selection is deterministic from the
+    campaign seed, so stored and fresh runs line up index-for-index.
+    """
+    import statistics
+
+    golden = campaign.run_golden()
+    profile = campaign.run_profile()
+    store.save_golden(golden)
+    store.save_profile(profile)
+
+    sites = campaign.select_sites()
+    completed = set(store.completed_injections())
+    tally = OutcomeTally()
+    results: list[TransientResult] = []
+    for index, site in enumerate(sites):
+        if index in completed:
+            stored = store.load_injection(index)
+            if stored.params != site:
+                raise ReproError(
+                    f"stored injection {index} was produced by different "
+                    "campaign parameters; use a fresh study directory"
+                )
+            item = stored
+        else:
+            item = campaign.run_transient([site]).results[0]
+            store.save_injection(index, item)
+        tally.add(item.outcome)
+        results.append(item)
+
+    result = TransientCampaignResult(
+        results=results,
+        tally=tally,
+        golden_time=campaign.golden_time,
+        profile_time=campaign.profile_time,
+        median_injection_time=(
+            statistics.median(r.wall_time for r in results) if results else 0.0
+        ),
+    )
+    store.save_results_csv(result)
+    return result

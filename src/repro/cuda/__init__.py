@@ -1,0 +1,24 @@
+"""Miniature CUDA driver + runtime over the GPU simulator."""
+
+from repro.cuda.driver import (
+    CudaDriver,
+    CudaEvent,
+    CudaFunction,
+    CudaModule,
+    LaunchParams,
+)
+from repro.cuda.errorcodes import CudaError
+from repro.cuda.module_loader import LibraryRegistry
+from repro.cuda.runtime import CudaRuntime, DeviceArray
+
+__all__ = [
+    "CudaDriver",
+    "CudaEvent",
+    "CudaFunction",
+    "CudaModule",
+    "LaunchParams",
+    "CudaError",
+    "CudaRuntime",
+    "DeviceArray",
+    "LibraryRegistry",
+]

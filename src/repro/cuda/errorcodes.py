@@ -1,0 +1,25 @@
+"""CUDA error codes (the subset the failure model needs)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CudaError(enum.IntEnum):
+    """Mirrors the relevant ``cudaError_t`` values."""
+
+    SUCCESS = 0
+    ERROR_INVALID_VALUE = 1
+    ERROR_OUT_OF_MEMORY = 2
+    ERROR_INVALID_CONFIGURATION = 9
+    ERROR_INVALID_PTX = 218
+    ERROR_MISALIGNED_ADDRESS = 716
+    ERROR_ILLEGAL_ADDRESS = 700
+    ERROR_ILLEGAL_INSTRUCTION = 715
+    ERROR_LAUNCH_FAILED = 719
+    ERROR_LAUNCH_TIMEOUT = 702
+    ERROR_NOT_FOUND = 500
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not CudaError.SUCCESS

@@ -1,0 +1,43 @@
+"""Registry of dynamically loadable GPU 'shared libraries'.
+
+The paper's headline usability claim is that NVBitFI instruments kernels
+inside dynamically loaded libraries whose source is unavailable.  We model
+libraries as named module images (SASS text or binary cubin blobs) that a
+host program loads *at runtime* through :meth:`CudaRuntime.load_library` —
+the NVBit layer sees them only when the MODULE_LOAD event fires, exactly
+like a real ``dlopen``'d ``libcudnn``.
+"""
+
+from __future__ import annotations
+
+
+class LibraryRegistry:
+    """Per-runtime view over the process-wide library search path."""
+
+    _global: dict[str, str | bytes] = {}
+
+    def __init__(self) -> None:
+        self._local: dict[str, str | bytes] = {}
+
+    @classmethod
+    def register_global(cls, name: str, image: str | bytes) -> None:
+        """Install a library visible to every runtime (ld.so.conf analogue)."""
+        cls._global[name] = image
+
+    @classmethod
+    def clear_global(cls) -> None:
+        cls._global.clear()
+
+    def register(self, name: str, image: str | bytes) -> None:
+        """Install a library visible only to this runtime."""
+        self._local[name] = image
+
+    def get(self, name: str) -> str | bytes:
+        if name in self._local:
+            return self._local[name]
+        if name in self._global:
+            return self._global[name]
+        raise KeyError(
+            f"library {name!r} not found; registered: "
+            f"{sorted(set(self._local) | set(self._global))}"
+        )

@@ -1,0 +1,119 @@
+"""CUDA-runtime-style convenience layer used by host programs (workloads).
+
+Wraps the driver with numpy-friendly memory transfers and a ``launch`` that
+converts Python ints/floats into the 32-bit kernel parameter words, roughly
+what the ``<<<grid, block>>>`` syntax plus ``cudaMemcpy`` give a CUDA C
+programmer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.driver import CudaDriver, CudaFunction, CudaModule
+from repro.cuda.errorcodes import CudaError
+from repro.cuda.module_loader import LibraryRegistry
+from repro.gpusim.device import Device
+from repro.utils.bits import f32_to_bits
+
+
+class DeviceArray:
+    """A device allocation with shape/dtype bookkeeping."""
+
+    def __init__(self, runtime: "CudaRuntime", address: int, shape, dtype) -> None:
+        self.runtime = runtime
+        self.address = address
+        self.shape = tuple(shape) if not isinstance(shape, int) else (shape,)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * self.dtype.itemsize
+
+    def to_host(self) -> np.ndarray:
+        raw = self.runtime.driver.cuMemcpyDtoH(self.address, self.nbytes)
+        return np.frombuffer(raw, dtype=self.dtype).reshape(self.shape).copy()
+
+    def from_host(self, array: np.ndarray) -> None:
+        array = np.ascontiguousarray(array, dtype=self.dtype)
+        if array.size != int(np.prod(self.shape)):
+            raise ValueError(
+                f"host array has {array.size} elements, device array "
+                f"{int(np.prod(self.shape))}"
+            )
+        self.runtime.driver.cuMemcpyHtoD(self.address, array.tobytes())
+
+    def free(self) -> None:
+        self.runtime.driver.cuMemFree(self.address)
+
+
+class CudaRuntime:
+    """The host-side API workloads program against."""
+
+    def __init__(self, device: Device | None = None, interceptor=None) -> None:
+        self.device = device if device is not None else Device()
+        self.driver = CudaDriver(self.device, interceptor=interceptor)
+        self.libraries = LibraryRegistry()
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloc(self, shape, dtype=np.float32) -> DeviceArray:
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape if not isinstance(shape, int) else (shape,))) * dtype.itemsize
+        address = self.driver.cuMemAlloc(nbytes)
+        return DeviceArray(self, address, shape, dtype)
+
+    def to_device(self, array: np.ndarray) -> DeviceArray:
+        device_array = self.alloc(array.shape, array.dtype)
+        device_array.from_host(array)
+        return device_array
+
+    # -- modules ---------------------------------------------------------------
+
+    def load_module(self, image: str | bytes, name: str = "<module>") -> CudaModule:
+        return self.driver.cuModuleLoadData(image, name=name)
+
+    def load_library(self, name: str) -> CudaModule:
+        """Load a registered 'shared library' module at runtime (dlopen analogue)."""
+        image = self.libraries.get(name)
+        return self.driver.cuModuleLoadData(image, name=name, is_library=True)
+
+    def get_function(self, module: CudaModule, name: str) -> CudaFunction:
+        return self.driver.cuModuleGetFunction(module, name)
+
+    # -- launches ---------------------------------------------------------------
+
+    def launch(
+        self,
+        func: CudaFunction,
+        grid,
+        block,
+        *args,
+        shared_bytes: int = 0,
+    ) -> CudaError:
+        """Launch with automatic argument conversion.
+
+        ints and :class:`DeviceArray` handles become 32-bit words; Python
+        floats become FP32 bit patterns.
+        """
+        words: list[int] = []
+        for arg in args:
+            if isinstance(arg, DeviceArray):
+                words.append(arg.address)
+            elif isinstance(arg, (bool, np.bool_)):
+                words.append(int(arg))
+            elif isinstance(arg, (int, np.integer)):
+                words.append(int(arg) & 0xFFFFFFFF)
+            elif isinstance(arg, (float, np.floating)):
+                words.append(f32_to_bits(float(arg)))
+            else:
+                raise TypeError(f"unsupported kernel argument {arg!r}")
+        return self.driver.cuLaunchKernel(
+            func, grid, block, words, shared_bytes=shared_bytes
+        )
+
+    def synchronize(self) -> CudaError:
+        return self.driver.cuCtxSynchronize()
+
+    def last_error(self) -> CudaError:
+        return self.driver.cuGetLastError()

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Two distinct families exist on purpose:
+
+* ``ReproError`` subclasses signal misuse of the library itself (bad
+  assembly, invalid parameters, out-of-memory on the simulated device, ...).
+  They propagate to the caller like any Python error.
+* ``DeviceException`` subclasses model *GPU-side* anomalies (illegal
+  address, trap, watchdog timeout).  The CUDA layer converts them into
+  sticky CUDA error codes — mirroring real GPUs, where a kernel fault is
+  non-fatal to the host process unless the host checks for it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-usage errors."""
+
+
+class AssemblyError(ReproError):
+    """Malformed SASS assembly text."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be encoded into, or decoded from, binary form."""
+
+
+class LaunchError(ReproError):
+    """Invalid kernel launch configuration."""
+
+
+class AllocationError(ReproError):
+    """Simulated device memory exhausted or invalid free."""
+
+
+class ParamError(ReproError):
+    """Invalid fault-injection parameters (Tables II/III)."""
+
+
+class ProfileError(ReproError):
+    """Malformed or inconsistent instruction profile."""
+
+
+class RegisterAllocationError(ReproError):
+    """Kernel builder ran out of physical registers."""
+
+
+class DeviceException(Exception):
+    """Base class for GPU-side anomalies raised during kernel execution."""
+
+
+class MemoryViolation(DeviceException):
+    """Out-of-bounds or misaligned access detected by the simulated MMU."""
+
+    def __init__(self, address: int, width: int, space: str, reason: str) -> None:
+        super().__init__(
+            f"{reason} {space} access of width {width} at 0x{address:x}"
+        )
+        self.address = address
+        self.width = width
+        self.space = space
+        self.reason = reason
+
+
+class DeviceTrap(DeviceException):
+    """A trap instruction (BPT) or unimplementable opcode was executed."""
+
+
+class WatchdogTimeout(DeviceException):
+    """The device instruction budget was exhausted (hang detection)."""
+
+    def __init__(self, executed: int, budget: int) -> None:
+        super().__init__(
+            f"watchdog: {executed} warp-instructions executed, budget {budget}"
+        )
+        self.executed = executed
+        self.budget = budget

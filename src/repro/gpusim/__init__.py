@@ -1,0 +1,17 @@
+"""Functional SIMT GPU simulator: devices, SMs, warps, instruction semantics."""
+
+from repro.gpusim.context import ExecContext, InstrSite
+from repro.gpusim.device import DEFAULT_INSTRUCTION_BUDGET, Device
+from repro.gpusim.sm import SM, Hooks
+from repro.gpusim.warp import StackEntry, Warp
+
+__all__ = [
+    "Device",
+    "DEFAULT_INSTRUCTION_BUDGET",
+    "SM",
+    "Hooks",
+    "Warp",
+    "StackEntry",
+    "ExecContext",
+    "InstrSite",
+]

@@ -1,0 +1,170 @@
+"""The simulated GPU device: SMs, memory, watchdog, and the dmesg (Xid) log.
+
+Kernel-side anomalies follow the real CUDA failure model the paper leans on
+(§IV-A): a :class:`~repro.errors.MemoryViolation` or
+:class:`~repro.errors.DeviceTrap` terminates the *current kernel* early,
+records an Xid entry in ``dmesg`` and leaves the rest of the process alive;
+the CUDA driver layer converts it into a sticky error the host may or may
+not check.  A :class:`~repro.errors.WatchdogTimeout` models a hang and
+propagates to the sandbox monitor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.families import ArchFamily, arch_by_name
+from repro.errors import DeviceException, LaunchError, WatchdogTimeout
+from repro.gpusim.context import ExecContext
+from repro.gpusim.sm import SM, Hooks
+from repro.mem.memory import ConstantBank, GlobalMemory, SharedMemory
+from repro.sass.program import Kernel
+
+Dim3 = tuple[int, int, int]
+
+DEFAULT_INSTRUCTION_BUDGET = 20_000_000
+
+# Simulated-time model for instrumentation (see DESIGN.md):
+# an uninstrumented warp-instruction costs 1 cycle; every instrumentation
+# callback costs a fixed trampoline entry plus one cycle per executing
+# thread (NVBit saves/restores state and the injected device function runs
+# per thread); JIT-recompiling an instrumented kernel costs a one-time fee.
+INSTRUMENTATION_FIXED_CYCLES = 5
+INSTRUMENTATION_PER_THREAD_CYCLES = 1
+JIT_COMPILE_CYCLES = 5_000
+
+
+def _as_dim3(value) -> Dim3:
+    if isinstance(value, int):
+        return (value, 1, 1)
+    dims = tuple(int(v) for v in value)
+    if len(dims) == 1:
+        return (dims[0], 1, 1)
+    if len(dims) == 2:
+        return (dims[0], dims[1], 1)
+    if len(dims) == 3:
+        return dims  # type: ignore[return-value]
+    raise LaunchError(f"dimension {value!r} must have 1..3 components")
+
+
+class Device:
+    """One simulated GPU."""
+
+    def __init__(
+        self,
+        family: str | ArchFamily = "volta",
+        global_mem_bytes: int = 64 * 1024 * 1024,
+        num_sms: int | None = None,
+        instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET,
+    ) -> None:
+        self.arch = family if isinstance(family, ArchFamily) else arch_by_name(family)
+        self.num_sms = num_sms if num_sms is not None else self.arch.num_sms
+        self.global_mem = GlobalMemory(global_mem_bytes)
+        self.sms = [SM(sm_id, self) for sm_id in range(self.num_sms)]
+        self.dmesg: list[str] = []
+        self.instructions_executed = 0
+        self.instruction_budget = instruction_budget
+        self.launch_count = 0
+        self.active_sms: set[int] = set()
+        self.cycles = 0  # simulated GPU time (includes instrumentation cost)
+
+    # -- watchdog ----------------------------------------------------------
+
+    def tick(self) -> None:
+        self.instructions_executed += 1
+        self.cycles += 1
+        if self.instructions_executed > self.instruction_budget:
+            self.log_xid(8, "GPU watchdog: kernel execution budget exhausted")
+            raise WatchdogTimeout(self.instructions_executed, self.instruction_budget)
+
+    def charge_instrumentation(self, executed_threads: int) -> None:
+        """Simulated cost of one instrumentation callback invocation."""
+        self.cycles += (
+            INSTRUMENTATION_FIXED_CYCLES
+            + INSTRUMENTATION_PER_THREAD_CYCLES * executed_threads
+        )
+
+    def charge_jit_compile(self) -> None:
+        """Simulated cost of JIT-building an instrumented kernel clone."""
+        self.cycles += JIT_COMPILE_CYCLES
+
+    def log_xid(self, xid: int, message: str) -> None:
+        """Record an Xid-style driver event (the dmesg analogue)."""
+        self.dmesg.append(f"NVRM: Xid {xid}: {message}")
+
+    # -- launches ------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Kernel,
+        grid,
+        block,
+        params: list[int] | None = None,
+        shared_bytes: int = 0,
+        hooks: Hooks | None = None,
+    ) -> None:
+        """Run a kernel to completion (raises DeviceException on GPU faults)."""
+        grid3 = _as_dim3(grid)
+        block3 = _as_dim3(block)
+        threads_per_block = block3[0] * block3[1] * block3[2]
+        if threads_per_block <= 0 or min(grid3) <= 0:
+            raise LaunchError(f"empty launch: grid={grid3} block={block3}")
+        if threads_per_block > self.arch.max_threads_per_block:
+            raise LaunchError(
+                f"{threads_per_block} threads/block exceeds the limit of "
+                f"{self.arch.max_threads_per_block}"
+            )
+        params = list(params or [])
+        if len(params) < kernel.num_params:
+            raise LaunchError(
+                f"kernel {kernel.name!r} expects {kernel.num_params} params, "
+                f"got {len(params)}"
+            )
+        const = ConstantBank()
+        const.write_params(params)
+        total_shared = kernel.shared_bytes + shared_bytes
+        if total_shared > self.arch.shared_mem_per_block:
+            raise LaunchError(
+                f"shared memory {total_shared} exceeds per-block limit"
+            )
+        grid_id = self.launch_count
+        self.launch_count += 1
+
+        num_blocks = grid3[0] * grid3[1] * grid3[2]
+        with np.errstate(all="ignore"):
+            for block_id in range(num_blocks):
+                ctaid = (
+                    block_id % grid3[0],
+                    block_id // grid3[0] % grid3[1],
+                    block_id // (grid3[0] * grid3[1]),
+                )
+                sm = self.sms[block_id % self.num_sms]
+                self.active_sms.add(sm.sm_id)
+                ctx = ExecContext(
+                    global_mem=self.global_mem,
+                    shared=SharedMemory(total_shared),
+                    const=const,
+                    ctaid=ctaid,
+                    ntid=block3,
+                    nctaid=grid3,
+                    sm_id=sm.sm_id,
+                    grid_id=grid_id,
+                    clock=lambda: self.instructions_executed,
+                )
+                try:
+                    sm.run_block(kernel, ctx, hooks)
+                except WatchdogTimeout:
+                    raise
+                except DeviceException as exc:
+                    self.log_xid(
+                        13, f"Graphics Exception: {exc} (kernel {kernel.name})"
+                    )
+                    raise
+
+    # -- memory convenience (used by the CUDA runtime layer) -------------------
+
+    def malloc(self, nbytes: int) -> int:
+        return self.global_mem.alloc(nbytes)
+
+    def free(self, address: int) -> None:
+        self.global_mem.free(address)

@@ -1,0 +1,150 @@
+"""Streaming multiprocessor: block/warp scheduling and the fetch-execute loop.
+
+Scheduling is deterministic — blocks run in launch order on their assigned
+SM, warps within a block run round-robin with a fixed quantum — so a
+profiled ``<kernel, kernel_count, instruction_count>`` tuple always maps to
+the same dynamic instruction in the injection run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceTrap
+from repro.gpusim.context import ExecContext, InstrSite
+from repro.gpusim.exec_units import CONTROL_OPCODES, HANDLERS
+from repro.gpusim.warp import Warp
+from repro.sass.isa import WARP_SIZE
+from repro.sass.program import Kernel
+
+_QUANTUM = 64  # warp-instructions per scheduling slice
+
+Hooks = dict[int, tuple[list, list]]  # pc -> (before callbacks, after callbacks)
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(self, sm_id: int, device) -> None:
+        self.sm_id = sm_id
+        self.device = device
+
+    def run_block(
+        self,
+        kernel: Kernel,
+        ctx: ExecContext,
+        hooks: Hooks | None,
+    ) -> None:
+        """Execute one thread block to completion."""
+        warps = _build_warps(kernel, ctx)
+        instrs = kernel.instructions
+        while True:
+            progressed = False
+            for warp in warps:
+                if warp.done or warp.at_barrier:
+                    continue
+                self._run_slice(warp, instrs, hooks)
+                progressed = True
+            live = [w for w in warps if not w.done]
+            if not live:
+                return
+            if all(w.at_barrier for w in live):
+                for warp in live:
+                    warp.at_barrier = False
+                continue
+            if not progressed:
+                raise DeviceTrap(
+                    f"barrier deadlock in kernel {kernel.name!r} "
+                    f"(block {ctx.ctaid})"
+                )
+
+    def _run_slice(self, warp: Warp, instrs, hooks: Hooks | None) -> None:
+        device = self.device
+        for _ in range(_QUANTUM):
+            if warp.done or warp.at_barrier:
+                return
+            if warp.pc >= len(instrs):
+                raise DeviceTrap(
+                    f"warp {warp.warp_id} fell off the end of the kernel"
+                )
+            instr = instrs[warp.pc]
+            device.tick()
+            exec_mask = warp.guard_mask(instr.guard)
+            pc_hooks = hooks.get(warp.pc) if hooks is not None else None
+            site = None
+            if pc_hooks is not None:
+                site = InstrSite(warp, instr, exec_mask)
+                executed = site.num_executed
+                for callback in pc_hooks[0]:
+                    device.charge_instrumentation(executed)
+                    callback(site)
+            opcode = instr.opcode
+            if opcode in CONTROL_OPCODES:
+                self._control(warp, instr, exec_mask)
+            else:
+                if exec_mask.any():
+                    handler = HANDLERS.get(opcode)
+                    if handler is None:
+                        raise DeviceTrap(
+                            f"opcode {opcode} has no execution semantics"
+                        )
+                    handler(warp, instr, exec_mask)
+                warp.pc += 1
+            if pc_hooks is not None:
+                for callback in pc_hooks[1]:
+                    device.charge_instrumentation(executed)
+                    callback(site)
+
+    def _control(self, warp: Warp, instr, exec_mask: np.ndarray) -> None:
+        opcode = instr.opcode
+        if opcode == "BRA":
+            warp.branch(exec_mask, instr.branch_target)
+        elif opcode == "SSY":
+            warp.push_ssy(instr.branch_target)
+        elif opcode == "PBK":
+            warp.push_pbk(instr.branch_target)
+        elif opcode == "SYNC":
+            warp.sync()
+        elif opcode == "BRK":
+            warp.brk(exec_mask)
+        elif opcode == "EXIT":
+            warp.exit_lanes(exec_mask)
+        elif opcode == "BAR":
+            warp.at_barrier = True
+            warp.pc += 1
+        else:  # pragma: no cover - CONTROL_OPCODES is exhaustive
+            raise DeviceTrap(f"unhandled control opcode {opcode}")
+
+
+def _build_warps(kernel: Kernel, ctx: ExecContext) -> list[Warp]:
+    """Split a block's threads into warps with linearised thread ids."""
+    bx, by, bz = ctx.ntid
+    total = bx * by * bz
+    linear = np.arange(total, dtype=np.int64)
+    tid_x = (linear % bx).astype(np.uint32)
+    tid_y = (linear // bx % by).astype(np.uint32)
+    tid_z = (linear // (bx * by)).astype(np.uint32)
+    num_regs = kernel.num_regs
+    warps = []
+    for start in range(0, total, WARP_SIZE):
+        lanes = min(WARP_SIZE, total - start)
+        valid = np.zeros(WARP_SIZE, dtype=bool)
+        valid[:lanes] = True
+        pad = WARP_SIZE - lanes
+
+        def _slice(arr: np.ndarray) -> np.ndarray:
+            chunk = arr[start : start + lanes]
+            if pad:
+                chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint32)])
+            return chunk.astype(np.uint32)
+
+        warp = Warp(
+            warp_id=start // WARP_SIZE,
+            num_regs=num_regs,
+            valid_mask=valid,
+            tid=(_slice(tid_x), _slice(tid_y), _slice(tid_z)),
+            local_bytes=kernel.local_bytes,
+        )
+        warp.ctx = ctx
+        warps.append(warp)
+    return warps

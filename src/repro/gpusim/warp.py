@@ -1,0 +1,190 @@
+"""Warp state: registers, predicates, and the SIMT divergence stack.
+
+The divergence model is the classic pre-Volta stack machine:
+
+* ``SSY L`` pushes a reconvergence point for a potentially divergent branch;
+  both paths end by executing ``SYNC`` at (or branching to) ``L``.
+* a divergent ``@P BRA`` pushes the fall-through half as a ``DIV`` entry and
+  runs the taken half first;
+* ``PBK L`` / ``@P BRK`` implement loops with divergent exits: broken lanes
+  park in the ``PBK`` entry until the last lane leaves the loop.
+
+Lanes that ``EXIT`` are removed from every future mask via ``exited``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceTrap
+from repro.sass.isa import NUM_PREDICATES, WARP_SIZE
+from repro.sass.operands import Pred
+
+
+@dataclass
+class StackEntry:
+    """One SIMT stack entry; ``gather`` collects lanes waiting to resume."""
+
+    kind: str  # "SSY", "DIV" or "PBK"
+    target_pc: int
+    mask: np.ndarray  # lanes governed by / resuming at this entry
+    gather: np.ndarray = field(
+        default_factory=lambda: np.zeros(WARP_SIZE, dtype=bool)
+    )  # SSY: arrived lanes; PBK: broken lanes; DIV: unused
+
+
+class Warp:
+    """One 32-lane warp executing a kernel."""
+
+    def __init__(
+        self,
+        warp_id: int,
+        num_regs: int,
+        valid_mask: np.ndarray,
+        tid: tuple[np.ndarray, np.ndarray, np.ndarray],
+        local_bytes: int = 0,
+    ) -> None:
+        self.warp_id = warp_id
+        self.regs = np.zeros((max(num_regs, 1), WARP_SIZE), dtype=np.uint32)
+        self.preds = np.zeros((NUM_PREDICATES, WARP_SIZE), dtype=bool)
+        self.preds[7] = True  # PT
+        self.pc = 0
+        self.valid = valid_mask.copy()
+        self.active = valid_mask.copy()
+        self.exited = ~valid_mask
+        self.stack: list[StackEntry] = []
+        self.tid_x, self.tid_y, self.tid_z = tid
+        self.at_barrier = False
+        self.done = not self.active.any()
+        self.local = (
+            np.zeros((max(local_bytes // 4, 1), WARP_SIZE), dtype=np.uint32)
+            if local_bytes
+            else None
+        )
+        self.local_bytes = local_bytes
+
+    # -- register access (lane-scalar helpers used by the NVBit layer) -------
+
+    def read_reg_lane(self, reg: int, lane: int) -> int:
+        if reg == 255:
+            return 0
+        return int(self.regs[reg, lane])
+
+    def write_reg_lane(self, reg: int, lane: int, value: int) -> None:
+        if reg == 255:
+            return
+        self.regs[reg, lane] = np.uint32(value & 0xFFFFFFFF)
+
+    def read_pred_lane(self, pred: int, lane: int) -> bool:
+        if pred == 7:
+            return True
+        return bool(self.preds[pred, lane])
+
+    def write_pred_lane(self, pred: int, lane: int, value: bool) -> None:
+        if pred == 7:
+            return
+        self.preds[pred, lane] = bool(value)
+
+    # -- guard evaluation ------------------------------------------------------
+
+    def guard_mask(self, guard: Pred | None) -> np.ndarray:
+        """Lanes that actually execute the instruction (active AND guard)."""
+        if guard is None or guard.is_pt and not guard.negate:
+            return self.active.copy()
+        value = self.preds[guard.index]
+        if guard.negate:
+            value = ~value
+        return self.active & value
+
+    # -- control flow -----------------------------------------------------------
+
+    def branch(self, taken: np.ndarray, target_pc: int) -> None:
+        """Resolve a (possibly divergent) predicated branch."""
+        fallthrough = self.active & ~taken
+        if not taken.any():
+            self.pc += 1
+            return
+        if not fallthrough.any():
+            self.pc = target_pc
+            return
+        self.stack.append(StackEntry("DIV", self.pc + 1, fallthrough))
+        self.active = taken
+        self.pc = target_pc
+
+    def push_ssy(self, target_pc: int) -> None:
+        self.stack.append(StackEntry("SSY", target_pc, self.active.copy()))
+        self.pc += 1
+
+    def sync(self) -> None:
+        """Reconverge at the innermost SSY point."""
+        ssy = self._nearest("SSY")
+        ssy.gather |= self.active
+        top = self.stack[-1]
+        if top.kind == "DIV":
+            self.stack.pop()
+            self.pc = top.target_pc
+            self.active = top.mask & ~self.exited
+            if not self.active.any():
+                self._refill()
+        elif top is ssy:
+            self.stack.pop()
+            self.pc = ssy.target_pc
+            self.active = ssy.gather & ~self.exited
+            if not self.active.any():
+                self._refill()
+        else:
+            raise DeviceTrap(
+                f"SYNC at pc {self.pc}: unexpected {top.kind} on top of stack"
+            )
+
+    def push_pbk(self, target_pc: int) -> None:
+        self.stack.append(StackEntry("PBK", target_pc, self.active.copy()))
+        self.pc += 1
+
+    def brk(self, breaking: np.ndarray) -> None:
+        """Park ``breaking`` lanes at the innermost PBK target."""
+        pbk = self._nearest("PBK")
+        pbk.gather |= breaking
+        self.active = self.active & ~breaking
+        if self.active.any():
+            self.pc += 1
+        else:
+            self._refill()
+
+    def exit_lanes(self, exiting: np.ndarray) -> None:
+        self.exited |= exiting
+        self.active = self.active & ~exiting
+        if self.active.any():
+            # Some lanes were predicated off the EXIT; they continue.
+            self.pc += 1
+        else:
+            self._refill()
+
+    def _nearest(self, kind: str) -> StackEntry:
+        for entry in reversed(self.stack):
+            if entry.kind == kind:
+                return entry
+        raise DeviceTrap(f"no {kind} entry on SIMT stack at pc {self.pc}")
+
+    def _refill(self) -> None:
+        """Active mask drained: resume the next pending stack entry."""
+        while self.stack:
+            entry = self.stack.pop()
+            if entry.kind == "DIV":
+                mask = entry.mask & ~self.exited
+            elif entry.kind == "SSY":
+                mask = entry.gather & ~self.exited
+            else:  # PBK
+                mask = entry.gather & ~self.exited
+            if mask.any():
+                self.pc = entry.target_pc
+                self.active = mask
+                return
+        self.done = True
+        self.active = np.zeros(WARP_SIZE, dtype=bool)
+
+    @property
+    def live_lanes(self) -> np.ndarray:
+        return self.valid & ~self.exited

@@ -1,0 +1,6 @@
+"""Kernel builder: the compiler back-end substrate (virtual regs -> SASS)."""
+
+from repro.kbuild.builder import KernelBuilder, VReg
+from repro.kbuild.regalloc import Interval, allocate
+
+__all__ = ["KernelBuilder", "VReg", "Interval", "allocate"]

@@ -1,0 +1,606 @@
+"""KernelBuilder: a typed, virtual-register front-end that emits SASS.
+
+This plays the role of the compiler back-end in the real stack (CUDA C ->
+PTX -> SASS): workloads describe kernels with Python expressions and
+structured control flow; the builder performs linear-scan register
+allocation and emits assembler text for :func:`repro.sass.assemble`.
+
+Example::
+
+    kb = KernelBuilder("saxpy", num_params=4)
+    i = kb.global_tid_x()
+    with kb.if_then(kb.setp_lt_u32(i, kb.param(0))):
+        x = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+        y = kb.ldg_f32(kb.index(kb.param(2), i, 4))
+        kb.stg_f32(kb.index(kb.param(2), i, 4), kb.ffma(x, kb.param_f32(3), y))
+    kb.exit()
+    sass_text = kb.finish()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.kbuild.regalloc import Interval, allocate
+from repro.utils.bits import f32_to_bits, to_u32
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A typed virtual register."""
+
+    vid: int
+    kind: str  # "u32", "f32", "f64", "pred"
+
+    def __str__(self) -> str:
+        return f"%{self.kind}{self.vid}"
+
+
+@dataclass
+class _Op:
+    """One recorded instruction before register assignment."""
+
+    opcode: str  # full mnemonic with modifiers
+    dest: VReg | None
+    operands: list  # VReg | str (literal operand text) | _Mem | _PredSrc
+    guard: "_PredSrc | None" = None
+    label_before: str | None = None
+
+
+@dataclass(frozen=True)
+class _Mem:
+    base: VReg
+    offset: int
+    width: int  # 4 or 8
+
+
+@dataclass(frozen=True)
+class _PredSrc:
+    pred: VReg
+    negate: bool = False
+
+
+def _imm_u32(value: int) -> str:
+    return str(to_u32(int(value)) if value >= 0 else int(value))
+
+
+class _Block:
+    """Context manager for structured regions (if / loop)."""
+
+    def __init__(self, builder: "KernelBuilder", kind: str, **labels: str) -> None:
+        self.builder = builder
+        self.kind = kind
+        self.labels = labels
+        self.start_index = len(builder._ops)
+
+    def __enter__(self) -> "_Block":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.builder._close_block(self)
+
+    # loop-only API ---------------------------------------------------------
+
+    def break_if(self, pred: VReg, negate: bool = False) -> None:
+        if self.kind != "loop":
+            raise AssemblyError("break_if is only valid inside a loop block")
+        self.builder._emit("BRK", None, [], guard=_PredSrc(pred, negate))
+
+
+class KernelBuilder:
+    """Builds one kernel; see the module docstring for usage."""
+
+    def __init__(
+        self,
+        name: str,
+        num_params: int = 0,
+        shared_bytes: int = 0,
+        local_bytes: int = 0,
+        max_regs: int = 64,
+    ) -> None:
+        self.name = name
+        self.num_params = num_params
+        self.shared_bytes = shared_bytes
+        self.local_bytes = local_bytes
+        self.max_regs = max_regs
+        self._ops: list[_Op] = []
+        self._next_vid = 0
+        self._next_label = 0
+        self._pending_label: str | None = None
+        self._loop_spans: list[tuple[int, int]] = []
+        self._else_stack: list[dict] = []
+
+    # -- virtual registers ---------------------------------------------------
+
+    def _new(self, kind: str) -> VReg:
+        vreg = VReg(self._next_vid, kind)
+        self._next_vid += 1
+        return vreg
+
+    def _label(self, hint: str) -> str:
+        self._next_label += 1
+        return f".L{hint}_{self._next_label}"
+
+    def _emit(
+        self,
+        opcode: str,
+        dest: VReg | None,
+        operands: list,
+        guard: _PredSrc | None = None,
+    ) -> VReg | None:
+        op = _Op(opcode, dest, list(operands), guard, self._pending_label)
+        self._pending_label = None
+        self._ops.append(op)
+        return dest
+
+    def _place_label(self, label: str) -> None:
+        if self._pending_label is not None:
+            # Two labels on the same spot: alias by emitting a NOP.
+            self._emit("NOP", None, [])
+        self._pending_label = label
+
+    # -- parameters, constants, specials ----------------------------------------
+
+    def param(self, index: int) -> VReg:
+        """Kernel parameter ``index`` as a u32 (pointers and ints)."""
+        dest = self._new("u32")
+        return self._emit("MOV", dest, [f"c[0x0][0x{4 * index:x}]"])
+
+    def param_f32(self, index: int) -> VReg:
+        dest = self._new("f32")
+        return self._emit("MOV", dest, [f"c[0x0][0x{4 * index:x}]"])
+
+    def const_u32(self, value: int) -> VReg:
+        dest = self._new("u32")
+        return self._emit("MOV32I", dest, [_imm_u32(value)])
+
+    def const_f32(self, value: float) -> VReg:
+        dest = self._new("f32")
+        return self._emit("MOV32I", dest, [f"0x{f32_to_bits(float(value)):x}"])
+
+    def special(self, name: str) -> VReg:
+        dest = self._new("u32")
+        return self._emit("S2R", dest, [name])
+
+    def tid_x(self) -> VReg:
+        return self.special("SR_TID.X")
+
+    def ctaid_x(self) -> VReg:
+        return self.special("SR_CTAID.X")
+
+    def ntid_x(self) -> VReg:
+        return self.special("SR_NTID.X")
+
+    def nctaid_x(self) -> VReg:
+        return self.special("SR_NCTAID.X")
+
+    def lane_id(self) -> VReg:
+        return self.special("SR_LANEID")
+
+    def sm_id(self) -> VReg:
+        return self.special("SR_SMID")
+
+    def global_tid_x(self) -> VReg:
+        """blockIdx.x * blockDim.x + threadIdx.x."""
+        return self.imad(self.ctaid_x(), self.ntid_x(), self.tid_x())
+
+    def grid_size_x(self) -> VReg:
+        """gridDim.x * blockDim.x (for grid-stride loops)."""
+        return self.imul(self.nctaid_x(), self.ntid_x())
+
+    # -- integer ops ----------------------------------------------------------------
+
+    def _u32_operand(self, value) -> object:
+        if isinstance(value, VReg):
+            return value
+        if isinstance(value, int):
+            return _imm_u32(value)
+        raise AssemblyError(f"cannot use {value!r} as an integer operand")
+
+    def _f32_operand(self, value) -> object:
+        if isinstance(value, VReg):
+            return value
+        if isinstance(value, (int, float)):
+            return f"0x{f32_to_bits(float(value)):x}"
+        raise AssemblyError(f"cannot use {value!r} as an FP32 operand")
+
+    def mov(self, src) -> VReg:
+        dest = self._new(src.kind if isinstance(src, VReg) else "u32")
+        return self._emit("MOV", dest, [self._u32_operand(src)])
+
+    def assign(self, dest: VReg, src) -> None:
+        """In-place update (loop-carried variables)."""
+        operand = (
+            self._f32_operand(src) if dest.kind == "f32" else self._u32_operand(src)
+        )
+        self._emit("MOV", dest, [operand])
+
+    def iadd(self, a, b) -> VReg:
+        return self._emit("IADD", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def iadd3(self, a, b, c) -> VReg:
+        return self._emit("IADD3", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b), self._u32_operand(c)])
+
+    def isub(self, a, b: VReg) -> VReg:
+        # Integer subtraction is IADD with a negated register operand.
+        return self._emit("IADD", self._new("u32"),
+                          [self._u32_operand(a), _Neg(b)])
+
+    def imul(self, a, b) -> VReg:
+        return self._emit("IMUL", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def imad(self, a, b, c) -> VReg:
+        return self._emit("IMAD", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b), self._u32_operand(c)])
+
+    def imnmx(self, a, b, maximum: bool = False) -> VReg:
+        opcode = "IMNMX.MAX" if maximum else "IMNMX.MIN"
+        return self._emit(opcode, self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def iscadd(self, index, base, shift: int) -> VReg:
+        """base + (index << shift) — the address-computation idiom."""
+        return self._emit("ISCADD", self._new("u32"),
+                          [self._u32_operand(index), self._u32_operand(base), str(shift)])
+
+    def index(self, base, index, elem_size: int) -> VReg:
+        """Device address of ``base[index]`` with ``elem_size`` in {4, 8}."""
+        shift = {4: 2, 8: 3}[elem_size]
+        return self.iscadd(index, base, shift)
+
+    def land(self, a, b) -> VReg:
+        return self._emit("LOP.AND", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def lor(self, a, b) -> VReg:
+        return self._emit("LOP.OR", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def lxor(self, a, b) -> VReg:
+        return self._emit("LOP.XOR", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def shl(self, a, b) -> VReg:
+        return self._emit("SHL", self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def shr(self, a, b, arithmetic: bool = False) -> VReg:
+        opcode = "SHR.S32" if arithmetic else "SHR.U32"
+        return self._emit(opcode, self._new("u32"),
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def popc(self, a) -> VReg:
+        return self._emit("POPC", self._new("u32"), [self._u32_operand(a)])
+
+    def sel(self, a, b, pred: VReg, negate: bool = False) -> VReg:
+        """``pred ? a : b`` without divergence (SEL)."""
+        kind = a.kind if isinstance(a, VReg) else (b.kind if isinstance(b, VReg) else "u32")
+        conv = self._f32_operand if kind == "f32" else self._u32_operand
+        return self._emit("SEL", self._new(kind),
+                          [conv(a), conv(b), _PredSrc(pred, negate)])
+
+    # -- FP32 ops ---------------------------------------------------------------------
+
+    def fadd(self, a, b) -> VReg:
+        return self._emit("FADD", self._new("f32"),
+                          [self._f32_operand(a), self._f32_operand(b)])
+
+    def fsub(self, a, b: VReg) -> VReg:
+        return self._emit("FADD", self._new("f32"), [self._f32_operand(a), _Neg(b)])
+
+    def fmul(self, a, b) -> VReg:
+        return self._emit("FMUL", self._new("f32"),
+                          [self._f32_operand(a), self._f32_operand(b)])
+
+    def ffma(self, a, b, c) -> VReg:
+        return self._emit("FFMA", self._new("f32"),
+                          [self._f32_operand(a), self._f32_operand(b), self._f32_operand(c)])
+
+    def fmnmx(self, a, b, maximum: bool = False) -> VReg:
+        opcode = "FMNMX.MAX" if maximum else "FMNMX.MIN"
+        return self._emit(opcode, self._new("f32"),
+                          [self._f32_operand(a), self._f32_operand(b)])
+
+    def fabs(self, a: VReg) -> VReg:
+        return self._emit("FADD", self._new("f32"), [_Abs(a), "0x0"])
+
+    def mufu(self, function: str, a) -> VReg:
+        if function.upper() not in ("RCP", "RSQ", "SQRT", "SIN", "COS", "EX2", "LG2"):
+            raise AssemblyError(f"unknown MUFU function {function!r}")
+        return self._emit(f"MUFU.{function.upper()}", self._new("f32"),
+                          [self._f32_operand(a)])
+
+    def i2f(self, a, unsigned: bool = False) -> VReg:
+        opcode = "I2F.U32" if unsigned else "I2F"
+        dest = self._new("f32")
+        return self._emit(opcode, dest, [self._u32_operand(a)])
+
+    def f2i(self, a, unsigned: bool = False) -> VReg:
+        opcode = "F2I.U32" if unsigned else "F2I"
+        dest = self._new("u32")
+        return self._emit(opcode, dest, [self._f32_operand(a)])
+
+    # -- FP64 ops -------------------------------------------------------------------------
+
+    def f2d(self, a) -> VReg:
+        dest = self._new("f64")
+        return self._emit("F2F.F64.F32", dest, [self._f32_operand(a)])
+
+    def d2f(self, a: VReg) -> VReg:
+        dest = self._new("f32")
+        return self._emit("F2F.F32.F64", dest, [a])
+
+    def dadd(self, a: VReg, b: VReg) -> VReg:
+        return self._emit("DADD", self._new("f64"), [a, b])
+
+    def dsub(self, a: VReg, b: VReg) -> VReg:
+        return self._emit("DADD", self._new("f64"), [a, _Neg(b)])
+
+    def dmul(self, a: VReg, b: VReg) -> VReg:
+        return self._emit("DMUL", self._new("f64"), [a, b])
+
+    def dfma(self, a: VReg, b: VReg, c: VReg) -> VReg:
+        return self._emit("DFMA", self._new("f64"), [a, b, c])
+
+    # -- comparisons ------------------------------------------------------------------------
+
+    def isetp(self, cmp: str, a, b, unsigned: bool = False) -> VReg:
+        suffix = f"{cmp.upper()}.U32" if unsigned else cmp.upper()
+        dest = self._new("pred")
+        return self._emit(f"ISETP.{suffix}", dest,
+                          [self._u32_operand(a), self._u32_operand(b)])
+
+    def fsetp(self, cmp: str, a, b) -> VReg:
+        dest = self._new("pred")
+        return self._emit(f"FSETP.{cmp.upper()}", dest,
+                          [self._f32_operand(a), self._f32_operand(b)])
+
+    def dsetp(self, cmp: str, a: VReg, b: VReg) -> VReg:
+        dest = self._new("pred")
+        return self._emit(f"DSETP.{cmp.upper()}", dest, [a, b])
+
+    def psetp(self, op: str, a: VReg, b: VReg) -> VReg:
+        """Combine two predicates with AND/OR/XOR."""
+        dest = self._new("pred")
+        return self._emit(
+            f"PSETP.{op.upper()}", dest, [_PredSrc(a, False), _PredSrc(b, False)]
+        )
+
+    def psetp_and(self, a: VReg, b: VReg) -> VReg:
+        return self.psetp("AND", a, b)
+
+    # -- memory ---------------------------------------------------------------------------------
+
+    def ldg(self, address: VReg, offset: int = 0, kind: str = "f32") -> VReg:
+        width = 8 if kind == "f64" else 4
+        opcode = "LDG.64" if width == 8 else "LDG.32"
+        dest = self._new(kind)
+        return self._emit(opcode, dest, [_Mem(address, offset, width)])
+
+    def ldg_f32(self, address: VReg, offset: int = 0) -> VReg:
+        return self.ldg(address, offset, "f32")
+
+    def ldg_u32(self, address: VReg, offset: int = 0) -> VReg:
+        return self.ldg(address, offset, "u32")
+
+    def ldg_f64(self, address: VReg, offset: int = 0) -> VReg:
+        return self.ldg(address, offset, "f64")
+
+    def stg(self, address: VReg, value: VReg, offset: int = 0) -> None:
+        opcode = "STG.64" if value.kind == "f64" else "STG.32"
+        width = 8 if value.kind == "f64" else 4
+        self._emit(opcode, None, [_Mem(address, offset, width), value])
+
+    def stg_f32(self, address: VReg, value, offset: int = 0) -> None:
+        if not isinstance(value, VReg):
+            value = self.const_f32(float(value))
+        self.stg(address, value, offset)
+
+    def lds(self, address: VReg, offset: int = 0, kind: str = "f32") -> VReg:
+        dest = self._new(kind)
+        opcode = "LDS.64" if kind == "f64" else "LDS.32"
+        return self._emit(opcode, dest, [_Mem(address, offset, 8 if kind == "f64" else 4)])
+
+    def sts(self, address: VReg, value: VReg, offset: int = 0) -> None:
+        opcode = "STS.64" if value.kind == "f64" else "STS.32"
+        self._emit(opcode, None, [_Mem(address, offset, 8 if value.kind == "f64" else 4), value])
+
+    def atom_add_f32(self, address: VReg, value: VReg) -> VReg:
+        dest = self._new("f32")
+        return self._emit("ATOMG.ADD.F32", dest, [_Mem(address, 0, 4), value])
+
+    def red_add_f32(self, address: VReg, value: VReg) -> None:
+        self._emit("RED.ADD.F32", None, [_Mem(address, 0, 4), value])
+
+    def red_add_u32(self, address: VReg, value: VReg) -> None:
+        self._emit("RED.ADD", None, [_Mem(address, 0, 4), value])
+
+    def shfl_down(self, value: VReg, delta: int) -> VReg:
+        dest = self._new(value.kind if value.kind != "f64" else "u32")
+        return self._emit("SHFL.DOWN", dest, [value, str(delta)])
+
+    def shfl_bfly(self, value: VReg, lane_mask: int) -> VReg:
+        dest = self._new(value.kind if value.kind != "f64" else "u32")
+        return self._emit("SHFL.BFLY", dest, [value, str(lane_mask)])
+
+    # -- control flow -----------------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._emit("BAR.SYNC", None, ["0"])
+
+    def exit(self) -> None:
+        self._emit("EXIT", None, [])
+
+    def exit_if(self, pred: VReg, negate: bool = False) -> None:
+        self._emit("EXIT", None, [], guard=_PredSrc(pred, negate))
+
+    def if_then(self, pred: VReg, negate: bool = False) -> _Block:
+        """``with kb.if_then(p): body`` — SSY / divergent BRA / SYNC."""
+        reconv = self._label("endif")
+        skip = self._label("skip")
+        self._emit("SSY", None, [reconv])
+        self._emit("BRA", None, [skip], guard=_PredSrc(pred, not negate))
+        return _Block(self, "if", reconv=reconv, skip=skip)
+
+    def loop(self) -> _Block:
+        """``with kb.loop() as l: ... l.break_if(p)`` — PBK / BRK / BRA."""
+        end = self._label("loopend")
+        head = self._label("loophead")
+        self._emit("PBK", None, [end])
+        block = _Block(self, "loop", end=end, head=head)
+        block.start_index = len(self._ops)
+        self._place_label(head)
+        return block
+
+    def _close_block(self, block: _Block) -> None:
+        if block.kind == "if":
+            self._place_label(block.labels["skip"])
+            self._emit("SYNC", None, [])
+            self._place_label(block.labels["reconv"])
+        elif block.kind == "loop":
+            self._emit("BRA", None, [block.labels["head"]])
+            self._place_label(block.labels["end"])
+            self._loop_spans.append((block.start_index, len(self._ops)))
+        # A trailing label needs an anchor instruction; NOP if nothing follows.
+
+    def for_range(self, count, start: int = 0, step: int = 1):
+        """``for i in kb.for_range(n)`` — a counted loop; yields the counter."""
+        counter = self.mov(self.const_u32(start))
+        block = self.loop()
+        limit = count if isinstance(count, VReg) else None
+
+        class _ForLoop:
+            def __init__(self, builder: KernelBuilder) -> None:
+                self.builder = builder
+                self.counter = counter
+
+            def __enter__(self) -> VReg:
+                builder = self.builder
+                if limit is not None:
+                    done = builder.isetp("GE", counter, limit)
+                else:
+                    done = builder.isetp("GE", counter, int(count))
+                block.break_if(done)
+                return counter
+
+            def __exit__(self, exc_type, exc, tb) -> None:
+                if exc_type is None:
+                    builder = self.builder
+                    builder.assign(counter, builder.iadd(counter, step))
+                    block.__exit__(None, None, None)
+
+        return _ForLoop(self)
+
+    # -- finalisation --------------------------------------------------------------------------------
+
+    def finish(self) -> str:
+        """Register-allocate and render the kernel as assembler text."""
+        if self._pending_label is not None:
+            # A block's end label points past the last instruction; anchor
+            # it with the terminal EXIT.
+            self.exit()
+        elif not self._ops or self._ops[-1].opcode != "EXIT":
+            self.exit()
+        assignment = allocate(
+            self._intervals(), max_gp_regs=self.max_regs, max_preds=7
+        )
+        lines = [
+            f".kernel {self.name}",
+            f".params {self.num_params}",
+        ]
+        if self.shared_bytes:
+            lines.append(f".shared {self.shared_bytes}")
+        if self.local_bytes:
+            lines.append(f".local {self.local_bytes}")
+        for op in self._ops:
+            if op.label_before:
+                lines.append(f"{op.label_before}:")
+            lines.append(f"    {self._render(op, assignment)}")
+        return "\n".join(lines) + "\n"
+
+    def _render(self, op: _Op, assignment: dict[int, int]) -> str:
+        def reg_name(vreg: VReg) -> str:
+            phys = assignment[vreg.vid]
+            return f"P{phys}" if vreg.kind == "pred" else f"R{phys}"
+
+        parts = []
+        if op.guard is not None:
+            bang = "!" if op.guard.negate else ""
+            parts.append(f"@{bang}{reg_name(op.guard.pred)}")
+        parts.append(op.opcode)
+        rendered = []
+        if op.dest is not None:
+            rendered.append(reg_name(op.dest))
+        for operand in op.operands:
+            if isinstance(operand, VReg):
+                rendered.append(reg_name(operand))
+            elif isinstance(operand, _Neg):
+                rendered.append(f"-{reg_name(operand.vreg)}")
+            elif isinstance(operand, _Abs):
+                rendered.append(f"|{reg_name(operand.vreg)}|")
+            elif isinstance(operand, _Mem):
+                base = reg_name(operand.base)
+                if operand.offset:
+                    sign = "+" if operand.offset >= 0 else "-"
+                    rendered.append(f"[{base}{sign}0x{abs(operand.offset):x}]")
+                else:
+                    rendered.append(f"[{base}]")
+            elif isinstance(operand, _PredSrc):
+                bang = "!" if operand.negate else ""
+                rendered.append(f"{bang}{reg_name(operand.pred)}")
+            else:
+                rendered.append(str(operand))
+        if rendered:
+            parts.append(", ".join(rendered))
+        return " ".join(parts) + " ;"
+
+    def _intervals(self) -> list[Interval]:
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
+        kinds: dict[int, str] = {}
+
+        def touch(vreg: VReg, position: int) -> None:
+            first.setdefault(vreg.vid, position)
+            last[vreg.vid] = max(last.get(vreg.vid, position), position)
+            kinds[vreg.vid] = vreg.kind
+
+        for position, op in enumerate(self._ops):
+            if op.dest is not None:
+                touch(op.dest, position)
+            if op.guard is not None:
+                touch(op.guard.pred, position)
+            for operand in op.operands:
+                if isinstance(operand, VReg):
+                    touch(operand, position)
+                elif isinstance(operand, (_Neg, _Abs)):
+                    touch(operand.vreg, position)
+                elif isinstance(operand, _Mem):
+                    touch(operand.base, position)
+                elif isinstance(operand, _PredSrc):
+                    touch(operand.pred, position)
+
+        # Loop-carried extension: anything touched inside a loop body lives
+        # for the whole loop (the back edge may revisit it).
+        for start, end in self._loop_spans:
+            for vid in first:
+                if first[vid] < end and last[vid] >= start:
+                    last[vid] = max(last[vid], end)
+
+        return [
+            Interval(vid, kinds[vid], first[vid], last[vid]) for vid in first
+        ]
+
+
+@dataclass(frozen=True)
+class _Neg:
+    vreg: VReg
+
+
+@dataclass(frozen=True)
+class _Abs:
+    vreg: VReg

@@ -1,0 +1,87 @@
+"""Linear-scan register allocation for the kernel builder.
+
+Virtual registers get live intervals from their definition/use positions
+(with loop-carried intervals pre-extended by the builder); physical GP
+registers R0..Rmax and predicates P0..P6 are handed out first-fit.  FP64
+virtuals need an even-aligned free pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegisterAllocationError
+
+
+@dataclass
+class Interval:
+    """Live interval of one virtual register."""
+
+    vreg_id: int
+    kind: str  # "u32", "f32", "f64", "pred"
+    start: int
+    end: int
+
+
+def allocate(
+    intervals: list[Interval],
+    max_gp_regs: int = 64,
+    max_preds: int = 7,
+) -> dict[int, int]:
+    """Map each virtual register id to a physical register index."""
+    assignment: dict[int, int] = {}
+    free_gp = set(range(max_gp_regs))
+    free_pred = set(range(max_preds))
+    active: list[Interval] = []
+
+    for interval in sorted(intervals, key=lambda iv: (iv.start, iv.vreg_id)):
+        # Expire finished intervals.
+        still_active = []
+        for old in active:
+            if old.end < interval.start:
+                _release(old, assignment[old.vreg_id], free_gp, free_pred)
+            else:
+                still_active.append(old)
+        active = still_active
+
+        if interval.kind == "pred":
+            if not free_pred:
+                raise RegisterAllocationError(
+                    f"out of predicate registers at position {interval.start}"
+                )
+            phys = min(free_pred)
+            free_pred.discard(phys)
+        elif interval.kind == "f64":
+            phys = _even_pair(free_gp, interval.start)
+            free_gp.discard(phys)
+            free_gp.discard(phys + 1)
+        else:
+            if not free_gp:
+                raise RegisterAllocationError(
+                    f"out of GP registers at position {interval.start} "
+                    f"(limit {max_gp_regs}); split the kernel"
+                )
+            phys = min(free_gp)
+            free_gp.discard(phys)
+        assignment[interval.vreg_id] = phys
+        active.append(interval)
+    return assignment
+
+
+def _release(interval: Interval, phys: int, free_gp: set[int], free_pred: set[int]) -> None:
+    if interval.kind == "pred":
+        free_pred.add(phys)
+    elif interval.kind == "f64":
+        free_gp.add(phys)
+        free_gp.add(phys + 1)
+    else:
+        free_gp.add(phys)
+
+
+def _even_pair(free_gp: set[int], position: int) -> int:
+    for candidate in sorted(free_gp):
+        if candidate % 2 == 0 and candidate + 1 in free_gp:
+            return candidate
+    raise RegisterAllocationError(
+        f"no even-aligned register pair free at position {position}"
+    )

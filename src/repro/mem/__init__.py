@@ -1,0 +1,6 @@
+"""Simulated device memory: allocator, global/shared/constant spaces."""
+
+from repro.mem.allocator import Allocator
+from repro.mem.memory import ConstantBank, GlobalMemory, SharedMemory
+
+__all__ = ["Allocator", "GlobalMemory", "SharedMemory", "ConstantBank"]

@@ -1,0 +1,89 @@
+"""First-fit free-list allocator for simulated device memory.
+
+Address 0 is never handed out (it plays the role of a NULL device pointer,
+so that zeroed address registers fault like they do on real hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+
+_ALIGN = 256  # CUDA malloc alignment
+
+
+@dataclass
+class _Block:
+    start: int
+    size: int
+
+
+class Allocator:
+    """First-fit allocator over a ``[base, base+size)`` address range."""
+
+    def __init__(self, size: int, base: int = _ALIGN) -> None:
+        if size <= base:
+            raise AllocationError(f"heap size {size} too small for base {base}")
+        self.base = base
+        self.size = size
+        self._free: list[_Block] = [_Block(base, size - base)]
+        self._allocated: dict[int, int] = {}  # start -> size
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes``; returns the device address."""
+        if nbytes <= 0:
+            raise AllocationError(f"allocation size must be positive, got {nbytes}")
+        rounded = (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        for idx, block in enumerate(self._free):
+            if block.size >= rounded:
+                start = block.start
+                if block.size == rounded:
+                    del self._free[idx]
+                else:
+                    block.start += rounded
+                    block.size -= rounded
+                self._allocated[start] = rounded
+                return start
+        raise AllocationError(
+            f"out of device memory: requested {nbytes} bytes "
+            f"({self.free_bytes()} free, fragmented)"
+        )
+
+    def free(self, address: int) -> None:
+        """Release a previous allocation; coalesces adjacent free blocks."""
+        size = self._allocated.pop(address, None)
+        if size is None:
+            raise AllocationError(f"free of unallocated address 0x{address:x}")
+        self._free.append(_Block(address, size))
+        self._free.sort(key=lambda b: b.start)
+        merged: list[_Block] = []
+        for block in self._free:
+            if merged and merged[-1].start + merged[-1].size == block.start:
+                merged[-1].size += block.size
+            else:
+                merged.append(block)
+        self._free = merged
+
+    def owns(self, address: int) -> bool:
+        """True if ``address`` falls inside any live allocation."""
+        for start, size in self._allocated.items():
+            if start <= address < start + size:
+                return True
+        return False
+
+    def allocation_of(self, address: int) -> tuple[int, int] | None:
+        """Return (start, size) of the allocation containing ``address``."""
+        for start, size in self._allocated.items():
+            if start <= address < start + size:
+                return start, size
+        return None
+
+    def free_bytes(self) -> int:
+        return sum(block.size for block in self._free)
+
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    def __len__(self) -> int:
+        return len(self._allocated)

@@ -1,0 +1,169 @@
+"""Simulated memory spaces with per-lane vectorised access and MMU checks.
+
+A faulty address register produced by an injected error must behave like it
+does on a real GPU: misaligned or unmapped accesses raise
+:class:`~repro.errors.MemoryViolation`, which the device turns into an
+early kernel termination plus a CUDA error + dmesg (Xid) record — the
+"potential DUE" path of the paper's Table V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryViolation
+from repro.mem.allocator import Allocator
+
+
+class GlobalMemory:
+    """Device global memory: a flat byte array plus an allocation map."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024) -> None:
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self.allocator = Allocator(size)
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> int:
+        address = self.allocator.alloc(nbytes)
+        self._rebuild_ranges()
+        return address
+
+    def free(self, address: int) -> None:
+        self.allocator.free(address)
+        self._rebuild_ranges()
+
+    def _rebuild_ranges(self) -> None:
+        spans = sorted(
+            (start, start + size)
+            for start, size in self.allocator._allocated.items()
+        )
+        self._starts = np.array([s for s, _ in spans], dtype=np.int64)
+        self._ends = np.array([e for _, e in spans], dtype=np.int64)
+
+    # -- host (memcpy) access -----------------------------------------------
+
+    def write_bytes(self, address: int, payload: bytes | np.ndarray) -> None:
+        payload = np.frombuffer(bytes(payload), dtype=np.uint8)
+        if address < 0 or address + len(payload) > self.size:
+            raise MemoryViolation(address, len(payload), "global", "out-of-range host")
+        self.data[address : address + len(payload)] = payload
+
+    def read_bytes(self, address: int, nbytes: int) -> bytes:
+        if address < 0 or address + nbytes > self.size:
+            raise MemoryViolation(address, nbytes, "global", "out-of-range host")
+        return self.data[address : address + nbytes].tobytes()
+
+    # -- device (warp) access -------------------------------------------------
+
+    def validate(self, addresses: np.ndarray, mask: np.ndarray, width: int) -> None:
+        """MMU check: alignment and membership in a live allocation."""
+        active = addresses[mask]
+        if active.size == 0:
+            return
+        misaligned = active % width != 0
+        if misaligned.any():
+            bad = int(active[misaligned][0])
+            raise MemoryViolation(bad, width, "global", "misaligned")
+        if self._starts.size == 0:
+            raise MemoryViolation(int(active[0]), width, "global", "unmapped")
+        slot = np.searchsorted(self._starts, active, side="right") - 1
+        in_range = (slot >= 0) & (active + width <= self._ends[np.clip(slot, 0, None)])
+        if not in_range.all():
+            bad = int(active[~in_range][0])
+            raise MemoryViolation(bad, width, "global", "unmapped")
+
+    def load32(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self.validate(addresses, mask, 4)
+        out = np.zeros(addresses.shape, dtype=np.uint32)
+        idx = addresses[mask] // 4
+        out[mask] = self.data.view(np.uint32)[idx]
+        return out
+
+    def store32(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self.validate(addresses, mask, 4)
+        idx = addresses[mask] // 4
+        self.data.view(np.uint32)[idx] = values[mask].astype(np.uint32)
+
+    def load64(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self.validate(addresses, mask, 8)
+        out = np.zeros(addresses.shape, dtype=np.uint64)
+        idx = addresses[mask] // 8
+        out[mask] = self.data.view(np.uint64)[idx]
+        return out
+
+    def store64(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self.validate(addresses, mask, 8)
+        idx = addresses[mask] // 8
+        self.data.view(np.uint64)[idx] = values[mask].astype(np.uint64)
+
+
+class SharedMemory:
+    """Per-block scratchpad; sized from the kernel's ``.shared`` directive."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.data = np.zeros(max(size, 4), dtype=np.uint8)
+
+    def _validate(self, addresses: np.ndarray, mask: np.ndarray, width: int) -> None:
+        active = addresses[mask]
+        if active.size == 0:
+            return
+        misaligned = active % width != 0
+        if misaligned.any():
+            raise MemoryViolation(int(active[misaligned][0]), width, "shared", "misaligned")
+        oob = (active < 0) | (active + width > self.size)
+        if oob.any():
+            raise MemoryViolation(int(active[oob][0]), width, "shared", "out-of-bounds")
+
+    def load32(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._validate(addresses, mask, 4)
+        out = np.zeros(addresses.shape, dtype=np.uint32)
+        out[mask] = self.data.view(np.uint32)[addresses[mask] // 4]
+        return out
+
+    def store32(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._validate(addresses, mask, 4)
+        self.data.view(np.uint32)[addresses[mask] // 4] = values[mask].astype(np.uint32)
+
+    def load64(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        self._validate(addresses, mask, 8)
+        out = np.zeros(addresses.shape, dtype=np.uint64)
+        out[mask] = self.data.view(np.uint64)[addresses[mask] // 8]
+        return out
+
+    def store64(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
+        self._validate(addresses, mask, 8)
+        self.data.view(np.uint64)[addresses[mask] // 8] = values[mask].astype(np.uint64)
+
+
+class ConstantBank:
+    """Read-only constant bank; bank 0 holds the 32-bit kernel parameters."""
+
+    def __init__(self, size: int = 4096) -> None:
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+
+    def write_params(self, words: list[int]) -> None:
+        """Host-side: install kernel parameters at offset 0."""
+        if 4 * len(words) > self.size:
+            raise MemoryViolation(4 * len(words), 4, "constant", "out-of-bounds")
+        arr = np.array(words, dtype=np.uint64).astype(np.uint32)
+        self.data.view(np.uint32)[: len(words)] = arr
+
+    def read32(self, offset: int) -> int:
+        if offset % 4 != 0 or offset < 0 or offset + 4 > self.size:
+            raise MemoryViolation(offset, 4, "constant", "out-of-bounds")
+        return int(self.data.view(np.uint32)[offset // 4])
+
+    def load32(self, offsets: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        active = offsets[mask]
+        if active.size:
+            if (active % 4 != 0).any() or (active < 0).any() or (active + 4 > self.size).any():
+                raise MemoryViolation(int(active[0]), 4, "constant", "out-of-bounds")
+        out = np.zeros(offsets.shape, dtype=np.uint32)
+        out[mask] = self.data.view(np.uint32)[offsets[mask] // 4]
+        return out

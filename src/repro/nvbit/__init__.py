@@ -1,0 +1,8 @@
+"""NVBit-style dynamic binary instrumentation framework."""
+
+from repro.nvbit.api import NVBitRuntime
+from repro.nvbit.instr import Instr, IPoint
+from repro.nvbit.jit import JitCache
+from repro.nvbit.tool import NVBitTool
+
+__all__ = ["NVBitRuntime", "Instr", "IPoint", "JitCache", "NVBitTool"]

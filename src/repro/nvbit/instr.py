@@ -1,0 +1,107 @@
+"""The ``Instr`` inspection/instrumentation handle given to NVBit tools.
+
+Mirrors the parts of NVBit's C++ ``Instr`` class that NVBitFI uses:
+opcode inspection, operand inspection, and ``insert_call`` to attach an
+instrumentation function before or after the instruction.  Attached calls
+are compiled into the kernel's hook table by the JIT
+(:mod:`repro.nvbit.jit`) the next time the kernel launches instrumented.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.gpusim.context import InstrSite
+from repro.sass.instruction import Instruction
+from repro.sass.isa import DestKind
+from repro.sass.operands import Pred, Reg
+
+InstrumentationFn = Callable[[InstrSite], None]
+
+
+class IPoint(enum.Enum):
+    """Where an instrumentation call is inserted relative to the instruction."""
+
+    BEFORE = "before"
+    AFTER = "after"
+
+
+class Instr:
+    """NVBit-style view of one static instruction inside a function."""
+
+    def __init__(self, owner: "object", instruction: Instruction) -> None:
+        self._owner = owner  # the InstrumentedFunction record in the runtime
+        self._instruction = instruction
+        self.before_calls: list[InstrumentationFn] = []
+        self.after_calls: list[InstrumentationFn] = []
+
+    # -- inspection (NVBit Instr API) ---------------------------------------
+
+    @property
+    def raw(self) -> Instruction:
+        return self._instruction
+
+    def get_idx(self) -> int:
+        """Index of this instruction within its function (the PC)."""
+        return self._instruction.pc
+
+    def get_opcode(self) -> str:
+        """Full mnemonic including modifiers, e.g. ``ISETP.GE.U32``."""
+        return ".".join((self._instruction.opcode,) + self._instruction.modifiers)
+
+    def get_opcode_short(self) -> str:
+        """Base mnemonic, e.g. ``ISETP``."""
+        return self._instruction.opcode
+
+    def get_sass(self) -> str:
+        return str(self._instruction)
+
+    def has_guard_pred(self) -> bool:
+        return self._instruction.guard is not None
+
+    def get_num_dest_regs(self) -> int:
+        return len(self._instruction.dest_regs)
+
+    def get_dest_regs(self) -> tuple[int, ...]:
+        return self._instruction.dest_regs
+
+    def get_dest_pred(self) -> int | None:
+        return self._instruction.dest_pred
+
+    def has_dest(self) -> bool:
+        return self._instruction.info.dest_kind is not DestKind.NONE
+
+    def get_src_regs(self) -> tuple[int, ...]:
+        regs = []
+        for op in self._instruction.sources:
+            if isinstance(op, Reg) and not op.is_rz:
+                regs.append(op.index)
+        return tuple(regs)
+
+    def get_src_preds(self) -> tuple[int, ...]:
+        preds = []
+        for op in self._instruction.sources:
+            if isinstance(op, Pred) and not op.is_pt:
+                preds.append(op.index)
+        return tuple(preds)
+
+    # -- instrumentation -----------------------------------------------------
+
+    def insert_call(self, fn: InstrumentationFn, where: IPoint = IPoint.AFTER) -> None:
+        """Attach an instrumentation function at this instruction."""
+        if where is IPoint.BEFORE:
+            self.before_calls.append(fn)
+        else:
+            self.after_calls.append(fn)
+        self._owner.mark_dirty()
+
+    def remove_calls(self) -> None:
+        """Detach all instrumentation from this instruction."""
+        if self.before_calls or self.after_calls:
+            self.before_calls.clear()
+            self.after_calls.clear()
+            self._owner.mark_dirty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Instr({self.get_idx()}: {self.get_sass()})"

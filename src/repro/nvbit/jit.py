@@ -1,0 +1,42 @@
+"""Instrumentation JIT: compiles inserted calls into per-PC hook tables.
+
+Real NVBit recompiles an instrumented kernel once and caches the clone so
+subsequent launches pay nothing (paper §III-C).  Our "compilation" builds
+the ``{pc: (before, after)}`` hook table the simulator consumes; the cache
+is invalidated only when a tool inserts or removes calls (the dirty bit),
+so the selective-instrumentation performance story is preserved: kernels
+launched with instrumentation disabled run the original, hook-free path.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.sm import Hooks
+from repro.nvbit.instr import Instr
+
+
+class JitCache:
+    """Per-function compiled hook tables with dirty-bit invalidation."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, Hooks] = {}  # id(function record) -> hooks
+        self.compile_count = 0  # exposed for tests / overhead accounting
+
+    def compile(self, record: "object", instrs: list[Instr]) -> Hooks:
+        """Return the hook table for a function, rebuilding if dirty."""
+        key = id(record)
+        if not record.dirty and key in self._cache:
+            return self._cache[key]
+        hooks: Hooks = {}
+        for instr in instrs:
+            if instr.before_calls or instr.after_calls:
+                hooks[instr.get_idx()] = (
+                    list(instr.before_calls),
+                    list(instr.after_calls),
+                )
+        self._cache[key] = hooks
+        record.dirty = False
+        self.compile_count += 1
+        return hooks
+
+    def invalidate(self, record: "object") -> None:
+        self._cache.pop(id(record), None)

@@ -1,0 +1,42 @@
+"""NVBit tool base class and the attachment mechanism.
+
+A *tool* is a dynamic library in real NVBit, attached to an unmodified
+process via ``LD_PRELOAD``.  Here a tool is an :class:`NVBitTool` subclass,
+attached to a sandboxed run via the ``preload=[...]`` argument — the same
+late-binding property: the target program never knows it is instrumented.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cuda.driver import CudaEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nvbit.api import NVBitRuntime
+
+
+class NVBitTool:
+    """Base class for instrumentation tools (profilers, injectors)."""
+
+    name = "nvbit-tool"
+
+    def __init__(self) -> None:
+        self.nvbit: "NVBitRuntime | None" = None
+
+    # -- lifecycle callbacks (mirroring nvbit_at_* entry points) -------------
+
+    def nvbit_at_init(self) -> None:
+        """Called once when the tool is attached, before any CUDA activity."""
+
+    def nvbit_at_cuda_event(
+        self,
+        driver: Any,
+        event: CudaEvent,
+        payload: Any,
+        is_exit: bool,
+    ) -> None:
+        """Called on entry and exit of every intercepted driver API call."""
+
+    def nvbit_at_term(self) -> None:
+        """Called once when the target program finishes."""

@@ -1,0 +1,21 @@
+"""Sandboxed application execution: the campaign's process-management layer."""
+
+from repro.runner.app import AppContext, AppExit, Application
+from repro.runner.artifacts import CheckResult, RunArtifacts
+from repro.runner.golden import GoldenError, capture_golden, hang_budget
+from repro.runner.sandbox import EXIT_CRASH, EXIT_TIMEOUT, SandboxConfig, run_app
+
+__all__ = [
+    "Application",
+    "AppContext",
+    "AppExit",
+    "RunArtifacts",
+    "CheckResult",
+    "run_app",
+    "SandboxConfig",
+    "EXIT_CRASH",
+    "EXIT_TIMEOUT",
+    "capture_golden",
+    "hang_budget",
+    "GoldenError",
+]

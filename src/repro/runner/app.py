@@ -1,0 +1,78 @@
+"""The application abstraction: a host program plus its SDC-check script.
+
+An :class:`Application` is what NVBitFI targets: host code that drives GPU
+kernels through the CUDA runtime, prints to stdout, writes output files and
+returns an exit status.  ``check`` plays the role of the per-program SDC
+checking script (paper §IV-A) — it must be supplied by the user because
+"what constitutes an SDC is both application and user dependent"; the
+default is an exact comparison of stdout and output files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.runtime import CudaRuntime
+from repro.runner.artifacts import CheckResult, RunArtifacts
+
+
+class AppExit(Exception):
+    """Raised by ``ctx.exit(code)`` to terminate the host program."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(f"exit({code})")
+        self.code = code
+
+
+class AppContext:
+    """The 'process environment' handed to a host program."""
+
+    def __init__(self, cuda: CudaRuntime, seed: int = 0) -> None:
+        self.cuda = cuda
+        self.seed = seed
+        self._stdout: list[str] = []
+        self.files: dict[str, bytes] = {}
+
+    def print(self, *parts: object) -> None:
+        """The program's stdout."""
+        self._stdout.append(" ".join(str(p) for p in parts))
+
+    def write_file(self, name: str, data: bytes | str) -> None:
+        """The program's output files."""
+        self.files[name] = data.encode() if isinstance(data, str) else bytes(data)
+
+    def exit(self, code: int) -> None:
+        """Terminate with an explicit exit status (e.g. a failed assertion)."""
+        raise AppExit(code)
+
+    def rng(self, salt: str = "input") -> np.random.Generator:
+        """Deterministic input-generation stream for this run."""
+        from repro.utils.rng import SeedSequenceStream
+
+        return SeedSequenceStream(self.seed).child(salt).generator()
+
+    @property
+    def stdout(self) -> str:
+        return "\n".join(self._stdout) + ("\n" if self._stdout else "")
+
+
+class Application:
+    """Base class for target programs."""
+
+    name = "application"
+    description = ""
+
+    def run(self, ctx: AppContext) -> None:
+        """The host program. Must be deterministic given ``ctx.seed``."""
+        raise NotImplementedError
+
+    def check(self, golden: RunArtifacts, observed: RunArtifacts) -> CheckResult:
+        """The SDC-check script: compare a run against the golden run."""
+        if observed.stdout != golden.stdout:
+            return CheckResult.fail("Standard output is different")
+        if set(observed.files) != set(golden.files):
+            return CheckResult.fail("Output file set is different")
+        for name, payload in golden.files.items():
+            if observed.files[name] != payload:
+                return CheckResult.fail(f"Output file is different: {name}")
+        return CheckResult.ok()

@@ -1,0 +1,47 @@
+"""Golden-run management (Figure 1: the fault-free reference execution)."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.runner.app import Application
+from repro.runner.artifacts import RunArtifacts
+from repro.runner.sandbox import SandboxConfig, run_app
+
+
+class GoldenError(ReproError):
+    """The fault-free run itself failed — the campaign cannot proceed."""
+
+
+def capture_golden(
+    app: Application, config: SandboxConfig | None = None
+) -> RunArtifacts:
+    """Run the application fault-free and validate the reference artifacts."""
+    golden = run_app(app, preload=None, config=config)
+    if golden.timed_out:
+        raise GoldenError(
+            f"golden run of {app.name!r} exhausted its instruction budget; "
+            "raise SandboxConfig.instruction_budget"
+        )
+    if golden.crashed:
+        raise GoldenError(
+            f"golden run of {app.name!r} crashed: {golden.crash_reason}"
+        )
+    if golden.exit_status != 0:
+        raise GoldenError(
+            f"golden run of {app.name!r} exited with status {golden.exit_status}"
+        )
+    if golden.cuda_errors or golden.dmesg:
+        raise GoldenError(
+            f"golden run of {app.name!r} produced device anomalies: "
+            f"{golden.anomalies}"
+        )
+    return golden
+
+
+def hang_budget(golden: RunArtifacts, factor: int = 10, floor: int = 100_000) -> int:
+    """Watchdog budget for injection runs, scaled from the golden run.
+
+    Real campaigns set the hang timeout to a multiple of the fault-free
+    runtime; we scale the instruction budget the same way.
+    """
+    return max(golden.instructions_executed * factor, floor)

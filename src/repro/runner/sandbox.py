@@ -1,0 +1,92 @@
+"""The sandbox: runs a host program under a monitor, capturing Table V signals.
+
+The sandbox plays the role of the campaign scripts' process management:
+
+* a fresh simulated device per run (no state leaks between injections),
+* tools attached via ``preload=[...]`` (the ``LD_PRELOAD`` analogue),
+* an instruction-budget watchdog standing in for the wall-clock timeout a
+  real campaign uses to detect hangs,
+* capture of stdout, output files, exit status, crashes, CUDA errors and
+  the device's dmesg (Xid) log.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cuda.runtime import CudaRuntime
+from repro.errors import DeviceException, ReproError, WatchdogTimeout
+from repro.gpusim.device import DEFAULT_INSTRUCTION_BUDGET, Device
+from repro.nvbit.api import NVBitRuntime
+from repro.nvbit.tool import NVBitTool
+from repro.runner.app import AppContext, AppExit, Application
+from repro.runner.artifacts import RunArtifacts
+
+# Exit statuses mirroring POSIX conventions used by campaign scripts.
+EXIT_TIMEOUT = 124  # the `timeout` utility's kill status
+EXIT_CRASH = 134  # SIGABRT
+
+
+@dataclass
+class SandboxConfig:
+    """Per-run environment configuration."""
+
+    seed: int = 0
+    instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET
+    family: str = "volta"
+    num_sms: int | None = None
+    global_mem_bytes: int = 64 * 1024 * 1024
+    extra_env: dict[str, str] = field(default_factory=dict)
+
+
+def run_app(
+    app: Application,
+    preload: list[NVBitTool] | None = None,
+    config: SandboxConfig | None = None,
+) -> RunArtifacts:
+    """Run ``app`` to completion (or failure) and collect its artifacts."""
+    config = config or SandboxConfig()
+    device = Device(
+        family=config.family,
+        global_mem_bytes=config.global_mem_bytes,
+        num_sms=config.num_sms,
+        instruction_budget=config.instruction_budget,
+    )
+    interceptor = NVBitRuntime(preload) if preload else None
+    runtime = CudaRuntime(device, interceptor=interceptor)
+    ctx = AppContext(runtime, seed=config.seed)
+    artifacts = RunArtifacts()
+    started = time.perf_counter()
+    try:
+        app.run(ctx)
+        artifacts.exit_status = 0
+    except AppExit as exc:
+        artifacts.exit_status = exc.code
+    except WatchdogTimeout:
+        artifacts.timed_out = True
+        artifacts.exit_status = EXIT_TIMEOUT
+    except DeviceException as exc:
+        # A device fault escaping the driver means the host had no chance to
+        # handle it: treat as a crash of the process.
+        artifacts.crashed = True
+        artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
+        artifacts.exit_status = EXIT_CRASH
+    except (ReproError, ArithmeticError, LookupError, ValueError, TypeError) as exc:
+        artifacts.crashed = True
+        artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
+        artifacts.exit_status = EXIT_CRASH
+    finally:
+        artifacts.wall_time = time.perf_counter() - started
+        if interceptor is not None:
+            interceptor.terminate()
+    artifacts.stdout = ctx.stdout
+    artifacts.files = dict(ctx.files)
+    artifacts.cuda_errors = [
+        f"{code.name}: {detail}" for code, detail in runtime.driver.error_log
+    ]
+    artifacts.dmesg = list(device.dmesg)
+    artifacts.instructions_executed = device.instructions_executed
+    artifacts.cycles = device.cycles
+    artifacts.active_sms = sorted(device.active_sms)
+    return artifacts

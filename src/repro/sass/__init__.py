@@ -1,0 +1,53 @@
+"""SASS-style ISA: opcode table, instruction model, assembler, encoding."""
+
+from repro.sass.assembler import assemble, assemble_kernel
+from repro.sass.disassembler import disassemble, disassemble_kernel
+from repro.sass.encoding import decode_module, encode_module
+from repro.sass.instruction import Instruction
+from repro.sass.isa import (
+    NUM_OPCODES,
+    OPCODES,
+    OPCODES_BY_NAME,
+    PT,
+    RZ,
+    WARP_SIZE,
+    Category,
+    DestKind,
+    OpcodeInfo,
+    executable_opcodes,
+    opcode_by_id,
+    opcode_info,
+)
+from repro.sass.operands import ConstMem, Imm, LabelRef, MemRef, Pred, Reg, SpecialReg
+from repro.sass.program import Kernel, SassModule
+
+__all__ = [
+    "assemble",
+    "assemble_kernel",
+    "disassemble",
+    "disassemble_kernel",
+    "encode_module",
+    "decode_module",
+    "Instruction",
+    "Kernel",
+    "SassModule",
+    "NUM_OPCODES",
+    "OPCODES",
+    "OPCODES_BY_NAME",
+    "PT",
+    "RZ",
+    "WARP_SIZE",
+    "Category",
+    "DestKind",
+    "OpcodeInfo",
+    "executable_opcodes",
+    "opcode_by_id",
+    "opcode_info",
+    "ConstMem",
+    "Imm",
+    "LabelRef",
+    "MemRef",
+    "Pred",
+    "Reg",
+    "SpecialReg",
+]

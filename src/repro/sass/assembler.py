@@ -1,0 +1,292 @@
+"""Text assembler for the SASS-style ISA.
+
+Grammar (one statement per line, ``//`` comments, optional trailing ``;``)::
+
+    .kernel NAME          start a new kernel
+    .params N             number of 32-bit kernel parameters
+    .shared BYTES         static shared-memory size
+    .local BYTES          per-thread local-memory size
+    LABEL:                branch target
+    [@[!]Pn] OPCODE[.MOD...] [dest,] [src, ...]
+
+Operand forms: ``R3``, ``RZ``, ``-R3``, ``|R3|``, ``P0``, ``!P2``, ``PT``,
+``42``, ``-7``, ``0x1f``, ``1.5f`` (an FP32 bit-pattern immediate),
+``c[0x0][0x8]``, ``[R2]``, ``[R2+0x10]``, ``[R2-4]``, ``SR_TID.X``, and bare
+label names for branch opcodes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.sass.instruction import Instruction
+from repro.sass.isa import OPCODES_BY_NAME, SPECIAL_REGISTERS, DestKind
+from repro.sass.operands import (
+    ConstMem,
+    Imm,
+    LabelRef,
+    MemRef,
+    Operand,
+    Pred,
+    Reg,
+    SpecialReg,
+)
+from repro.sass.program import Kernel, SassModule
+from repro.utils.bits import f32_to_bits, to_u32
+
+_LABEL_RE = re.compile(r"^([.A-Za-z_][A-Za-z0-9_.$]*):$")
+_GUARD_RE = re.compile(r"^@(!?)(P[0-6]|PT)$")
+_REG_RE = re.compile(r"^(-?)(\|?)(R([0-9]+)|RZ)(\|?)$")
+_PRED_RE = re.compile(r"^(!?)(P([0-6])|PT)$")
+_CONST_RE = re.compile(
+    r"^c\[(0x[0-9a-fA-F]+|[0-9]+)\]\[(0x[0-9a-fA-F]+|[0-9]+)\]$"
+)
+_MEM_RE = re.compile(
+    r"^\[\s*(R[0-9]+|RZ)?\s*([+-]\s*(?:0x[0-9a-fA-F]+|[0-9]+))?\s*\]$"
+)
+_MEM_ABS_RE = re.compile(r"^\[\s*(0x[0-9a-fA-F]+|[0-9]+)\s*\]$")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|[0-9]+)$")
+_F32_RE = re.compile(r"^(-?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)f$")
+_IDENT_RE = re.compile(r"^[.A-Za-z_][A-Za-z0-9_.$]*$")
+
+# Opcodes whose sole "value" operand is a branch-target label.
+_LABEL_OPCODES = frozenset({"BRA", "SSY", "PBK", "JMP", "CALL", "BRX", "PCNT"})
+
+
+def assemble(text: str, module_name: str = "<module>") -> SassModule:
+    """Assemble module text into a :class:`SassModule`."""
+    module = SassModule(name=module_name)
+    current: _KernelBuilder | None = None
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            if current is not None:
+                module.add(current.finish())
+            parts = line.split()
+            if len(parts) != 2 or not _IDENT_RE.match(parts[1]):
+                raise AssemblyError(f"malformed .kernel directive: {line!r}", line_no)
+            current = _KernelBuilder(parts[1], line_no)
+            continue
+        if current is None:
+            raise AssemblyError("statement before any .kernel directive", line_no)
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            current.label(label_match.group(1), line_no)
+            continue
+        if line.startswith("."):
+            current.directive(line, line_no)
+            continue
+        current.instruction(line, line_no)
+    if current is None:
+        raise AssemblyError("module text contains no .kernel directive")
+    module.add(current.finish())
+    return module
+
+
+def assemble_kernel(text: str, name: str = "kernel") -> Kernel:
+    """Assemble a bare instruction listing (no directives) into one kernel."""
+    return assemble(f".kernel {name}\n{text}").get(name)
+
+
+class _KernelBuilder:
+    """Accumulates one kernel's statements, then resolves labels."""
+
+    def __init__(self, name: str, line_no: int) -> None:
+        self.name = name
+        self.line_no = line_no
+        self.num_params = 0
+        self.shared_bytes = 0
+        self.local_bytes = 0
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+
+    def directive(self, line: str, line_no: int) -> None:
+        parts = line.split()
+        try:
+            key, value = parts[0], int(parts[1], 0)
+        except (IndexError, ValueError):
+            raise AssemblyError(f"malformed directive: {line!r}", line_no) from None
+        if value < 0:
+            raise AssemblyError(f"directive value must be >= 0: {line!r}", line_no)
+        if key == ".params":
+            self.num_params = value
+        elif key == ".shared":
+            self.shared_bytes = value
+        elif key == ".local":
+            self.local_bytes = value
+        else:
+            raise AssemblyError(f"unknown directive {key!r}", line_no)
+
+    def label(self, name: str, line_no: int) -> None:
+        if name in self.labels:
+            raise AssemblyError(f"duplicate label {name!r}", line_no)
+        self.labels[name] = len(self.instructions)
+
+    def instruction(self, line: str, line_no: int) -> None:
+        line = line.rstrip(";").strip()
+        guard: Pred | None = None
+        if line.startswith("@"):
+            guard_text, _, rest = line.partition(" ")
+            match = _GUARD_RE.match(guard_text)
+            if not match:
+                raise AssemblyError(f"malformed predicate guard {guard_text!r}", line_no)
+            index = 7 if match.group(2) == "PT" else int(match.group(2)[1])
+            guard = Pred(index, negate=bool(match.group(1)))
+            line = rest.strip()
+        if not line:
+            raise AssemblyError("missing opcode after predicate guard", line_no)
+
+        mnemonic, _, operand_text = line.partition(" ")
+        opcode, *modifiers = mnemonic.split(".")
+        info = OPCODES_BY_NAME.get(opcode)
+        if info is None:
+            raise AssemblyError(f"unknown opcode {opcode!r}", line_no)
+
+        operands = self._parse_operands(opcode, operand_text.strip(), line_no)
+        dest: Reg | Pred | None = None
+        if info.dest_kind in (DestKind.GP, DestKind.GP_PAIR):
+            if not operands or not isinstance(operands[0], Reg):
+                raise AssemblyError(
+                    f"{opcode} requires a register destination", line_no
+                )
+            dest, operands = operands[0], operands[1:]
+            if dest.negate or dest.absolute:
+                raise AssemblyError("destination cannot carry -/|| modifiers", line_no)
+        elif info.dest_kind is DestKind.PRED:
+            if not operands or not isinstance(operands[0], Pred):
+                raise AssemblyError(
+                    f"{opcode} requires a predicate destination", line_no
+                )
+            dest, operands = operands[0], operands[1:]
+            if dest.negate:
+                raise AssemblyError("destination predicate cannot be negated", line_no)
+        if info.dest_kind is DestKind.GP_PAIR and isinstance(dest, Reg):
+            if dest.index % 2 != 0 and not dest.is_rz:
+                raise AssemblyError(
+                    f"{opcode} destination must be an even register pair", line_no
+                )
+
+        self.instructions.append(
+            Instruction(
+                opcode=opcode,
+                modifiers=tuple(modifiers),
+                dest=dest,
+                sources=tuple(operands),
+                guard=guard,
+                line_no=line_no,
+            )
+        )
+
+    def _parse_operands(
+        self, opcode: str, text: str, line_no: int
+    ) -> list[Operand]:
+        if not text:
+            return []
+        operands = []
+        for token in _split_operands(text, line_no):
+            operands.append(self._parse_operand(opcode, token, line_no))
+        return operands
+
+    def _parse_operand(self, opcode: str, token: str, line_no: int) -> Operand:
+        reg_match = _REG_RE.match(token)
+        if reg_match:
+            negate, abs_open, body, index_text, abs_close = reg_match.groups()
+            if bool(abs_open) != bool(abs_close):
+                raise AssemblyError(f"unbalanced |..| in {token!r}", line_no)
+            index = 255 if body == "RZ" else int(index_text)
+            try:
+                return Reg(index, negate=bool(negate), absolute=bool(abs_open))
+            except ValueError as exc:
+                raise AssemblyError(str(exc), line_no) from None
+        pred_match = _PRED_RE.match(token)
+        if pred_match:
+            index = 7 if pred_match.group(2) == "PT" else int(pred_match.group(3))
+            return Pred(index, negate=bool(pred_match.group(1)))
+        const_match = _CONST_RE.match(token)
+        if const_match:
+            return ConstMem(int(const_match.group(1), 0), int(const_match.group(2), 0))
+        if token.startswith("["):
+            abs_match = _MEM_ABS_RE.match(token)
+            if abs_match:
+                return MemRef(reg=None, offset=int(abs_match.group(1), 0))
+            mem_match = _MEM_RE.match(token)
+            if mem_match:
+                base_text, offset_text = mem_match.groups()
+                reg = None
+                if base_text is not None:
+                    reg = 255 if base_text == "RZ" else int(base_text[1:])
+                offset = int(offset_text.replace(" ", ""), 0) if offset_text else 0
+                return MemRef(reg=reg, offset=offset)
+            raise AssemblyError(f"malformed memory operand {token!r}", line_no)
+        if token in SPECIAL_REGISTERS:
+            return SpecialReg(token)
+        f32_match = _F32_RE.match(token)
+        if f32_match:
+            return Imm(f32_to_bits(float(f32_match.group(1))))
+        if _INT_RE.match(token):
+            value = int(token, 0)
+            if not -0x80000000 <= value <= 0xFFFFFFFF:
+                raise AssemblyError(
+                    f"immediate {token} does not fit in 32 bits", line_no
+                )
+            return Imm(to_u32(value))
+        if _IDENT_RE.match(token):
+            if opcode not in _LABEL_OPCODES:
+                raise AssemblyError(
+                    f"{opcode} does not take a label operand ({token!r})", line_no
+                )
+            return LabelRef(token)
+        raise AssemblyError(f"cannot parse operand {token!r}", line_no)
+
+    def finish(self) -> Kernel:
+        if not self.instructions:
+            raise AssemblyError(f"kernel {self.name!r} is empty", self.line_no)
+        for instr in self.instructions:
+            resolved = []
+            for op in instr.sources:
+                if isinstance(op, LabelRef):
+                    if op.name not in self.labels:
+                        raise AssemblyError(
+                            f"undefined label {op.name!r}", instr.line_no
+                        )
+                    op = LabelRef(op.name, target_pc=self.labels[op.name])
+                resolved.append(op)
+            instr.sources = tuple(resolved)
+        return Kernel(
+            name=self.name,
+            instructions=self.instructions,
+            num_params=self.num_params,
+            shared_bytes=self.shared_bytes,
+            local_bytes=self.local_bytes,
+            labels=dict(self.labels),
+        )
+
+
+def _split_operands(text: str, line_no: int) -> list[str]:
+    """Split on commas that are not inside ``[...]`` or ``c[..][..]``."""
+    tokens = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise AssemblyError("unbalanced ']' in operand list", line_no)
+        if ch == "," and depth == 0:
+            tokens.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AssemblyError("unbalanced '[' in operand list", line_no)
+    tail = "".join(current).strip()
+    if tail:
+        tokens.append(tail)
+    if any(not token for token in tokens):
+        raise AssemblyError("empty operand in operand list", line_no)
+    return tokens

@@ -1,0 +1,59 @@
+"""Disassembler: renders kernels/modules back to assembleable text.
+
+The invariant ``assemble(disassemble(module)) == module`` (up to label
+names) is exercised by the round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.sass.instruction import Instruction
+from repro.sass.operands import LabelRef
+from repro.sass.program import Kernel, SassModule
+
+
+def disassemble_kernel(kernel: Kernel) -> str:
+    """Render one kernel as assembler-compatible text."""
+    label_for_pc = _branch_labels(kernel)
+    lines = [f".kernel {kernel.name}", f".params {kernel.num_params}"]
+    if kernel.shared_bytes:
+        lines.append(f".shared {kernel.shared_bytes}")
+    if kernel.local_bytes:
+        lines.append(f".local {kernel.local_bytes}")
+    for instr in kernel.instructions:
+        if instr.pc in label_for_pc:
+            lines.append(f"{label_for_pc[instr.pc]}:")
+        lines.append(f"    {_render(instr, label_for_pc)}")
+    return "\n".join(lines) + "\n"
+
+
+def disassemble(module: SassModule) -> str:
+    """Render a whole module as assembler-compatible text."""
+    return "\n".join(disassemble_kernel(k) for k in module)
+
+
+def _branch_labels(kernel: Kernel) -> dict[int, str]:
+    """Assign a stable label name to every branch-target PC."""
+    targets = set()
+    for instr in kernel.instructions:
+        for op in instr.sources:
+            if isinstance(op, LabelRef) and op.target_pc is not None:
+                targets.add(op.target_pc)
+    return {pc: f".L_{pc}" for pc in sorted(targets)}
+
+
+def _render(instr: Instruction, label_for_pc: dict[int, str]) -> str:
+    parts = []
+    if instr.guard is not None:
+        parts.append(f"@{instr.guard}")
+    parts.append(".".join((instr.opcode,) + instr.modifiers))
+    operands = []
+    if instr.dest is not None:
+        operands.append(str(instr.dest))
+    for op in instr.sources:
+        if isinstance(op, LabelRef) and op.target_pc is not None:
+            operands.append(label_for_pc[op.target_pc])
+        else:
+            operands.append(str(op))
+    if operands:
+        parts.append(", ".join(operands))
+    return " ".join(parts) + " ;"

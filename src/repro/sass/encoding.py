@@ -1,0 +1,288 @@
+"""Binary instruction encoding — the 'cubin' analogue.
+
+Real SASS packs instructions into architecture-specific 128-bit words whose
+layouts NVIDIA does not document.  We use a fixed 32-byte word per
+instruction (two 128-bit halves) (documented deviation; see DESIGN.md) so that modules can be
+shipped, loaded and instrumented as *binary* artifacts with no source —
+the property NVBitFI's usability argument rests on.
+
+Word layout (little-endian):
+
+====== ======================================================
+bytes  field
+====== ======================================================
+0-1    opcode id
+2      predicate guard: bit7 = present, bit6 = negated, low 4 = index
+3      operand count (dest included) and dest-present flag (bit7)
+4-6    modifier table indices (0xFF = unused slot)
+7-30   six 4-byte operand slots: 1 tag byte + 3 payload bytes
+31     0x5A sentinel (corruption check)
+====== ======================================================
+
+Operand payloads that need more than 24 bits (large immediates, constant
+offsets) overflow into the next free slot; the encoder validates limits.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError
+from repro.sass.instruction import Instruction
+from repro.sass.isa import NUM_OPCODES, OPCODES
+from repro.sass.operands import (
+    ConstMem,
+    Imm,
+    LabelRef,
+    MemRef,
+    Operand,
+    Pred,
+    Reg,
+    SpecialReg,
+)
+from repro.sass.program import Kernel, SassModule
+
+WORD_SIZE = 32
+_SENTINEL = 0x5A
+
+# Operand tags.
+_TAG_NONE = 0
+_TAG_REG = 1
+_TAG_PRED = 2
+_TAG_IMM = 3  # payload unused; 32-bit value in following slot
+_TAG_CONST = 4
+_TAG_MEM = 5
+_TAG_SREG = 6
+_TAG_LABEL = 7
+_TAG_IMM_PAYLOAD = 8
+
+# A global modifier registry: every modifier string used anywhere gets a
+# stable index.  Built lazily, persisted in the module header.
+_KNOWN_MODIFIERS = [
+    "LT", "LE", "GT", "GE", "EQ", "NE", "U32", "S32", "AND", "OR", "XOR",
+    "NOT", "MIN", "MAX", "32", "64", "8", "16", "RCP", "RSQ", "SQRT", "SIN",
+    "COS", "EX2", "LG2", "ADD", "EXCH", "CAS", "F32", "F64", "F16", "IDX",
+    "UP", "DOWN", "BFLY", "ALL", "ANY", "SYNC", "ARV", "E", "TRUNC", "FLOOR",
+    "CEIL", "L", "R", "W", "WIDE", "HI", "LO", "X", "BALLOT", "SAT", "RZ",
+    "RN", "CLAMP", "LUT",
+]
+_MODIFIER_INDEX = {name: idx for idx, name in enumerate(_KNOWN_MODIFIERS)}
+
+from repro.sass.isa import SPECIAL_REGISTERS
+
+_SREG_INDEX = {name: idx for idx, name in enumerate(SPECIAL_REGISTERS)}
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one instruction into a 24-byte word."""
+    if not 0 <= instr.opcode_id < NUM_OPCODES:
+        raise EncodingError(f"bad opcode id {instr.opcode_id}")
+    guard_byte = 0
+    if instr.guard is not None:
+        guard_byte = 0x80 | (0x40 if instr.guard.negate else 0) | instr.guard.index
+
+    operands: list[Operand] = []
+    if instr.dest is not None:
+        operands.append(instr.dest)
+    operands.extend(instr.sources)
+
+    mod_bytes = bytearray([0xFF, 0xFF, 0xFF])
+    if len(instr.modifiers) > 3:
+        raise EncodingError(
+            f"{instr.opcode} carries {len(instr.modifiers)} modifiers; max 3"
+        )
+    for idx, mod in enumerate(instr.modifiers):
+        if mod not in _MODIFIER_INDEX:
+            raise EncodingError(f"modifier {mod!r} not in the encoding registry")
+        mod_bytes[idx] = _MODIFIER_INDEX[mod]
+
+    slots: list[bytes] = []
+    for op in operands:
+        slots.extend(_encode_operand(op))
+    if len(slots) > 6:
+        raise EncodingError(
+            f"{instr.opcode} needs {len(slots)} operand slots; max 6"
+        )
+    while len(slots) < 6:
+        slots.append(bytes([_TAG_NONE, 0, 0, 0]))
+
+    count_byte = len(operands) | (0x80 if instr.dest is not None else 0)
+    word = (
+        struct.pack("<HBB", instr.opcode_id, guard_byte, count_byte)
+        + bytes(mod_bytes)
+        + b"".join(slots)
+        + bytes([_SENTINEL])
+    )
+    if len(word) != WORD_SIZE:
+        raise EncodingError(f"internal: encoded {len(word)} bytes")
+    return word
+
+
+def decode_instruction(word: bytes) -> Instruction:
+    """Decode one 24-byte word back into an :class:`Instruction`."""
+    if len(word) != WORD_SIZE:
+        raise EncodingError(f"instruction word must be {WORD_SIZE} bytes")
+    if word[31] != _SENTINEL:
+        raise EncodingError("corrupt instruction word (bad sentinel)")
+    opcode_id, guard_byte, count_byte = struct.unpack("<HBB", word[:4])
+    if opcode_id >= NUM_OPCODES:
+        raise EncodingError(f"opcode id {opcode_id} out of range")
+    info = OPCODES[opcode_id]
+    guard = None
+    if guard_byte & 0x80:
+        guard = Pred(guard_byte & 0x0F, negate=bool(guard_byte & 0x40))
+    modifiers = tuple(
+        _KNOWN_MODIFIERS[b] for b in word[4:7] if b != 0xFF
+    )
+    num_operands = count_byte & 0x7F
+    has_dest = bool(count_byte & 0x80)
+
+    raw_slots = [word[7 + 4 * i : 11 + 4 * i] for i in range(6)]
+    operands: list[Operand] = []
+    idx = 0
+    while idx < len(raw_slots) and len(operands) < num_operands:
+        op, consumed = _decode_operand(raw_slots, idx)
+        operands.append(op)
+        idx += consumed
+
+    if len(operands) != num_operands:
+        raise EncodingError("operand count mismatch while decoding")
+
+    dest: Reg | Pred | None = None
+    if has_dest:
+        first = operands.pop(0)
+        if not isinstance(first, (Reg, Pred)):
+            raise EncodingError("destination slot holds a non-register operand")
+        dest = first
+    return Instruction(
+        opcode=info.name,
+        modifiers=modifiers,
+        dest=dest,
+        sources=tuple(operands),
+        guard=guard,
+    )
+
+
+def encode_kernel(kernel: Kernel) -> bytes:
+    """Encode a kernel: header + instruction words."""
+    name_bytes = kernel.name.encode()
+    header = struct.pack(
+        "<HHIII",
+        len(name_bytes),
+        kernel.num_params,
+        kernel.shared_bytes,
+        kernel.local_bytes,
+        len(kernel.instructions),
+    )
+    body = b"".join(encode_instruction(i) for i in kernel.instructions)
+    return header + name_bytes + body
+
+
+def decode_kernel(data: bytes, offset: int = 0) -> tuple[Kernel, int]:
+    """Decode one kernel starting at ``offset``; returns (kernel, next offset)."""
+    header_size = struct.calcsize("<HHIII")
+    name_len, num_params, shared, local, count = struct.unpack_from(
+        "<HHIII", data, offset
+    )
+    offset += header_size
+    name = data[offset : offset + name_len].decode()
+    offset += name_len
+    instructions = []
+    for _ in range(count):
+        instructions.append(decode_instruction(data[offset : offset + WORD_SIZE]))
+        offset += WORD_SIZE
+    kernel = Kernel(
+        name=name,
+        instructions=instructions,
+        num_params=num_params,
+        shared_bytes=shared,
+        local_bytes=local,
+    )
+    return kernel, offset
+
+
+_MAGIC = b"RCB1"  # "repro cubin v1"
+
+
+def encode_module(module: SassModule) -> bytes:
+    """Encode a module into a binary 'cubin' blob."""
+    blob = _MAGIC + struct.pack("<I", len(module))
+    for kernel in module:
+        blob += encode_kernel(kernel)
+    return blob
+
+
+def decode_module(data: bytes, name: str = "<binary>") -> SassModule:
+    """Decode a binary 'cubin' blob back into a module."""
+    if data[:4] != _MAGIC:
+        raise EncodingError("not a repro cubin (bad magic)")
+    (count,) = struct.unpack_from("<I", data, 4)
+    offset = 8
+    module = SassModule(name=name)
+    for _ in range(count):
+        kernel, offset = decode_kernel(data, offset)
+        module.add(kernel)
+    return module
+
+
+def _encode_operand(op: Operand) -> list[bytes]:
+    def slot(tag: int, payload: int) -> bytes:
+        return bytes([tag]) + payload.to_bytes(3, "little")
+
+    if isinstance(op, Reg):
+        payload = op.index | (0x100 if op.negate else 0) | (0x200 if op.absolute else 0)
+        return [slot(_TAG_REG, payload)]
+    if isinstance(op, Pred):
+        return [slot(_TAG_PRED, op.index | (0x100 if op.negate else 0))]
+    if isinstance(op, Imm):
+        if op.bits > 0xFFFFFF:
+            # Wide immediate: low 24 bits in this slot, high 8 in a payload slot.
+            return [slot(_TAG_IMM, op.bits & 0xFFFFFF), slot(_TAG_IMM_PAYLOAD, op.bits >> 24)]
+        return [slot(_TAG_IMM, op.bits)]
+    if isinstance(op, ConstMem):
+        if op.bank > 0xF or op.offset > 0xFFFFF:
+            raise EncodingError(f"constant operand too large: {op}")
+        return [slot(_TAG_CONST, (op.bank << 20) | op.offset)]
+    if isinstance(op, MemRef):
+        if not -0x800 <= op.offset <= 0x7FF:
+            raise EncodingError(f"memory offset out of range: {op}")
+        reg = 0x1FF if op.reg is None else op.reg
+        return [slot(_TAG_MEM, (reg << 12) | (op.offset & 0xFFF))]
+    if isinstance(op, SpecialReg):
+        return [slot(_TAG_SREG, _SREG_INDEX[op.name])]
+    if isinstance(op, LabelRef):
+        if op.target_pc is None:
+            raise EncodingError(f"cannot encode unresolved label {op.name!r}")
+        return [slot(_TAG_LABEL, op.target_pc)]
+    raise EncodingError(f"cannot encode operand {op!r}")
+
+
+def _decode_operand(slots: list[bytes], idx: int) -> tuple[Operand, int]:
+    tag = slots[idx][0]
+    payload = int.from_bytes(slots[idx][1:4], "little")
+    if tag == _TAG_REG:
+        return (
+            Reg(payload & 0xFF, negate=bool(payload & 0x100), absolute=bool(payload & 0x200)),
+            1,
+        )
+    if tag == _TAG_PRED:
+        return Pred(payload & 0xFF, negate=bool(payload & 0x100)), 1
+    if tag == _TAG_IMM:
+        # Wide immediates spill their high 8 bits into a payload slot.
+        if idx + 1 < len(slots) and slots[idx + 1][0] == _TAG_IMM_PAYLOAD:
+            high = int.from_bytes(slots[idx + 1][1:4], "little")
+            return Imm((high << 24) | payload), 2
+        return Imm(payload), 1
+    if tag == _TAG_CONST:
+        return ConstMem(payload >> 20, payload & 0xFFFFF), 1
+    if tag == _TAG_MEM:
+        reg = payload >> 12
+        offset = payload & 0xFFF
+        if offset & 0x800:
+            offset -= 0x1000
+        return MemRef(None if reg == 0x1FF else reg, offset), 1
+    if tag == _TAG_SREG:
+        return SpecialReg(SPECIAL_REGISTERS[payload]), 1
+    if tag == _TAG_LABEL:
+        return LabelRef(f".L_{payload}", target_pc=payload), 1
+    raise EncodingError(f"unknown operand tag {tag}")

@@ -1,0 +1,366 @@
+"""The SASS-style instruction-set table.
+
+The paper's permanent-fault model addresses opcodes by integer id into the
+ISA table ("the Volta ISA contains 171 opcodes", Table III), and the
+profiler keys its histograms on opcode mnemonics.  This module defines a
+**Volta-like** table with exactly 171 entries.  It is not a byte-accurate
+copy of NVIDIA's (undocumented) listing: the mnemonics and their categories
+follow publicly visible ``cuobjdump`` output, and a functional subset
+(``executable=True``) has full semantics in :mod:`repro.gpusim.exec_units`.
+The remaining entries exist so opcode-id-indexed fault parameters cover the
+same space as the paper.
+
+Instruction groups (``arch state id`` of Table II) are *derived* from each
+opcode's destination kind and category:
+
+* no destination            -> G_NODEST
+* predicate-only destination-> G_PR
+* FP64 category             -> G_FP64
+* FP32 / FP-conversion      -> G_FP32
+* memory-read category      -> G_LD
+* anything else             -> G_OTHERS
+
+plus the two aggregate groups G_GPPR (= all - G_NODEST) and
+G_GP (= all - G_NODEST - G_PR).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Category(enum.Enum):
+    """Functional category of an opcode (drives group classification)."""
+
+    FP32 = "fp32"
+    FP64 = "fp64"
+    FP16 = "fp16"
+    TENSOR = "tensor"
+    INTEGER = "integer"
+    LOGIC = "logic"
+    CONVERSION = "conversion"
+    MOVEMENT = "movement"
+    PREDICATE = "predicate"
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    TEXTURE = "texture"
+    SURFACE = "surface"
+    CONTROL = "control"
+    SYSTEM = "system"
+    UNIFORM = "uniform"
+
+
+class DestKind(enum.Enum):
+    """What architectural state an opcode writes."""
+
+    GP = "gp"  # one 32-bit general-purpose register
+    GP_PAIR = "gp_pair"  # an even-aligned 64-bit register pair
+    PRED = "pred"  # one or more predicate registers, nothing else
+    NONE = "none"  # no architecturally visible destination
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one ISA opcode."""
+
+    name: str
+    category: Category
+    dest_kind: DestKind
+    executable: bool = False
+    description: str = ""
+    opcode_id: int = field(default=-1, compare=False)
+
+    @property
+    def writes_gp(self) -> bool:
+        return self.dest_kind in (DestKind.GP, DestKind.GP_PAIR)
+
+    @property
+    def writes_pred_only(self) -> bool:
+        return self.dest_kind is DestKind.PRED
+
+    @property
+    def has_dest(self) -> bool:
+        return self.dest_kind is not DestKind.NONE
+
+
+def _op(
+    name: str,
+    category: Category,
+    dest: DestKind,
+    executable: bool = False,
+    description: str = "",
+) -> OpcodeInfo:
+    return OpcodeInfo(name, category, dest, executable, description)
+
+
+_C = Category
+_D = DestKind
+
+# The 171-entry Volta-like opcode table.  Order defines the opcode id used
+# by permanent-fault parameters (Table III).
+_RAW_TABLE: tuple[OpcodeInfo, ...] = (
+    # --- FP32 ----------------------------------------------------------
+    _op("FADD", _C.FP32, _D.GP, True, "FP32 add"),
+    _op("FADD32I", _C.FP32, _D.GP, False, "FP32 add, 32-bit immediate"),
+    _op("FCHK", _C.FP32, _D.PRED, False, "FP32 division range check"),
+    _op("FFMA", _C.FP32, _D.GP, True, "FP32 fused multiply-add"),
+    _op("FFMA32I", _C.FP32, _D.GP, False, "FP32 FMA, 32-bit immediate"),
+    _op("FMNMX", _C.FP32, _D.GP, True, "FP32 min/max"),
+    _op("FMUL", _C.FP32, _D.GP, True, "FP32 multiply"),
+    _op("FMUL32I", _C.FP32, _D.GP, False, "FP32 multiply, 32-bit immediate"),
+    _op("FSEL", _C.FP32, _D.GP, True, "FP32 predicated select"),
+    _op("FSET", _C.FP32, _D.GP, False, "FP32 compare to boolean register"),
+    _op("FSETP", _C.FP32, _D.PRED, True, "FP32 compare, set predicate"),
+    _op("FSWZADD", _C.FP32, _D.GP, False, "FP32 swizzled add"),
+    _op("MUFU", _C.FP32, _D.GP, True, "multi-function unit (rcp/sqrt/sin/...)"),
+    _op("FRND", _C.FP32, _D.GP, False, "FP round to integral"),
+    _op("F2F", _C.CONVERSION, _D.GP, True, "float-to-float conversion"),
+    _op("F2I", _C.CONVERSION, _D.GP, True, "float-to-integer conversion"),
+    _op("I2F", _C.CONVERSION, _D.GP, True, "integer-to-float conversion"),
+    _op("IPA", _C.FP32, _D.GP, False, "interpolate attribute"),
+    _op("RRO", _C.FP32, _D.GP, False, "range reduction for MUFU"),
+    # --- FP64 ----------------------------------------------------------
+    _op("DADD", _C.FP64, _D.GP_PAIR, True, "FP64 add"),
+    _op("DFMA", _C.FP64, _D.GP_PAIR, True, "FP64 fused multiply-add"),
+    _op("DMUL", _C.FP64, _D.GP_PAIR, True, "FP64 multiply"),
+    _op("DMNMX", _C.FP64, _D.GP_PAIR, True, "FP64 min/max"),
+    _op("DSETP", _C.FP64, _D.PRED, True, "FP64 compare, set predicate"),
+    _op("DSET", _C.FP64, _D.GP, False, "FP64 compare to boolean register"),
+    # --- FP16 ----------------------------------------------------------
+    _op("HADD2", _C.FP16, _D.GP, False, "packed FP16 add"),
+    _op("HADD2_32I", _C.FP16, _D.GP, False, "packed FP16 add, immediate"),
+    _op("HFMA2", _C.FP16, _D.GP, False, "packed FP16 FMA"),
+    _op("HFMA2_32I", _C.FP16, _D.GP, False, "packed FP16 FMA, immediate"),
+    _op("HMUL2", _C.FP16, _D.GP, False, "packed FP16 multiply"),
+    _op("HMUL2_32I", _C.FP16, _D.GP, False, "packed FP16 multiply, immediate"),
+    _op("HSET2", _C.FP16, _D.GP, False, "packed FP16 compare to boolean"),
+    _op("HSETP2", _C.FP16, _D.PRED, False, "packed FP16 compare, set predicate"),
+    _op("HMNMX2", _C.FP16, _D.GP, False, "packed FP16 min/max"),
+    # --- Tensor core ----------------------------------------------------
+    _op("HMMA", _C.TENSOR, _D.GP, False, "FP16 matrix multiply-accumulate"),
+    _op("IMMA", _C.TENSOR, _D.GP, False, "integer matrix multiply-accumulate"),
+    _op("BMMA", _C.TENSOR, _D.GP, False, "binary matrix multiply-accumulate"),
+    # --- Integer --------------------------------------------------------
+    _op("IADD", _C.INTEGER, _D.GP, True, "integer add"),
+    _op("IADD3", _C.INTEGER, _D.GP, True, "three-input integer add"),
+    _op("IADD32I", _C.INTEGER, _D.GP, False, "integer add, 32-bit immediate"),
+    _op("IMAD", _C.INTEGER, _D.GP, True, "integer multiply-add"),
+    _op("IMAD32I", _C.INTEGER, _D.GP, False, "integer multiply-add, immediate"),
+    _op("IMADSP", _C.INTEGER, _D.GP, False, "extracted integer multiply-add"),
+    _op("IMUL", _C.INTEGER, _D.GP, True, "integer multiply"),
+    _op("IMUL32I", _C.INTEGER, _D.GP, False, "integer multiply, immediate"),
+    _op("IMNMX", _C.INTEGER, _D.GP, True, "integer min/max"),
+    _op("IABS", _C.INTEGER, _D.GP, True, "integer absolute value"),
+    _op("ISCADD", _C.INTEGER, _D.GP, True, "scaled integer add"),
+    _op("ISCADD32I", _C.INTEGER, _D.GP, False, "scaled integer add, immediate"),
+    _op("ISETP", _C.INTEGER, _D.PRED, True, "integer compare, set predicate"),
+    _op("ISET", _C.INTEGER, _D.GP, False, "integer compare to boolean register"),
+    _op("ICMP", _C.INTEGER, _D.GP, False, "integer conditional select"),
+    _op("IDP", _C.INTEGER, _D.GP, False, "integer dot product"),
+    _op("IDP4A", _C.INTEGER, _D.GP, False, "4-way byte dot product"),
+    _op("FLO", _C.INTEGER, _D.GP, True, "find leading one"),
+    _op("POPC", _C.INTEGER, _D.GP, True, "population count"),
+    _op("BFE", _C.INTEGER, _D.GP, True, "bit field extract"),
+    _op("BFI", _C.INTEGER, _D.GP, True, "bit field insert"),
+    _op("BREV", _C.INTEGER, _D.GP, False, "bit reverse"),
+    _op("LEA", _C.INTEGER, _D.GP, False, "load effective address"),
+    _op("SEL", _C.MOVEMENT, _D.GP, True, "predicated register select"),
+    _op("SHF", _C.INTEGER, _D.GP, True, "funnel shift"),
+    _op("SHL", _C.INTEGER, _D.GP, True, "shift left"),
+    _op("SHR", _C.INTEGER, _D.GP, True, "shift right"),
+    _op("XMAD", _C.INTEGER, _D.GP, False, "16x16 multiply-add"),
+    _op("VABSDIFF", _C.INTEGER, _D.GP, False, "SIMD absolute difference"),
+    _op("VADD", _C.INTEGER, _D.GP, False, "SIMD integer add"),
+    _op("VMAD", _C.INTEGER, _D.GP, False, "SIMD integer multiply-add"),
+    _op("VMNMX", _C.INTEGER, _D.GP, False, "SIMD integer min/max"),
+    _op("VSET", _C.INTEGER, _D.GP, False, "SIMD compare to boolean"),
+    _op("VSETP", _C.INTEGER, _D.PRED, False, "SIMD compare, set predicate"),
+    _op("VSHL", _C.INTEGER, _D.GP, False, "SIMD shift left"),
+    _op("VSHR", _C.INTEGER, _D.GP, False, "SIMD shift right"),
+    _op("SGXT", _C.INTEGER, _D.GP, False, "sign extend"),
+    _op("BMSK", _C.INTEGER, _D.GP, False, "bit mask create"),
+    # --- Logic ----------------------------------------------------------
+    _op("LOP", _C.LOGIC, _D.GP, True, "two-input logic op"),
+    _op("LOP32I", _C.LOGIC, _D.GP, False, "logic op, 32-bit immediate"),
+    _op("LOP3", _C.LOGIC, _D.GP, True, "three-input logic op (LUT)"),
+    _op("PLOP3", _C.LOGIC, _D.PRED, False, "three-input predicate logic op"),
+    _op("PRMT", _C.LOGIC, _D.GP, False, "byte permute"),
+    # --- Conversion / movement ------------------------------------------
+    _op("I2I", _C.CONVERSION, _D.GP, True, "integer-to-integer conversion"),
+    _op("I2IP", _C.CONVERSION, _D.GP, False, "integer-to-integer, packed"),
+    _op("F2FP", _C.CONVERSION, _D.GP, False, "float-to-float, packed"),
+    _op("MOV", _C.MOVEMENT, _D.GP, True, "register move"),
+    _op("MOV32I", _C.MOVEMENT, _D.GP, True, "move 32-bit immediate"),
+    _op("MOVM", _C.MOVEMENT, _D.GP, False, "matrix register move"),
+    _op("SHFL", _C.MOVEMENT, _D.GP, True, "warp shuffle"),
+    # --- Predicate ------------------------------------------------------
+    _op("PSETP", _C.PREDICATE, _D.PRED, True, "predicate logic, set predicate"),
+    _op("PSET", _C.PREDICATE, _D.GP, False, "predicate logic to register"),
+    _op("P2R", _C.PREDICATE, _D.GP, True, "pack predicates into register"),
+    _op("R2P", _C.PREDICATE, _D.PRED, True, "unpack register into predicates"),
+    _op("CSET", _C.PREDICATE, _D.GP, False, "condition-code compare to register"),
+    _op("CSETP", _C.PREDICATE, _D.PRED, False, "condition-code compare to predicate"),
+    # --- Memory: loads ---------------------------------------------------
+    _op("LD", _C.LOAD, _D.GP, True, "generic load"),
+    _op("LDC", _C.LOAD, _D.GP, True, "load from constant bank"),
+    _op("LDG", _C.LOAD, _D.GP, True, "load from global memory"),
+    _op("LDL", _C.LOAD, _D.GP, True, "load from local memory"),
+    _op("LDS", _C.LOAD, _D.GP, True, "load from shared memory"),
+    _op("LDSM", _C.LOAD, _D.GP, False, "load matrix from shared memory"),
+    # --- Memory: stores --------------------------------------------------
+    _op("ST", _C.STORE, _D.NONE, True, "generic store"),
+    _op("STG", _C.STORE, _D.NONE, True, "store to global memory"),
+    _op("STL", _C.STORE, _D.NONE, True, "store to local memory"),
+    _op("STS", _C.STORE, _D.NONE, True, "store to shared memory"),
+    _op("MATCH", _C.LOAD, _D.GP, False, "warp-wide value match"),
+    _op("QSPC", _C.LOAD, _D.PRED, False, "query address space"),
+    # --- Atomics ---------------------------------------------------------
+    _op("ATOM", _C.ATOMIC, _D.GP, True, "generic atomic (returns old value)"),
+    _op("ATOMS", _C.ATOMIC, _D.GP, True, "shared-memory atomic"),
+    _op("ATOMG", _C.ATOMIC, _D.GP, True, "global-memory atomic"),
+    _op("RED", _C.ATOMIC, _D.NONE, True, "reduction (no return value)"),
+    _op("CCTL", _C.SYSTEM, _D.NONE, False, "cache control"),
+    _op("CCTLL", _C.SYSTEM, _D.NONE, False, "local cache control"),
+    _op("CCTLT", _C.SYSTEM, _D.NONE, False, "texture cache control"),
+    _op("MEMBAR", _C.SYSTEM, _D.NONE, True, "memory barrier"),
+    _op("ERRBAR", _C.SYSTEM, _D.NONE, False, "error barrier"),
+    # --- Texture / surface ------------------------------------------------
+    _op("TEX", _C.TEXTURE, _D.GP, False, "texture fetch"),
+    _op("TLD", _C.TEXTURE, _D.GP, False, "texture load"),
+    _op("TLD4", _C.TEXTURE, _D.GP, False, "texture gather4"),
+    _op("TMML", _C.TEXTURE, _D.GP, False, "texture mip-map level"),
+    _op("TXD", _C.TEXTURE, _D.GP, False, "texture with derivatives"),
+    _op("TXQ", _C.TEXTURE, _D.GP, False, "texture query"),
+    _op("SUATOM", _C.SURFACE, _D.GP, False, "surface atomic"),
+    _op("SULD", _C.SURFACE, _D.GP, False, "surface load"),
+    _op("SURED", _C.SURFACE, _D.NONE, False, "surface reduction"),
+    _op("SUST", _C.SURFACE, _D.NONE, False, "surface store"),
+    _op("SUQ", _C.SURFACE, _D.GP, False, "surface query"),
+    _op("PIXLD", _C.TEXTURE, _D.GP, False, "pixel parameter load"),
+    # --- Control flow ------------------------------------------------------
+    _op("BRA", _C.CONTROL, _D.NONE, True, "relative branch"),
+    _op("BRX", _C.CONTROL, _D.NONE, False, "indexed branch"),
+    _op("JMP", _C.CONTROL, _D.NONE, False, "absolute jump"),
+    _op("JMX", _C.CONTROL, _D.NONE, False, "indexed absolute jump"),
+    _op("SSY", _C.CONTROL, _D.NONE, True, "push divergence sync point"),
+    _op("SYNC", _C.CONTROL, _D.NONE, True, "reconverge at sync point"),
+    _op("CALL", _C.CONTROL, _D.NONE, False, "call subroutine"),
+    _op("RET", _C.CONTROL, _D.NONE, False, "return from subroutine"),
+    _op("EXIT", _C.CONTROL, _D.NONE, True, "terminate thread"),
+    _op("PBK", _C.CONTROL, _D.NONE, True, "push break point (loops)"),
+    _op("BRK", _C.CONTROL, _D.NONE, True, "break out to break point"),
+    _op("PCNT", _C.CONTROL, _D.NONE, False, "push continue point"),
+    _op("CONT", _C.CONTROL, _D.NONE, False, "continue to continue point"),
+    _op("PRET", _C.CONTROL, _D.NONE, False, "push return address"),
+    _op("PLONGJMP", _C.CONTROL, _D.NONE, False, "push longjmp target"),
+    _op("BPT", _C.CONTROL, _D.NONE, True, "breakpoint / trap"),
+    _op("KILL", _C.CONTROL, _D.NONE, False, "kill thread"),
+    _op("NOP", _C.CONTROL, _D.NONE, True, "no operation"),
+    _op("RTT", _C.CONTROL, _D.NONE, False, "return from trap"),
+    _op("WARPSYNC", _C.CONTROL, _D.NONE, True, "synchronize warp lanes"),
+    _op("YIELD", _C.CONTROL, _D.NONE, False, "yield warp scheduling slot"),
+    _op("BAR", _C.CONTROL, _D.NONE, True, "thread-block barrier"),
+    _op("B2R", _C.CONTROL, _D.GP, False, "barrier state to register"),
+    _op("R2B", _C.CONTROL, _D.NONE, False, "register to barrier state"),
+    _op("DEPBAR", _C.CONTROL, _D.NONE, False, "dependency barrier"),
+    _op("LEPC", _C.CONTROL, _D.GP, False, "load effective PC"),
+    _op("NANOSLEEP", _C.CONTROL, _D.NONE, False, "timed sleep"),
+    _op("BMOV", _C.CONTROL, _D.GP, False, "move barrier state"),
+    _op("BSSY", _C.CONTROL, _D.NONE, False, "push branch-sync point (Volta style)"),
+    _op("BSYNC", _C.CONTROL, _D.NONE, False, "branch-sync reconverge (Volta style)"),
+    _op("BREAK", _C.CONTROL, _D.NONE, False, "break branch-sync (Volta style)"),
+    # --- System ------------------------------------------------------------
+    _op("S2R", _C.SYSTEM, _D.GP, True, "special register to register"),
+    _op("CS2R", _C.SYSTEM, _D.GP, True, "constant special register to register"),
+    _op("VOTE", _C.SYSTEM, _D.PRED, True, "warp vote"),
+    _op("PMTRIG", _C.SYSTEM, _D.NONE, False, "performance-monitor trigger"),
+    _op("GETLMEMBASE", _C.SYSTEM, _D.GP, False, "get local-memory base"),
+    _op("SETLMEMBASE", _C.SYSTEM, _D.NONE, False, "set local-memory base"),
+    _op("AL2P", _C.SYSTEM, _D.GP, False, "attribute logical-to-physical"),
+    _op("OUT", _C.SYSTEM, _D.GP, False, "stream output"),
+    _op("ISBERD", _C.SYSTEM, _D.GP, False, "internal stage buffer read"),
+    # --- Uniform datapath ----------------------------------------------------
+    _op("VOTEU", _C.UNIFORM, _D.GP, False, "uniform warp vote"),
+    _op("UMOV", _C.UNIFORM, _D.GP, False, "uniform register move"),
+    _op("USEL", _C.UNIFORM, _D.GP, False, "uniform select"),
+    _op("ULDC", _C.UNIFORM, _D.GP, False, "uniform load constant"),
+    _op("UPOPC", _C.UNIFORM, _D.GP, False, "uniform population count"),
+)
+
+
+def _freeze_table(raw: tuple[OpcodeInfo, ...]) -> tuple[OpcodeInfo, ...]:
+    seen: set[str] = set()
+    table = []
+    for idx, info in enumerate(raw):
+        if info.name in seen:
+            raise ValueError(f"duplicate opcode {info.name} in ISA table")
+        seen.add(info.name)
+        table.append(
+            OpcodeInfo(
+                name=info.name,
+                category=info.category,
+                dest_kind=info.dest_kind,
+                executable=info.executable,
+                description=info.description,
+                opcode_id=idx,
+            )
+        )
+    return tuple(table)
+
+
+OPCODES: tuple[OpcodeInfo, ...] = _freeze_table(_RAW_TABLE)
+OPCODES_BY_NAME: dict[str, OpcodeInfo] = {info.name: info for info in OPCODES}
+NUM_OPCODES: int = len(OPCODES)
+
+# Registers -----------------------------------------------------------------
+
+RZ = 255  # reads as zero, writes are discarded
+PT = 7  # predicate "true"; writes are discarded
+NUM_PREDICATES = 8  # P0..P6 plus PT
+MAX_GP_REGS = 255  # R0..R254 (R255 is RZ)
+WARP_SIZE = 32
+
+SPECIAL_REGISTERS = (
+    "SR_TID.X",
+    "SR_TID.Y",
+    "SR_TID.Z",
+    "SR_CTAID.X",
+    "SR_CTAID.Y",
+    "SR_CTAID.Z",
+    "SR_NTID.X",
+    "SR_NTID.Y",
+    "SR_NTID.Z",
+    "SR_NCTAID.X",
+    "SR_NCTAID.Y",
+    "SR_NCTAID.Z",
+    "SR_LANEID",
+    "SR_WARPID",
+    "SR_SMID",
+    "SR_GRIDID",
+    "SR_CLOCK",
+    "SRZ",
+)
+
+
+def opcode_info(name: str) -> OpcodeInfo:
+    """Look up an opcode by mnemonic, raising ``KeyError`` with context."""
+    try:
+        return OPCODES_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode mnemonic {name!r}") from None
+
+
+def opcode_by_id(opcode_id: int) -> OpcodeInfo:
+    """Look up an opcode by its integer id (permanent-fault addressing)."""
+    if not 0 <= opcode_id < NUM_OPCODES:
+        raise IndexError(
+            f"opcode id {opcode_id} out of range 0..{NUM_OPCODES - 1}"
+        )
+    return OPCODES[opcode_id]
+
+
+def executable_opcodes() -> tuple[OpcodeInfo, ...]:
+    """All opcodes with full simulator semantics."""
+    return tuple(info for info in OPCODES if info.executable)

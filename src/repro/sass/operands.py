@@ -1,0 +1,132 @@
+"""Operand model for SASS-style instructions.
+
+Operands are small immutable value objects; the assembler produces them and
+the execution units consume them.  Register operands carry the float-style
+``negate``/``absolute`` source modifiers (``-R2``, ``|R2|``) found in real
+SASS listings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sass.isa import PT, RZ, SPECIAL_REGISTERS
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand R0..R254 or RZ."""
+
+    index: int
+    negate: bool = False
+    absolute: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= RZ:
+            raise ValueError(f"register index {self.index} out of range")
+
+    @property
+    def is_rz(self) -> bool:
+        return self.index == RZ
+
+    def __str__(self) -> str:
+        name = "RZ" if self.is_rz else f"R{self.index}"
+        if self.absolute:
+            name = f"|{name}|"
+        if self.negate:
+            name = f"-{name}"
+        return name
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate register operand P0..P6 or PT, optionally negated (!P0)."""
+
+    index: int
+    negate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= PT:
+            raise ValueError(f"predicate index {self.index} out of range")
+
+    @property
+    def is_pt(self) -> bool:
+        return self.index == PT
+
+    def __str__(self) -> str:
+        name = "PT" if self.is_pt else f"P{self.index}"
+        return f"!{name}" if self.negate else name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 32-bit immediate operand, stored as its raw bit pattern."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 0xFFFFFFFF:
+            raise ValueError(f"immediate 0x{self.bits:x} does not fit in 32 bits")
+
+    def __str__(self) -> str:
+        return f"0x{self.bits:x}"
+
+
+@dataclass(frozen=True)
+class ConstMem:
+    """A constant-bank operand ``c[bank][offset]`` (kernel params live here)."""
+
+    bank: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.offset < 0:
+            raise ValueError("constant bank/offset must be non-negative")
+
+    def __str__(self) -> str:
+        return f"c[0x{self.bank:x}][0x{self.offset:x}]"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory reference ``[Rn + offset]``; ``reg=None`` means absolute."""
+
+    reg: int | None
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.reg is None:
+            return f"[0x{self.offset:x}]"
+        base = "RZ" if self.reg == RZ else f"R{self.reg}"
+        if self.offset == 0:
+            return f"[{base}]"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"[{base}{sign}0x{abs(self.offset):x}]"
+
+
+@dataclass(frozen=True)
+class SpecialReg:
+    """A special-register source for S2R/CS2R (SR_TID.X, SR_SMID, ...)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SPECIAL_REGISTERS:
+            raise ValueError(f"unknown special register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A branch-target label; resolved to a PC by the assembler."""
+
+    name: str
+    target_pc: int | None = None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Reg | Pred | Imm | ConstMem | MemRef | SpecialReg | LabelRef

@@ -1,0 +1,31 @@
+"""Shared low-level utilities: bit manipulation, seeded RNG streams, text tables."""
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    popcount,
+    sign_extend,
+    to_i32,
+    to_u32,
+)
+from repro.utils.rng import SeedSequenceStream
+from repro.utils.text import format_table
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "bits_to_f32",
+    "bits_to_f64",
+    "f32_to_bits",
+    "f64_to_bits",
+    "popcount",
+    "sign_extend",
+    "to_i32",
+    "to_u32",
+    "SeedSequenceStream",
+    "format_table",
+]

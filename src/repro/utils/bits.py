@@ -1,0 +1,101 @@
+"""Bit-level helpers for 32/64-bit register values.
+
+All architectural register state in the simulator is stored as unsigned
+integers (``int`` in scalar code, ``numpy.uint32`` in vectorised warp code).
+These helpers convert between the raw bit patterns and the typed views
+(signed integers, IEEE-754 floats) that instruction semantics operate on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def to_u32(value: int) -> int:
+    """Truncate an arbitrary Python int to an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def to_u64(value: int) -> int:
+    """Truncate an arbitrary Python int to an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def to_i32(value: int) -> int:
+    """Reinterpret the low 32 bits of ``value`` as a signed 32-bit integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_i64(value: int) -> int:
+    """Reinterpret the low 64 bits of ``value`` as a signed 64-bit integer."""
+    value &= MASK64
+    return value - 0x10000000000000000 if value & 0x8000000000000000 else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to a Python int."""
+    if bits <= 0:
+        raise ValueError(f"bit width must be positive, got {bits}")
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def f32_to_bits(value: float) -> int:
+    """Return the IEEE-754 binary32 bit pattern of ``value``."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_f32(bits: int) -> float:
+    """Interpret a 32-bit pattern as an IEEE-754 binary32 value."""
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def f64_to_bits(value: float) -> int:
+    """Return the IEEE-754 binary64 bit pattern of ``value``."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_f64(bits: int) -> float:
+    """Interpret a 64-bit pattern as an IEEE-754 binary64 value."""
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount is defined for non-negative values")
+    return bin(value).count("1")
+
+
+def flo(value: int) -> int:
+    """Find-leading-one: index of the highest set bit, or 0xFFFFFFFF if none.
+
+    Mirrors the SASS ``FLO`` convention of returning all-ones for a zero
+    input.
+    """
+    value &= MASK32
+    if value == 0:
+        return MASK32
+    return value.bit_length() - 1
+
+
+def bit_field_extract(value: int, pos: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``pos`` (BFE)."""
+    if width <= 0:
+        return 0
+    return (to_u32(value) >> (pos & 31)) & ((1 << width) - 1)
+
+
+def bit_field_insert(base: int, insert: int, pos: int, width: int) -> int:
+    """Insert the low ``width`` bits of ``insert`` into ``base`` at ``pos`` (BFI)."""
+    if width <= 0:
+        return to_u32(base)
+    pos &= 31
+    mask = ((1 << width) - 1) << pos
+    return (to_u32(base) & ~mask & MASK32) | ((to_u32(insert) << pos) & mask)

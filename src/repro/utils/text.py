@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's tables and figures as aligned
+monospace tables; this module is the single formatter they all share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(list(headers)))
+    lines.append(fmt_line(["-" * w for w in widths]))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_histogram_row(label: str, fractions: dict[str, float], width: int = 40) -> str:
+    """One stacked-bar line (e.g. ``SDC``/``DUE``/``Masked`` shares) for figures."""
+    chars = {"SDC": "#", "DUE": "x", "Masked": ".", "Potential DUE": "?"}
+    bar = ""
+    for key, frac in fractions.items():
+        bar += chars.get(key, "*") * max(0, round(frac * width))
+    pcts = "  ".join(f"{key}={frac * 100:5.1f}%" for key, frac in fractions.items())
+    return f"{label:<16} |{bar:<{width}}| {pcts}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""The SpecACCEL-style workload suite plus the AV-pipeline case study."""
+
+from repro.workloads.av_pipeline import AvPipeline
+from repro.workloads.base import WorkloadApp, ceil_div
+from repro.workloads.registry import (
+    WORKLOAD_CLASSES,
+    WORKLOADS,
+    all_workloads,
+    get_workload,
+)
+
+__all__ = [
+    "WorkloadApp",
+    "ceil_div",
+    "WORKLOADS",
+    "WORKLOAD_CLASSES",
+    "get_workload",
+    "all_workloads",
+    "AvPipeline",
+]

@@ -1,0 +1,111 @@
+"""The autonomous-vehicle pipeline from the paper's §IV introduction.
+
+A real-time application composed of *dynamically loaded* GPU libraries —
+the case the paper argues only NVBitFI can handle: kernels come from
+"libperception" and "libplanning" modules registered as shared libraries
+and loaded at runtime, never compiled into the host program.  Each frame
+runs preprocess -> detect -> track -> plan; a frame-budget check plays the
+role of the real-time assertion mentioned in the paper (cuda-gdb-class
+overhead would trip it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.errorcodes import CudaError
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_PIXELS = 256
+_FRAMES = 5
+
+
+def _detector_kernel() -> str:
+    """A tiny 'DNN layer': score[i] = relu(w*x[i] + b) with a reduction tail.
+
+    Params: 0=n, 1=frame, 2=scores, 3=w (f32), 4=b (f32).
+    """
+    kb = KernelBuilder("detect_layer", num_params=5)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    pre = kb.ffma(x, kb.param_f32(3), kb.param_f32(4))
+    relu = kb.fmnmx(pre, kb.const_f32(0.0), maximum=True)
+    kb.stg(kb.index(kb.param(2), i, 4), relu)
+    kb.exit()
+    return kb.finish()
+
+
+def perception_library() -> str:
+    """The 'libperception.so' image (preprocess + detect + NMS-style max)."""
+    preprocess = kf.ewise1(
+        "perception_preprocess",
+        lambda kb, x: kb.fmul(kb.fadd(x, kb.const_f32(-0.5)), kb.const_f32(2.0)),
+    )
+    nms = kf.ewise2(
+        "perception_nms",
+        lambda kb, a, b: kb.fmnmx(a, b, maximum=True),
+    )
+    return preprocess + "\n" + _detector_kernel() + "\n" + nms
+
+
+def planning_library() -> str:
+    """The 'libplanning.so' image (tracker smoothing + trajectory cost)."""
+    track = kf.ewise2_scalar(
+        "planning_track",
+        lambda kb, prev, obs, alpha: kb.ffma(kb.fsub(obs, prev), alpha, prev),
+    )
+    cost = kf.reduce_sum("planning_cost")
+    return track + "\n" + cost
+
+
+class AvPipeline(WorkloadApp):
+    """Not part of the 15-program suite; the paper's motivating AV case."""
+
+    name = "av_pipeline"
+    description = "Autonomous-vehicle pipeline using dynamic GPU libraries"
+    paper_static_kernels = 5
+    paper_dynamic_kernels = 5 * _FRAMES
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        # Register and load the 'shared libraries' at runtime — the host
+        # program has no compile-time knowledge of their kernels.
+        rt.libraries.register("libperception.so", perception_library())
+        rt.libraries.register("libplanning.so", planning_library())
+        perception = rt.load_library("libperception.so")
+        planning = rt.load_library("libplanning.so")
+
+        preprocess = rt.get_function(perception, "perception_preprocess")
+        detect = rt.get_function(perception, "detect_layer")
+        nms = rt.get_function(perception, "perception_nms")
+        track = rt.get_function(planning, "planning_track")
+        cost = rt.get_function(planning, "planning_cost")
+
+        rng = ctx.rng()
+        frame = rt.alloc(_PIXELS, np.float32)
+        scores = rt.alloc(_PIXELS, np.float32)
+        suppressed = rt.to_device(np.zeros(_PIXELS, np.float32))
+        tracked = rt.to_device(np.zeros(_PIXELS, np.float32))
+        costs = rt.to_device(np.zeros(_FRAMES, np.float32))
+
+        grid = ceil_div(_PIXELS, 64)
+        for index in range(_FRAMES):
+            frame.from_host(rng.random(_PIXELS).astype(np.float32))
+            rt.launch(preprocess, grid, 64, _PIXELS, frame, frame)
+            rt.launch(detect, grid, 64, _PIXELS, frame, scores, 1.5, -0.2)
+            rt.launch(nms, grid, 64, _PIXELS, scores, suppressed, suppressed)
+            rt.launch(track, grid, 64, _PIXELS, tracked, scores, tracked, 0.3)
+            rt.launch(cost, grid, 64, _PIXELS, tracked, costs.address + 4 * index)
+            if rt.synchronize() is not CudaError.SUCCESS:
+                # The watchdog/safety monitor: fail over to the backup mode.
+                ctx.print(f"av_pipeline: frame {index} FAILED — engaging backup")
+                ctx.exit(9)
+
+        result = np.concatenate([tracked.to_host(), costs.to_host()])
+        ctx.print(f"av_pipeline: processed {_FRAMES} frames")
+        self.finalize(ctx, result)

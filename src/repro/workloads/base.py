@@ -1,0 +1,67 @@
+"""Shared infrastructure for the SpecACCEL-style workload suite.
+
+Every workload is an :class:`~repro.runner.app.Application` whose ``run``
+drives GPU kernels through the CUDA runtime and whose ``check`` is the
+SpecACCEL-style tolerance comparison of the output file (paper §IV-A: the
+suite "conveniently includes a program-specific checking script with each
+program").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext, Application
+from repro.runner.artifacts import CheckResult, RunArtifacts
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class WorkloadApp(Application):
+    """Base class for the 15 SpecACCEL-style programs."""
+
+    # Table IV reference values (the paper's counts).
+    paper_static_kernels: int = 0
+    paper_dynamic_kernels: int = 0
+    # Our scaled targets (documented in DESIGN.md / EXPERIMENTS.md).
+    description = ""
+
+    # SpecACCEL-style tolerances for the output comparison.
+    check_rtol: float = 1e-3
+    check_atol: float = 1e-5
+
+    @property
+    def output_file(self) -> str:
+        return f"{self.name}.out"
+
+    # -- host-program helpers --------------------------------------------------
+
+    def finalize(self, ctx: AppContext, result: np.ndarray) -> None:
+        """Standard epilogue: write the raw output file + a rounded summary."""
+        result = np.ascontiguousarray(result, dtype=np.float32)
+        ctx.write_file(self.output_file, result.tobytes())
+        finite = result[np.isfinite(result)]
+        checksum = float(finite.sum()) if finite.size else float("nan")
+        ctx.print(f"{self.name}: n={result.size} checksum={checksum:.3e}")
+
+    # -- the SDC-check script -----------------------------------------------------
+
+    def check(self, golden: RunArtifacts, observed: RunArtifacts) -> CheckResult:
+        if observed.stdout != golden.stdout:
+            return CheckResult.fail("Standard output is different")
+        if self.output_file not in observed.files:
+            return CheckResult.fail(f"Output file missing: {self.output_file}")
+        expected = np.frombuffer(golden.files[self.output_file], dtype=np.float32)
+        actual = np.frombuffer(observed.files[self.output_file], dtype=np.float32)
+        if expected.size != actual.size:
+            return CheckResult.fail("Output file is different: size mismatch")
+        if not np.allclose(
+            actual, expected, rtol=self.check_rtol, atol=self.check_atol, equal_nan=True
+        ):
+            worst = float(np.nanmax(np.abs(actual.astype(np.float64) - expected)))
+            return CheckResult.fail(
+                f"Output file is different: max abs error {worst:.3e}"
+            )
+        return CheckResult.ok()

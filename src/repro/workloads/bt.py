@@ -1,0 +1,117 @@
+"""370.bt — NAS BT: block tri-diagonal solver for a 3D PDE.
+
+Eight static kernels: RHS computation (FP64 mixed), x/y forward and
+backward block sweeps, a small dense mat-vec per cell, the solution-add
+pass and a residual-norm reduction.  The host validates the residual and
+aborts on non-finite values (Application-detection DUE path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.errorcodes import CudaError
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_STEPS = 12
+
+
+def _rhs_kernel() -> str:
+    """FP64-accumulated RHS: rhs = (double)(f - 0.15*u*u).  Params: 0=n,1=f,2=u,3=rhs."""
+    kb = KernelBuilder("bt_compute_rhs", num_params=4)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    f = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    u = kb.ldg_f32(kb.index(kb.param(2), i, 4))
+    fd = kb.f2d(f)
+    ud = kb.f2d(u)
+    u2 = kb.dmul(ud, ud)
+    coef = kb.f2d(kb.const_f32(-0.15))
+    rhs = kb.dfma(u2, coef, fd)
+    kb.stg(kb.index(kb.param(3), i, 4), kb.d2f(rhs))
+    kb.exit()
+    return kb.finish()
+
+
+def _matvec_kernel() -> str:
+    """2x2 block mat-vec per pair of cells.  Params: 0=pairs, 1=x, 2=y."""
+    kb = KernelBuilder("bt_matvec", num_params=3)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    base = kb.shl(i, 1)  # element index of the pair
+    a0 = kb.ldg_f32(kb.index(kb.param(1), base, 4))
+    a1 = kb.ldg_f32(kb.index(kb.param(1), base, 4), offset=4)
+    # [y0; y1] = [[0.9, 0.1], [0.1, 0.9]] [a0; a1]
+    y0 = kb.ffma(a0, kb.const_f32(0.9), kb.fmul(a1, kb.const_f32(0.1)))
+    y1 = kb.ffma(a1, kb.const_f32(0.9), kb.fmul(a0, kb.const_f32(0.1)))
+    out = kb.index(kb.param(2), base, 4)
+    kb.stg(out, y0)
+    kb.stg(out, y1, offset=4)
+    kb.exit()
+    return kb.finish()
+
+
+class Bt(WorkloadApp):
+    name = "370.bt"
+    description = "Block tri-diagonal solver for 3D PDE"
+    paper_static_kernels = 50
+    paper_dynamic_kernels = 10069
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            parts = [
+                _rhs_kernel(),
+                kf.tridiag_sweep("bt_x_forward", forward=True, width=_WIDTH, coef=0.25),
+                kf.tridiag_sweep("bt_x_backward", forward=False, width=_WIDTH, coef=0.25),
+                kf.tridiag_sweep("bt_y_forward", forward=True, width=_WIDTH, coef=0.2),
+                kf.tridiag_sweep("bt_y_backward", forward=False, width=_WIDTH, coef=0.2),
+                _matvec_kernel(),
+                kf.ewise2("bt_add", lambda kb, u, r: kb.ffma(r, kb.const_f32(0.8), u)),
+                kf.reduce_sum("bt_norm"),
+            ]
+            cls._module_cache = "\n".join(parts)
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+
+        rng = ctx.rng()
+        u = rt.to_device((rng.random(_CELLS) * 0.4 + 0.8).astype(np.float32))
+        forcing = rt.to_device((rng.random(_CELLS) * 0.2).astype(np.float32))
+        rhs = rt.alloc(_CELLS, np.float32)
+        norms = rt.to_device(np.zeros(_STEPS, np.float32))
+
+        grid = ceil_div(_CELLS, 64)
+        line_grid = ceil_div(_HEIGHT, 32)
+        for step in range(_STEPS):
+            rt.launch(get("bt_compute_rhs"), grid, 64, _CELLS, forcing, u, rhs)
+            rt.launch(get("bt_x_forward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("bt_x_backward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("bt_y_forward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("bt_y_backward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("bt_matvec"), grid, 64, _CELLS // 2, rhs, rhs)
+            rt.launch(get("bt_add"), grid, 64, _CELLS, u, rhs, u)
+            rt.launch(get("bt_norm"), grid, 64, _CELLS, rhs, norms.address + 4 * step)
+
+        if rt.synchronize() is not CudaError.SUCCESS:
+            ctx.print("bt: CUDA failure detected")
+            ctx.exit(1)
+        final_norms = norms.to_host()
+        if not np.isfinite(final_norms).all():
+            ctx.print("bt: VERIFICATION FAILED (non-finite residual)")
+            ctx.exit(3)
+        self.finalize(ctx, np.concatenate([u.to_host(), final_norms]))

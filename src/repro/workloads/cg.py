@@ -1,0 +1,118 @@
+"""354.cg — conjugate gradient on a banded SPD matrix.
+
+Six static kernels (banded SpMV, dot-product reduction, two AXPY variants,
+copy, residual norm).  The host reads the scalar reduction results back
+each iteration — faithful to real CG — and checks for CUDA errors at the
+end (Application-detection DUE path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.errorcodes import CudaError
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_N = 192
+_ITERATIONS = 9
+
+
+def _spmv_kernel() -> str:
+    """y = A x with A = tridiag(-1, 4, -1) (SPD).  Params: 0=n, 1=x, 2=y."""
+    kb = KernelBuilder("cg_spmv", num_params=3)
+    i = kb.global_tid_x()
+    n = kb.param(0)
+    oob = kb.isetp("GE", i, n, unsigned=True)
+    kb.exit_if(oob)
+    xc = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    accum = kb.fmul(xc, kb.const_f32(4.0))
+    has_left = kb.isetp("GT", i, 0)
+    with kb.if_then(has_left):
+        left = kb.ldg_f32(kb.index(kb.param(1), i, 4), offset=-4)
+        kb.assign(accum, kb.ffma(left, kb.const_f32(-1.0), accum))
+    last = kb.iadd(n, -1)
+    has_right = kb.isetp("LT", i, last)
+    with kb.if_then(has_right):
+        right = kb.ldg_f32(kb.index(kb.param(1), i, 4), offset=4)
+        kb.assign(accum, kb.ffma(right, kb.const_f32(-1.0), accum))
+    kb.stg(kb.index(kb.param(2), i, 4), accum)
+    kb.exit()
+    return kb.finish()
+
+
+def _build_module() -> str:
+    axpy = kf.ewise2_scalar(
+        "cg_axpy", lambda kb, y, x, a: kb.ffma(x, a, y)
+    )
+    aypx = kf.ewise2_scalar(
+        "cg_aypx", lambda kb, y, x, a: kb.ffma(y, a, x)
+    )
+    copy = kf.ewise1("cg_copy", lambda kb, x: kb.mov(x))
+    norm = kf.dot_product("cg_dot")
+    sq_norm = kf.reduce_sum("cg_norm_partial")
+    return "\n".join((_spmv_kernel(), norm, axpy, aypx, copy, sq_norm))
+
+
+class Cg(WorkloadApp):
+    name = "354.cg"
+    description = "Conjugate gradient"
+    paper_static_kernels = 22
+    paper_dynamic_kernels = 2027
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+        spmv, dot, axpy = get("cg_spmv"), get("cg_dot"), get("cg_axpy")
+        aypx, copy, norm = get("cg_aypx"), get("cg_copy"), get("cg_norm_partial")
+
+        rng = ctx.rng()
+        b = (rng.random(_N).astype(np.float32) - 0.5)
+        x = rt.to_device(np.zeros(_N, np.float32))
+        r = rt.to_device(b)  # r = b - A*0 = b
+        p = rt.to_device(b)
+        ap = rt.alloc(_N, np.float32)
+        scalar = rt.alloc(2, np.float32)
+
+        grid = ceil_div(_N, 64)
+
+        def device_dot(u, v) -> float:
+            scalar.from_host(np.zeros(2, np.float32))
+            rt.launch(dot, grid, 64, _N, u, v, scalar)
+            return float(scalar.to_host()[0])
+
+        rs_old = device_dot(r, r)
+        for _ in range(_ITERATIONS):
+            rt.launch(spmv, grid, 64, _N, p, ap)
+            p_ap = device_dot(p, ap)
+            if p_ap == 0.0 or not np.isfinite(p_ap):
+                break
+            alpha = rs_old / p_ap
+            rt.launch(axpy, grid, 64, _N, x, p, x, float(alpha))
+            rt.launch(axpy, grid, 64, _N, r, ap, r, float(-alpha))
+            rs_new = device_dot(r, r)
+            if rs_new == 0.0 or not np.isfinite(rs_new):
+                break
+            rt.launch(aypx, grid, 64, _N, p, r, p, float(rs_new / rs_old))
+            rs_old = rs_new
+        rt.launch(copy, grid, 64, _N, x, ap)
+        scalar.from_host(np.zeros(2, np.float32))
+        rt.launch(norm, grid, 64, _N, ap, scalar)
+
+        if rt.synchronize() is not CudaError.SUCCESS:
+            ctx.print("cg: CUDA failure detected")
+            ctx.exit(1)
+        ctx.print(f"cg: final residual {rs_old:.3e}")
+        self.finalize(ctx, ap.to_host())

@@ -1,0 +1,126 @@
+"""353.clvrleaf — weather / hydrodynamics (CloverLeaf-style).
+
+CloverLeaf is a structured Eulerian hydro code with many small field
+kernels; Table IV shows 116 static / 12,528 dynamic.  Scaled: 12 static
+kernels (EOS, viscosity, PdV, fluxes, advection, acceleration, halo,
+summary) over 10 timesteps — 120 dynamic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_TIMESTEPS = 10
+_GAMMA = 1.4
+
+
+def _build_module() -> str:
+    parts = [
+        # Equation of state: p = (gamma-1) * density * energy
+        kf.ewise2(
+            "ideal_gas",
+            lambda kb, d, e: kb.fmul(kb.fmul(d, e), kb.const_f32(_GAMMA - 1.0)),
+        ),
+        # Artificial viscosity: q = c * |dv| * dv
+        kf.ewise2(
+            "viscosity",
+            lambda kb, dv, d: kb.fmul(kb.fmul(kb.fabs(dv), dv),
+                                      kb.fmul(d, kb.const_f32(0.25))),
+        ),
+        # PdV work: e' = e - p * dvol
+        kf.ewise3(
+            "pdv",
+            lambda kb, e, p, dvol: kb.ffma(p, kb.fmul(dvol, kb.const_f32(-1.0)), e),
+        ),
+        kf.stencil5("flux_calc_x", center=0.0, neighbour=0.25, width=_WIDTH),
+        kf.stencil5("flux_calc_y", center=0.5, neighbour=0.125, width=_WIDTH),
+        # Cell advection: field += c * flux
+        kf.ewise2_scalar(
+            "advec_cell_x",
+            lambda kb, f, flux, c: kb.ffma(flux, c, f),
+        ),
+        kf.ewise2_scalar(
+            "advec_cell_y",
+            lambda kb, f, flux, c: kb.ffma(flux, kb.fmul(c, kb.const_f32(0.5)), f),
+        ),
+        # Momentum advection (fused multiply chains).
+        kf.ewise3(
+            "advec_mom",
+            lambda kb, m, f, d: kb.ffma(f, d, kb.fmul(m, kb.const_f32(0.98))),
+        ),
+        # Acceleration: v' = v + dt * p_gradient
+        kf.ewise2_scalar(
+            "acceleration",
+            lambda kb, v, grad, dt: kb.ffma(grad, dt, v),
+        ),
+        # Halo update: clamp boundary ring (element-wise stand-in).
+        kf.ewise1(
+            "update_halo",
+            lambda kb, x: kb.fmnmx(
+                kb.fmnmx(x, kb.const_f32(-1e6), maximum=True), kb.const_f32(1e6)
+            ),
+        ),
+        kf.reduce_sum("field_summary"),
+        kf.ewise1("reset_field", lambda kb, x: kb.mov(x)),
+    ]
+    return "\n".join(parts)
+
+
+class Clvrleaf(WorkloadApp):
+    name = "353.clvrleaf"
+    description = "Weather (hydrodynamics)"
+    paper_static_kernels = 116
+    paper_dynamic_kernels = 12528
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+
+        rng = ctx.rng()
+        density = rt.to_device((rng.random(_CELLS) * 0.5 + 1.0).astype(np.float32))
+        energy = rt.to_device((rng.random(_CELLS) * 0.5 + 1.0).astype(np.float32))
+        pressure = rt.alloc(_CELLS, np.float32)
+        velocity = rt.to_device(np.zeros(_CELLS, np.float32))
+        q = rt.alloc(_CELLS, np.float32)
+        flux = rt.alloc(_CELLS, np.float32)
+        summary = rt.to_device(np.zeros(_TIMESTEPS, np.float32))
+
+        grid = ceil_div(_CELLS, 64)
+        dt = 0.01
+        for step in range(_TIMESTEPS):
+            rt.launch(get("ideal_gas"), grid, 64, _CELLS, density, energy, pressure)
+            rt.launch(get("viscosity"), grid, 64, _CELLS, velocity, density, q)
+            rt.launch(get("pdv"), grid, 64, _CELLS, energy, pressure, q, energy)
+            rt.launch(get("flux_calc_x"), grid, 64, _HEIGHT, pressure, flux)
+            rt.launch(get("advec_cell_x"), grid, 64, _CELLS, density, flux, density, dt)
+            rt.launch(get("flux_calc_y"), grid, 64, _HEIGHT, energy, flux)
+            rt.launch(get("advec_cell_y"), grid, 64, _CELLS, energy, flux, energy, dt)
+            rt.launch(get("advec_mom"), grid, 64, _CELLS, velocity, flux, density, velocity)
+            rt.launch(get("acceleration"), grid, 64, _CELLS, velocity, pressure, velocity, dt)
+            rt.launch(get("update_halo"), grid, 64, _CELLS, velocity, velocity)
+            rt.launch(
+                get("field_summary"), grid, 64, _CELLS, energy,
+                summary.address + 4 * step,
+            )
+            rt.launch(get("reset_field"), grid, 64, _CELLS, q, flux)
+
+        self.finalize(
+            ctx, np.concatenate([energy.to_host(), summary.to_host()])
+        )

@@ -1,0 +1,60 @@
+"""357.csp — NAS SP, C variant: the same solver family, different kernels.
+
+Like the real suite (356.sp is the Fortran code, 357.csp the C port), CSP
+shares SP's structure but has its own kernel set with different
+coefficients, an extra diffusion term and one fewer timestep.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import kernels as kf
+from repro.workloads.sp import Sp
+
+_TIMESTEPS = 13
+_WIDTH = 16
+
+
+def _build_module() -> str:
+    parts = [
+        kf.ewise2(
+            "csp_compute_rhs",
+            lambda kb, f, u: kb.ffma(u, kb.const_f32(-0.25),
+                                     kb.fmul(f, kb.const_f32(1.05))),
+        ),
+        kf.tridiag_sweep("csp_x_forward", forward=True, width=_WIDTH, coef=0.35),
+        kf.tridiag_sweep("csp_x_backward", forward=False, width=_WIDTH, coef=0.35),
+        kf.tridiag_sweep("csp_y_forward", forward=True, width=_WIDTH, coef=0.45),
+        kf.tridiag_sweep("csp_y_backward", forward=False, width=_WIDTH, coef=0.45),
+        kf.ewise2(
+            "csp_txinvr",
+            lambda kb, r, u: kb.fmul(
+                r, kb.mufu("RCP", kb.ffma(u, kb.const_f32(0.5), kb.const_f32(1.5)))
+            ),
+        ),
+        kf.ewise2("csp_add", lambda kb, u, r: kb.ffma(r, kb.const_f32(0.9), u)),
+        kf.ewise1(
+            "csp_halo",
+            lambda kb, x: kb.fmnmx(
+                kb.fmnmx(x, kb.const_f32(-2e5), maximum=True), kb.const_f32(2e5)
+            ),
+        ),
+        kf.reduce_sum("csp_rhs_norm"),
+    ]
+    return "\n".join(parts)
+
+
+class Csp(Sp):
+    name = "357.csp"
+    description = "Scalar penta-diagonal solver (C variant)"
+    paper_static_kernels = 69
+    paper_dynamic_kernels = 26890
+
+    _module_cache: str | None = None
+    _kernel_prefix = "csp"
+    _timesteps = _TIMESTEPS
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache

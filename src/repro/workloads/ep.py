@@ -1,0 +1,162 @@
+"""352.ep — NAS EP: embarrassingly parallel pseudo-random deviates.
+
+Seven static kernels: LCG seed setup, batch generation, a Box-Muller-like
+transform, histogram binning with atomics, per-warp partial maxima, a scale
+pass and a finalise pass.  Integer-heavy (LCG) plus atomics — a very
+different group mix from the stencil codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_STREAMS = 128
+_BATCHES = 4
+_BINS = 16
+_LCG_A = 1664525
+_LCG_C = 1013904223
+
+
+def _seed_kernel() -> str:
+    """seeds[i] = base_seed ^ (i * GOLDEN).  Params: 0=n, 1=seeds, 2=base."""
+    kb = KernelBuilder("ep_seed", num_params=3)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    mixed = kb.lxor(kb.imul(i, kb.const_u32(0x9E3779B9)), kb.param(2))
+    kb.stg(kb.index(kb.param(1), i, 4), mixed)
+    kb.exit()
+    return kb.finish()
+
+
+def _generate_kernel() -> str:
+    """Advance each LCG stream 8 steps, store final state and a uniform.
+
+    Params: 0=n, 1=seeds (in/out), 2=uniforms (f32 out).
+    """
+    kb = KernelBuilder("ep_generate", num_params=3)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    state_addr = kb.index(kb.param(1), i, 4)
+    state = kb.ldg_u32(state_addr)
+    with kb.for_range(8) as _:
+        kb.assign(state, kb.imad(state, kb.const_u32(_LCG_A), kb.const_u32(_LCG_C)))
+    kb.stg(state_addr, state)
+    # uniform in [0,1): top 24 bits / 2^24
+    top = kb.shr(state, 8)
+    uniform = kb.fmul(kb.i2f(top, unsigned=True), kb.const_f32(1.0 / (1 << 24)))
+    kb.stg(kb.index(kb.param(2), i, 4), uniform)
+    kb.exit()
+    return kb.finish()
+
+
+def _bin_kernel() -> str:
+    """Histogram the uniforms with atomic increments.
+
+    Params: 0=n, 1=uniforms, 2=bins (u32 x _BINS).
+    """
+    kb = KernelBuilder("ep_bin", num_params=3)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    u = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    bin_f = kb.fmul(u, kb.const_f32(float(_BINS)))
+    bin_index = kb.imnmx(kb.f2i(bin_f), kb.const_u32(_BINS - 1))
+    one = kb.const_u32(1)
+    kb.red_add_u32(kb.index(kb.param(2), bin_index, 4), one)
+    kb.exit()
+    return kb.finish()
+
+
+def _partial_max_kernel() -> str:
+    """Warp-shuffle maximum of the uniforms.  Params: 0=n, 1=x, 2=out/warp."""
+    kb = KernelBuilder("ep_partial_max", num_params=3)
+    i = kb.global_tid_x()
+    value = kb.mov(kb.const_f32(0.0))
+    inb = kb.isetp("LT", i, kb.param(0), unsigned=True)
+    with kb.if_then(inb):
+        kb.assign(value, kb.ldg_f32(kb.index(kb.param(1), i, 4)))
+    for delta in (16, 8, 4, 2, 1):
+        kb.assign(value, kb.fmnmx(value, kb.shfl_down(value, delta), maximum=True))
+    lane0 = kb.isetp("EQ", kb.lane_id(), 0)
+    with kb.if_then(lane0):
+        warp = kb.shr(i, 5)
+        kb.stg(kb.index(kb.param(2), warp, 4), value)
+    kb.exit()
+    return kb.finish()
+
+
+class Ep(WorkloadApp):
+    name = "352.ep"
+    description = "Embarrassingly parallel"
+    paper_static_kernels = 7
+    paper_dynamic_kernels = 187
+    # Integer LCG + histogram: bit-exact, so the check is exact equality.
+    check_rtol = 0.0
+    check_atol = 0.0
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            scale = kf.ewise1(
+                "ep_scale", lambda kb, x: kb.fmul(x, kb.const_f32(2.0))
+            )
+            shift = kf.ewise2(
+                "ep_shift", lambda kb, x, y: kb.fadd(x, kb.fmul(y, kb.const_f32(-1.0)))
+            )
+            finalize = kf.ewise1(
+                "ep_finalize",
+                lambda kb, x: kb.fmnmx(x, kb.const_f32(0.0), maximum=True),
+            )
+            cls._module_cache = "\n".join(
+                (
+                    _seed_kernel(),
+                    _generate_kernel(),
+                    _bin_kernel(),
+                    _partial_max_kernel(),
+                    scale,
+                    shift,
+                    finalize,
+                )
+            )
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+        seed_k, gen_k, bin_k = get("ep_seed"), get("ep_generate"), get("ep_bin")
+        pmax_k, scale_k = get("ep_partial_max"), get("ep_scale")
+        shift_k, final_k = get("ep_shift"), get("ep_finalize")
+
+        seeds = rt.alloc(_STREAMS, np.uint32)
+        uniforms = rt.alloc(_STREAMS, np.float32)
+        bins = rt.to_device(np.zeros(_BINS, np.uint32))
+        warp_max = rt.to_device(np.zeros(_STREAMS // 32, np.float32))
+        scratch = rt.alloc(_STREAMS, np.float32)
+
+        grid = ceil_div(_STREAMS, 64)
+        base_seed = int(ctx.rng().integers(1, 2**31))
+        rt.launch(seed_k, grid, 64, _STREAMS, seeds, base_seed)
+        for _ in range(_BATCHES):
+            rt.launch(gen_k, grid, 64, _STREAMS, seeds, uniforms)
+            rt.launch(bin_k, grid, 64, _STREAMS, uniforms, bins)
+            rt.launch(pmax_k, grid, 64, _STREAMS, uniforms, warp_max)
+            rt.launch(scale_k, grid, 64, _STREAMS, uniforms, scratch)
+            rt.launch(shift_k, grid, 64, _STREAMS, scratch, uniforms, scratch)
+            rt.launch(final_k, grid, 64, _STREAMS, scratch, scratch)
+
+        histogram = bins.to_host().astype(np.float32)
+        ctx.print(f"ep: histogram total {int(histogram.sum())}")
+        self.finalize(
+            ctx,
+            np.concatenate([histogram, warp_max.to_host(), scratch.to_host()]),
+        )

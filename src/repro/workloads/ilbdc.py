@@ -1,0 +1,86 @@
+"""360.ilbdc — fluid mechanics: a single lattice kernel, launched repeatedly.
+
+The only program in Table IV with exactly one static kernel (1 static /
+1000 dynamic): one fused collide-and-relax lattice kernel in a long time
+loop.  Scaled to 40 dynamic instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_CELLS = 256
+_STEPS = 40
+
+
+def _lattice_kernel() -> str:
+    """Fused propagate+collide on a 1D ring.  Params: 0=n, 1=src, 2=dst.
+
+    The collision includes a per-cell iterative equilibrium refinement whose
+    trip count depends on the local residual.  As the lattice relaxes over
+    timesteps, later dynamic instances execute fewer instructions — which is
+    exactly the data-dependent behaviour that makes *approximate* profiling
+    an approximation (paper §III-A / Figure 2).
+    """
+    kb = KernelBuilder("ilbdc_lattice", num_params=3)
+    i = kb.global_tid_x()
+    n = kb.param(0)
+    oob = kb.isetp("GE", i, n, unsigned=True)
+    kb.exit_if(oob)
+    # Pull from the west neighbour (periodic).
+    is_zero = kb.isetp("EQ", i, 0)
+    west = kb.sel(kb.iadd(n, -1), kb.iadd(i, -1), is_zero)
+    pulled = kb.ldg_f32(kb.index(kb.param(1), west, 4))
+    own = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    # Iteratively relax toward the neighbour mean until the residual is
+    # small (max 6 refinement steps).
+    mean = kb.fmul(kb.fadd(own, pulled), kb.const_f32(0.5))
+    relaxed = kb.mov(own)
+    threshold = kb.const_f32(0.01)
+    steps = kb.mov(kb.const_u32(0))
+    with kb.loop() as loop:
+        residual = kb.fabs(kb.fsub(mean, relaxed))
+        converged = kb.fsetp("LT", residual, threshold)
+        loop.break_if(converged)
+        too_many = kb.isetp("GE", steps, 6)
+        loop.break_if(too_many)
+        kb.assign(relaxed, kb.ffma(kb.fsub(mean, relaxed), kb.const_f32(0.7), relaxed))
+        kb.assign(steps, kb.iadd(steps, 1))
+    kb.stg(kb.index(kb.param(2), i, 4), relaxed)
+    kb.exit()
+    return kb.finish()
+
+
+class Ilbdc(WorkloadApp):
+    name = "360.ilbdc"
+    description = "Fluid mechanics"
+    paper_static_kernels = 1
+    paper_dynamic_kernels = 1000
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _lattice_kernel()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        lattice = rt.get_function(module, "ilbdc_lattice")
+
+        rng = ctx.rng()
+        src = rt.to_device((rng.random(_CELLS) * 2.0).astype(np.float32))
+        dst = rt.alloc(_CELLS, np.float32)
+
+        grid = ceil_div(_CELLS, 64)
+        for _ in range(_STEPS):
+            rt.launch(lattice, grid, 64, _CELLS, src, dst)
+            src, dst = dst, src
+
+        self.finalize(ctx, src.to_host())

@@ -1,0 +1,210 @@
+"""Parameterised kernel factories shared by the workload suite.
+
+Each factory returns SASS text built with the
+:class:`~repro.kbuild.KernelBuilder`.  Workloads compose these with their
+own custom kernels; the lambdas passed to the element-wise factories are
+*code generators* (they run at build time and emit instructions), so every
+workload still gets its own distinct instruction mix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.kbuild.builder import KernelBuilder, VReg
+
+BodyFn = Callable[..., VReg]
+
+
+def ewise1(name: str, body: BodyFn, kind: str = "f32") -> str:
+    """``out[i] = body(x[i])`` over ``n`` elements.
+
+    Params: 0=n, 1=x, 2=out.
+    """
+    kb = KernelBuilder(name, num_params=3)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg(kb.index(kb.param(1), i, _size(kind)), kind=kind)
+    result = body(kb, x)
+    kb.stg(kb.index(kb.param(2), i, _size(result.kind)), result)
+    kb.exit()
+    return kb.finish()
+
+
+def ewise2(name: str, body: BodyFn, kind: str = "f32") -> str:
+    """``out[i] = body(x[i], y[i])``.  Params: 0=n, 1=x, 2=y, 3=out."""
+    kb = KernelBuilder(name, num_params=4)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg(kb.index(kb.param(1), i, _size(kind)), kind=kind)
+    y = kb.ldg(kb.index(kb.param(2), i, _size(kind)), kind=kind)
+    result = body(kb, x, y)
+    kb.stg(kb.index(kb.param(3), i, _size(result.kind)), result)
+    kb.exit()
+    return kb.finish()
+
+
+def ewise3(name: str, body: BodyFn, kind: str = "f32") -> str:
+    """``out[i] = body(x[i], y[i], z[i])``.  Params: 0=n, 1..3=x,y,z, 4=out."""
+    kb = KernelBuilder(name, num_params=5)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg(kb.index(kb.param(1), i, _size(kind)), kind=kind)
+    y = kb.ldg(kb.index(kb.param(2), i, _size(kind)), kind=kind)
+    z = kb.ldg(kb.index(kb.param(3), i, _size(kind)), kind=kind)
+    result = body(kb, x, y, z)
+    kb.stg(kb.index(kb.param(4), i, _size(result.kind)), result)
+    kb.exit()
+    return kb.finish()
+
+
+def ewise2_scalar(name: str, body: BodyFn, kind: str = "f32") -> str:
+    """``out[i] = body(x[i], y[i], s)`` with FP32 scalar ``s``.
+
+    Params: 0=n, 1=x, 2=y, 3=out, 4=s.
+    """
+    kb = KernelBuilder(name, num_params=5)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg(kb.index(kb.param(1), i, _size(kind)), kind=kind)
+    y = kb.ldg(kb.index(kb.param(2), i, _size(kind)), kind=kind)
+    s = kb.param_f32(4)
+    result = body(kb, x, y, s)
+    kb.stg(kb.index(kb.param(3), i, _size(result.kind)), result)
+    kb.exit()
+    return kb.finish()
+
+
+def stencil5(
+    name: str,
+    center: float,
+    neighbour: float,
+    width: int,
+) -> str:
+    """2D 5-point stencil on a ``width``-wide field with fixed boundary.
+
+    ``out[y][x] = center*in[y][x] + neighbour*(N+S+E+W)``; boundary cells are
+    copied through.  Params: 0=height, 1=in, 2=out.  Launch with one thread
+    per cell (1D, row-major).
+    """
+    kb = KernelBuilder(name, num_params=3)
+    i = kb.global_tid_x()
+    height = kb.param(0)
+    total = kb.imul(height, kb.const_u32(width))
+    oob = kb.isetp("GE", i, total, unsigned=True)
+    kb.exit_if(oob)
+    x = kb.land(i, width - 1) if _is_pow2(width) else None
+    if x is None:
+        raise ValueError("stencil width must be a power of two")
+    y = kb.shr(i, _log2(width))
+    addr_in = kb.index(kb.param(1), i, 4)
+    addr_out = kb.index(kb.param(2), i, 4)
+    value = kb.ldg_f32(addr_in)
+    # Interior predicate: 0 < x < width-1 and 0 < y < height-1.
+    height_m1 = kb.iadd(height, -1)
+    p_interior = kb.isetp("GT", x, 0)
+    p2 = kb.isetp("LT", x, width - 1)
+    p3 = kb.isetp("GT", y, 0)
+    p4 = kb.isetp("LT", y, height_m1)
+    # Combine via PSETP chain.
+    pall = kb.psetp_and(kb.psetp_and(p_interior, p2), kb.psetp_and(p3, p4))
+    result = kb.mov(value)
+    with kb.if_then(pall):
+        north = kb.ldg_f32(addr_in, -4 * width)
+        south = kb.ldg_f32(addr_in, 4 * width)
+        west = kb.ldg_f32(addr_in, -4)
+        east = kb.ldg_f32(addr_in, 4)
+        ring = kb.fadd(kb.fadd(north, south), kb.fadd(west, east))
+        updated = kb.ffma(ring, kb.const_f32(neighbour),
+                          kb.fmul(value, kb.const_f32(center)))
+        kb.assign(result, updated)
+    kb.stg(addr_out, result)
+    kb.exit()
+    return kb.finish()
+
+
+def reduce_sum(name: str) -> str:
+    """Partial-sum reduction: warp SHFL tree + one RED.ADD per warp.
+
+    Params: 0=n, 1=x, 2=out (single f32 accumulator, pre-zeroed).
+    """
+    kb = KernelBuilder(name, num_params=3)
+    i = kb.global_tid_x()
+    n = kb.param(0)
+    value = kb.mov(kb.const_f32(0.0))
+    inb = kb.isetp("LT", i, n, unsigned=True)
+    with kb.if_then(inb):
+        kb.assign(value, kb.ldg_f32(kb.index(kb.param(1), i, 4)))
+    for delta in (16, 8, 4, 2, 1):
+        kb.assign(value, kb.fadd(value, kb.shfl_down(value, delta)))
+    lane = kb.lane_id()
+    is_lane0 = kb.isetp("EQ", lane, 0)
+    with kb.if_then(is_lane0):
+        kb.red_add_f32(kb.param(2), value)
+    kb.exit()
+    return kb.finish()
+
+
+def dot_product(name: str) -> str:
+    """Dot-product partial reduction.  Params: 0=n, 1=x, 2=y, 3=out."""
+    kb = KernelBuilder(name, num_params=4)
+    i = kb.global_tid_x()
+    n = kb.param(0)
+    value = kb.mov(kb.const_f32(0.0))
+    inb = kb.isetp("LT", i, n, unsigned=True)
+    with kb.if_then(inb):
+        x = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+        y = kb.ldg_f32(kb.index(kb.param(2), i, 4))
+        kb.assign(value, kb.fmul(x, y))
+    for delta in (16, 8, 4, 2, 1):
+        kb.assign(value, kb.fadd(value, kb.shfl_down(value, delta)))
+    lane = kb.lane_id()
+    is_lane0 = kb.isetp("EQ", lane, 0)
+    with kb.if_then(is_lane0):
+        kb.red_add_f32(kb.param(3), value)
+    kb.exit()
+    return kb.finish()
+
+
+def tridiag_sweep(name: str, forward: bool, width: int, coef: float) -> str:
+    """A line-solver sweep: each thread owns one row and scans along it.
+
+    Params: 0=height, 1=field (in-place).  Mimics the per-line recurrences
+    of the SP/CSP/BT solvers (sequential loop per thread => long-latency
+    dynamic kernels).
+    """
+    kb = KernelBuilder(name, num_params=2)
+    row = kb.global_tid_x()
+    height = kb.param(0)
+    oob = kb.isetp("GE", row, height, unsigned=True)
+    kb.exit_if(oob)
+    # base = field + 4 * width * row
+    base = kb.iscadd(kb.imul(row, kb.const_u32(width)), kb.param(1), 2)
+    carry = kb.mov(kb.const_f32(0.0))
+    position = kb.mov(kb.const_u32(1 if forward else width - 2))
+    with kb.for_range(width - 2) as _:
+        offset = kb.shl(position, 2)
+        addr = kb.iadd(base, offset)
+        value = kb.ldg_f32(addr)
+        updated = kb.ffma(carry, kb.const_f32(coef), value)
+        kb.stg(addr, updated)
+        kb.assign(carry, updated)
+        kb.assign(position, kb.iadd(position, 1 if forward else -1))
+    kb.exit()
+    return kb.finish()
+
+
+def _size(kind: str) -> int:
+    return 8 if kind == "f64" else 4
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1

@@ -1,0 +1,136 @@
+"""350.md — molecular dynamics: 1D Lennard-Jones-style chain.
+
+Three static kernels (forces with an O(n^2) inner loop, Verlet integration,
+kinetic-energy reduction).  The host checks the CUDA error state after the
+time loop and aborts on failure — one of the workloads exercising Table V's
+"Application detection" DUE path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.errorcodes import CudaError
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_PARTICLES = 96
+_STEPS = 6
+_DT = 1e-3
+_SOFTENING = 0.5
+
+
+def _forces_kernel() -> str:
+    """Pairwise softened inverse-square force along a line.
+
+    Params: 0=n, 1=pos, 2=force.
+    """
+    kb = KernelBuilder("md_forces", num_params=3)
+    i = kb.global_tid_x()
+    n = kb.param(0)
+    oob = kb.isetp("GE", i, n, unsigned=True)
+    kb.exit_if(oob)
+    xi = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    total = kb.mov(kb.const_f32(0.0))
+    with kb.for_range(n) as j:
+        xj = kb.ldg_f32(kb.index(kb.param(1), j, 4))
+        dx = kb.fsub(xj, xi)
+        dist2 = kb.ffma(dx, dx, kb.const_f32(_SOFTENING))
+        inv = kb.mufu("RCP", dist2)
+        kb.assign(total, kb.ffma(dx, inv, total))
+    kb.stg(kb.index(kb.param(2), i, 4), total)
+    kb.exit()
+    return kb.finish()
+
+
+def _integrate_kernel() -> str:
+    """Velocity Verlet step.  Params: 0=n, 1=pos, 2=vel, 3=force."""
+    kb = KernelBuilder("md_integrate", num_params=4)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    pos_addr = kb.index(kb.param(1), i, 4)
+    vel_addr = kb.index(kb.param(2), i, 4)
+    force = kb.ldg_f32(kb.index(kb.param(3), i, 4))
+    vel = kb.ldg_f32(vel_addr)
+    new_vel = kb.ffma(force, kb.const_f32(_DT), vel)
+    pos = kb.ldg_f32(pos_addr)
+    new_pos = kb.ffma(new_vel, kb.const_f32(_DT), pos)
+    kb.stg(vel_addr, new_vel)
+    kb.stg(pos_addr, new_pos)
+    kb.exit()
+    return kb.finish()
+
+
+def _energy_kernel() -> str:
+    """Kinetic energy partial reduction.  Params: 0=n, 1=vel, 2=accumulator."""
+    kb = KernelBuilder("md_energy", num_params=3)
+    i = kb.global_tid_x()
+    value = kb.mov(kb.const_f32(0.0))
+    inb = kb.isetp("LT", i, kb.param(0), unsigned=True)
+    with kb.if_then(inb):
+        v = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+        kb.assign(value, kb.fmul(kb.fmul(v, v), kb.const_f32(0.5)))
+    for delta in (16, 8, 4, 2, 1):
+        kb.assign(value, kb.fadd(value, kb.shfl_down(value, delta)))
+    lane0 = kb.isetp("EQ", kb.lane_id(), 0)
+    with kb.if_then(lane0):
+        kb.red_add_f32(kb.param(2), value)
+    kb.exit()
+    return kb.finish()
+
+
+class Md(WorkloadApp):
+    name = "350.md"
+    description = "Molecular dynamics"
+    paper_static_kernels = 3
+    paper_dynamic_kernels = 53
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = "\n".join(
+                (_forces_kernel(), _integrate_kernel(), _energy_kernel())
+            )
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        forces = rt.get_function(module, "md_forces")
+        integrate = rt.get_function(module, "md_integrate")
+        energy = rt.get_function(module, "md_energy")
+
+        rng = ctx.rng()
+        pos = rt.to_device((rng.random(_PARTICLES) * 8.0).astype(np.float32))
+        vel = rt.to_device(np.zeros(_PARTICLES, np.float32))
+        force = rt.alloc(_PARTICLES, np.float32)
+        energy_acc = rt.to_device(np.zeros(_STEPS, np.float32))
+
+        grid = ceil_div(_PARTICLES, 32)
+        for step in range(_STEPS):
+            rt.launch(forces, grid, 32, _PARTICLES, pos, force)
+            rt.launch(integrate, grid, 32, _PARTICLES, pos, vel, force)
+            rt.launch(
+                energy, grid, 32, _PARTICLES, vel,
+                # accumulator slot for this step
+                _offset(energy_acc, step),
+            )
+
+        if rt.synchronize() is not CudaError.SUCCESS:
+            ctx.print("md: CUDA failure detected")
+            ctx.exit(1)
+
+        energies = energy_acc.to_host()
+        ctx.print(f"md: final kinetic energy {energies[-1]:.3e}")
+        self.finalize(ctx, np.concatenate([pos.to_host(), energies]))
+
+
+def _offset(array, elements: int) -> int:
+    """Raw device address of ``array[elements]`` (pointer arithmetic)."""
+    return array.address + 4 * elements

@@ -1,0 +1,95 @@
+"""359.miniGhost — finite difference with halo exchange.
+
+Six static kernels: the central difference stencil, two halo-exchange
+kernels (x and y edges, strided copies), a boundary condition, a grid sum
+reduction and a field swap/copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_STEPS = 12
+
+
+def _halo_x_kernel() -> str:
+    """Copy west edge to east halo (periodic).  Params: 0=height, 1=field."""
+    kb = KernelBuilder("mg_halo_x", num_params=2)
+    row = kb.global_tid_x()
+    oob = kb.isetp("GE", row, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    row_base = kb.iscadd(kb.imul(row, kb.const_u32(_WIDTH)), kb.param(1), 2)
+    west = kb.ldg_f32(row_base, offset=4)
+    kb.stg(row_base, west, offset=4 * (_WIDTH - 1))
+    kb.exit()
+    return kb.finish()
+
+
+def _halo_y_kernel() -> str:
+    """Copy north interior row to south halo.  Params: 0=width, 1=field, 2=height."""
+    kb = KernelBuilder("mg_halo_y", num_params=3)
+    col = kb.global_tid_x()
+    oob = kb.isetp("GE", col, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    field = kb.param(1)
+    north = kb.ldg_f32(kb.index(field, kb.iadd(col, _WIDTH), 4))
+    height_m1 = kb.iadd(kb.param(2), -1)
+    south_index = kb.imad(height_m1, kb.const_u32(_WIDTH), col)
+    kb.stg(kb.index(field, south_index, 4), north)
+    kb.exit()
+    return kb.finish()
+
+
+class MiniGhost(WorkloadApp):
+    name = "359.miniGhost"
+    description = "Finite difference"
+    paper_static_kernels = 26
+    paper_dynamic_kernels = 8010
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            stencil = kf.stencil5("mg_stencil", center=0.5, neighbour=0.125, width=_WIDTH)
+            bc = kf.ewise1(
+                "mg_bc",
+                lambda kb, x: kb.fmnmx(x, kb.const_f32(0.0), maximum=True),
+            )
+            grid_sum = kf.reduce_sum("mg_grid_sum")
+            copy = kf.ewise1("mg_copy", lambda kb, x: kb.mov(x))
+            cls._module_cache = "\n".join(
+                (stencil, _halo_x_kernel(), _halo_y_kernel(), bc, grid_sum, copy)
+            )
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+
+        rng = ctx.rng()
+        field = rt.to_device((rng.random(_CELLS) * 4.0).astype(np.float32))
+        scratch = rt.alloc(_CELLS, np.float32)
+        sums = rt.to_device(np.zeros(_STEPS, np.float32))
+
+        grid = ceil_div(_CELLS, 64)
+        line_grid = ceil_div(max(_WIDTH, _HEIGHT), 32)
+        for step in range(_STEPS):
+            rt.launch(get("mg_halo_x"), line_grid, 32, _HEIGHT, field)
+            rt.launch(get("mg_halo_y"), line_grid, 32, _WIDTH, field, _HEIGHT)
+            rt.launch(get("mg_stencil"), grid, 64, _HEIGHT, field, scratch)
+            rt.launch(get("mg_bc"), grid, 64, _CELLS, scratch, scratch)
+            rt.launch(get("mg_grid_sum"), grid, 64, _CELLS, scratch, sums.address + 4 * step)
+            rt.launch(get("mg_copy"), grid, 64, _CELLS, scratch, field)
+
+        self.finalize(ctx, np.concatenate([field.to_host(), sums.to_host()]))

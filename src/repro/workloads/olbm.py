@@ -1,0 +1,114 @@
+"""304.olbm — computational fluid dynamics, Lattice Boltzmann Method.
+
+A D2Q5-style lattice: three static kernels (collide, stream, boundary)
+iterated over timesteps; the paper's 3 static / 900 dynamic kernels scaled
+to 46 dynamic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_ITERATIONS = 15
+_OMEGA = 0.8
+
+
+def _collide_kernel() -> str:
+    """BGK collision: relax each population toward the local density mean.
+
+    Params: 0=cells, 1..5 = f0..f4 (in-place).
+    """
+    kb = KernelBuilder("lbm_collide", num_params=6)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    addrs = [kb.index(kb.param(1 + q), i, 4) for q in range(5)]
+    pops = [kb.ldg_f32(a) for a in addrs]
+    rho = kb.fadd(kb.fadd(pops[0], pops[1]), kb.fadd(kb.fadd(pops[2], pops[3]), pops[4]))
+    feq = kb.fmul(rho, kb.const_f32(0.2))
+    for q in range(5):
+        # f_new = f + omega * (feq - f)
+        diff = kb.fsub(feq, pops[q])
+        kb.stg(addrs[q], kb.ffma(diff, kb.const_f32(_OMEGA), pops[q]))
+    kb.exit()
+    return kb.finish()
+
+
+def _stream_kernel() -> str:
+    """Streaming along +x with periodic wrap for population f1 -> f1'.
+
+    Params: 0=cells, 1=src, 2=dst, 3=shift (element delta).
+    """
+    kb = KernelBuilder("lbm_stream", num_params=4)
+    i = kb.global_tid_x()
+    cells = kb.param(0)
+    oob = kb.isetp("GE", i, cells, unsigned=True)
+    kb.exit_if(oob)
+    shifted = kb.iadd(i, kb.param(3))
+    # Wrap: if shifted >= cells subtract cells; if negative add cells.
+    over = kb.isetp("GE", shifted, cells, unsigned=True)
+    wrapped = kb.isub(shifted, cells)
+    target = kb.sel(wrapped, shifted, over)
+    value = kb.ldg_f32(kb.index(kb.param(1), i, 4))
+    kb.stg(kb.index(kb.param(2), target, 4), value)
+    kb.exit()
+    return kb.finish()
+
+
+def _module_text() -> str:
+    boundary = kf.ewise1(
+        "lbm_boundary",
+        lambda kb, x: kb.fmnmx(kb.fmnmx(x, kb.const_f32(0.0), maximum=True),
+                               kb.const_f32(10.0)),
+    )
+    return _collide_kernel() + "\n" + _stream_kernel() + "\n" + boundary
+
+
+class OLbm(WorkloadApp):
+    name = "304.olbm"
+    description = "CFD, Lattice Boltzmann Method"
+    paper_static_kernels = 3
+    paper_dynamic_kernels = 900
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _module_text()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        collide = rt.get_function(module, "lbm_collide")
+        stream = rt.get_function(module, "lbm_stream")
+        boundary = rt.get_function(module, "lbm_boundary")
+
+        rng = ctx.rng()
+        pops = [
+            rt.to_device((rng.random(_CELLS) * 0.5 + 0.1).astype(np.float32))
+            for _ in range(5)
+        ]
+        scratch = rt.alloc(_CELLS, np.float32)
+        grid = ceil_div(_CELLS, 64)
+
+        shifts = [0, 1, _CELLS - 1, _WIDTH, _CELLS - _WIDTH]
+        for _ in range(_ITERATIONS):
+            rt.launch(collide, grid, 64, _CELLS, *pops)
+            # Stream the east-moving population with periodic wrap.
+            rt.launch(stream, grid, 64, _CELLS, pops[1], scratch, shifts[1])
+            pops[1], scratch = scratch, pops[1]
+            rt.launch(boundary, grid, 64, _CELLS, pops[1], pops[1])
+
+        # Output: density field.
+        density = sum(p.to_host() for p in pops)
+        self.finalize(ctx, density)

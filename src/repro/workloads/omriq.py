@@ -1,0 +1,82 @@
+"""314.omriq — medicine: MRI Q-matrix computation.
+
+Exactly two static, two dynamic kernels (matching Table IV): computePhiMag
+over the K-space samples, then computeQ with a per-voxel inner loop over
+all samples doing sin/cos accumulation (MUFU-heavy FP32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_VOXELS = 192
+_SAMPLES = 24
+
+
+def _compute_q_kernel() -> str:
+    """Q[i] = sum_k phiMag[k] * (cos(k*x_i) + sin(k*x_i)).
+
+    Params: 0=numVoxels, 1=numSamples, 2=phiMag, 3=x, 4=Q.
+    """
+    kb = KernelBuilder("computeQ", num_params=5)
+    i = kb.global_tid_x()
+    oob = kb.isetp("GE", i, kb.param(0), unsigned=True)
+    kb.exit_if(oob)
+    x = kb.ldg_f32(kb.index(kb.param(3), i, 4))
+    phi_base = kb.param(2)
+    accum = kb.mov(kb.const_f32(0.0))
+    with kb.for_range(kb.param(1)) as k:
+        phi = kb.ldg_f32(kb.index(phi_base, k, 4))
+        kf32 = kb.i2f(k, unsigned=True)
+        angle = kb.fmul(kf32, x)
+        contribution = kb.fadd(kb.mufu("COS", angle), kb.mufu("SIN", angle))
+        kb.assign(accum, kb.ffma(phi, contribution, accum))
+    kb.stg(kb.index(kb.param(4), i, 4), accum)
+    kb.exit()
+    return kb.finish()
+
+
+def _module_text() -> str:
+    phi_mag = kf.ewise2(
+        "computePhiMag",
+        lambda kb, re, im: kb.fadd(kb.fmul(re, re), kb.fmul(im, im)),
+    )
+    return phi_mag + "\n" + _compute_q_kernel()
+
+
+class OMriq(WorkloadApp):
+    name = "314.omriq"
+    description = "Medicine (MRI-Q)"
+    paper_static_kernels = 2
+    paper_dynamic_kernels = 2
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _module_text()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        phi_mag = rt.get_function(module, "computePhiMag")
+        compute_q = rt.get_function(module, "computeQ")
+
+        rng = ctx.rng()
+        phi_re = rt.to_device((rng.random(_SAMPLES) - 0.5).astype(np.float32))
+        phi_im = rt.to_device((rng.random(_SAMPLES) - 0.5).astype(np.float32))
+        mag = rt.alloc(_SAMPLES, np.float32)
+        x = rt.to_device((rng.random(_VOXELS) * 3.0).astype(np.float32))
+        q = rt.alloc(_VOXELS, np.float32)
+
+        rt.launch(phi_mag, ceil_div(_SAMPLES, 32), 32, _SAMPLES, phi_re, phi_im, mag)
+        rt.launch(compute_q, ceil_div(_VOXELS, 64), 64, _VOXELS, _SAMPLES, mag, x, q)
+
+        self.finalize(ctx, q.to_host())

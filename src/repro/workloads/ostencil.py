@@ -1,0 +1,60 @@
+"""303.ostencil — thermodynamics: iterative 2D heat-diffusion stencil.
+
+Two static kernels (stencil step + field copy), launched alternately for a
+fixed number of iterations plus one final copy — the structure behind
+Table IV's 2 static / 101 dynamic kernels, scaled to 21 dynamic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 32
+_HEIGHT = 24
+_ITERATIONS = 10
+
+
+def _module_text() -> str:
+    stencil = kf.stencil5("heat_step", center=0.6, neighbour=0.1, width=_WIDTH)
+    copy = kf.ewise1("field_copy", lambda kb, x: kb.mov(x))
+    return stencil + "\n" + copy
+
+
+class OStencil(WorkloadApp):
+    name = "303.ostencil"
+    description = "Thermodynamics"
+    paper_static_kernels = 2
+    paper_dynamic_kernels = 101
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _module_text()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        heat_step = rt.get_function(module, "heat_step")
+        field_copy = rt.get_function(module, "field_copy")
+
+        cells = _WIDTH * _HEIGHT
+        rng = ctx.rng()
+        field = (rng.random((_HEIGHT, _WIDTH)) * 10.0).astype(np.float32)
+        field[0, :] = 100.0  # hot boundary
+        dev_a = rt.to_device(field)
+        dev_b = rt.alloc(cells, np.float32)
+
+        grid = ceil_div(cells, 64)
+        for _ in range(_ITERATIONS):
+            rt.launch(heat_step, grid, 64, _HEIGHT, dev_a, dev_b)
+            rt.launch(field_copy, grid, 64, cells, dev_b, dev_a)
+        rt.launch(field_copy, grid, 64, cells, dev_a, dev_b)
+
+        self.finalize(ctx, dev_b.to_host())

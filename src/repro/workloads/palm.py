@@ -1,0 +1,99 @@
+"""351.palm — large-eddy simulation of atmospheric turbulence.
+
+PALM's signature in Table IV is its huge *static* kernel count (100 static,
+7050 dynamic): the solver is split into many small field-update kernels.
+We generate ten distinct static kernels from parameterised templates (a mix
+of FP32 and FP64 updates) and launch them in rounds — 10 static / 71
+dynamic in the scaled configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_POINTS = 256
+_ROUNDS = 7
+_NUM_KERNELS = 10
+
+
+def _field_update(index: int) -> str:
+    """One generated PALM field-update kernel; each index gets its own mix."""
+    coefficient = 0.1 + 0.07 * index
+    name = f"palm_update_{index:02d}"
+    if index % 4 == 0:
+        # Advection-like: out = x + c * (y - x)
+        return kf.ewise2(
+            name,
+            lambda kb, x, y: kb.ffma(kb.fsub(y, x), kb.const_f32(coefficient), x),
+        )
+    if index % 4 == 1:
+        # Buoyancy-like with a transcendental term.
+        return kf.ewise2(
+            name,
+            lambda kb, x, y: kb.ffma(
+                kb.mufu("EX2", kb.fmul(x, kb.const_f32(0.1))),
+                kb.const_f32(coefficient),
+                y,
+            ),
+        )
+    if index % 4 == 2:
+        # Diffusion-like in FP64 (PALM is a double-precision code).
+        def body(kb, x, y):
+            xd = kb.f2d(x)
+            yd = kb.f2d(y)
+            mixed = kb.dfma(xd, kb.f2d(kb.const_f32(coefficient)), yd)
+            return kb.d2f(mixed)
+
+        return kf.ewise2(name, body)
+    # Damping / limiting.
+    return kf.ewise2(
+        name,
+        lambda kb, x, y: kb.fmnmx(
+            kb.fmul(kb.fadd(x, y), kb.const_f32(coefficient)),
+            kb.const_f32(50.0),
+        ),
+    )
+
+
+class Palm(WorkloadApp):
+    name = "351.palm"
+    description = "Large-eddy simulation, atmospheric turbulence"
+    paper_static_kernels = 100
+    paper_dynamic_kernels = 7050
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = "\n".join(
+                _field_update(i) for i in range(_NUM_KERNELS)
+            )
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        updates = [
+            rt.get_function(module, f"palm_update_{i:02d}")
+            for i in range(_NUM_KERNELS)
+        ]
+
+        rng = ctx.rng()
+        u = rt.to_device((rng.random(_POINTS) * 2.0 - 1.0).astype(np.float32))
+        w = rt.to_device((rng.random(_POINTS) * 2.0 - 1.0).astype(np.float32))
+        scratch = rt.alloc(_POINTS, np.float32)
+
+        grid = ceil_div(_POINTS, 64)
+        for _ in range(_ROUNDS):
+            for update in updates:
+                rt.launch(update, grid, 64, _POINTS, u, w, scratch)
+                u, scratch = scratch, u
+        # One extra launch of the first kernel => 71 dynamic kernels.
+        rt.launch(updates[0], grid, 64, _POINTS, u, w, scratch)
+
+        self.finalize(ctx, scratch.to_host())

@@ -1,0 +1,57 @@
+"""Registry of the 15 SpecACCEL-style workloads (Table IV)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadApp
+from repro.workloads.bt import Bt
+from repro.workloads.cg import Cg
+from repro.workloads.clvrleaf import Clvrleaf
+from repro.workloads.csp import Csp
+from repro.workloads.ep import Ep
+from repro.workloads.ilbdc import Ilbdc
+from repro.workloads.md import Md
+from repro.workloads.minighost import MiniGhost
+from repro.workloads.olbm import OLbm
+from repro.workloads.omriq import OMriq
+from repro.workloads.ostencil import OStencil
+from repro.workloads.palm import Palm
+from repro.workloads.seismic import Seismic
+from repro.workloads.sp import Sp
+from repro.workloads.swim import Swim
+
+WORKLOAD_CLASSES: tuple[type[WorkloadApp], ...] = (
+    OStencil,
+    OLbm,
+    OMriq,
+    Md,
+    Palm,
+    Ep,
+    Clvrleaf,
+    Cg,
+    Seismic,
+    Sp,
+    Csp,
+    MiniGhost,
+    Ilbdc,
+    Swim,
+    Bt,
+)
+
+WORKLOADS: dict[str, type[WorkloadApp]] = {
+    cls.name: cls for cls in WORKLOAD_CLASSES
+}
+
+
+def get_workload(name: str) -> WorkloadApp:
+    """Instantiate a workload by its SpecACCEL name (e.g. ``"303.ostencil"``)."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def all_workloads() -> list[WorkloadApp]:
+    """Fresh instances of all 15 programs, in Table IV order."""
+    return [cls() for cls in WORKLOAD_CLASSES]

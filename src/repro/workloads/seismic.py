@@ -1,0 +1,101 @@
+"""355.seismic — seismic wave modeling (staggered-grid wave equation).
+
+Six static kernels: velocity updates (x/z), stress update, source
+injection, absorbing boundary and a snapshot copy, iterated over
+timesteps.  The host checks CUDA errors each quarter of the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.errorcodes import CudaError
+from repro.kbuild.builder import KernelBuilder
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_STEPS = 8
+
+
+def _source_kernel() -> str:
+    """Inject a Ricker-style pulse at one cell.  Params: 0=field, 1=cell, 2=amp."""
+    kb = KernelBuilder("seismic_source", num_params=3)
+    i = kb.global_tid_x()
+    target = kb.param(1)
+    is_target = kb.isetp("EQ", i, target)
+    with kb.if_then(is_target):
+        addr = kb.index(kb.param(0), i, 4)
+        value = kb.ldg_f32(addr)
+        kb.stg(addr, kb.fadd(value, kb.param_f32(2)))
+    kb.exit()
+    return kb.finish()
+
+
+def _build_module() -> str:
+    update_vx = kf.stencil5("seismic_update_vx", center=1.0, neighbour=0.05, width=_WIDTH)
+    update_vz = kf.stencil5("seismic_update_vz", center=1.0, neighbour=-0.05, width=_WIDTH)
+    update_stress = kf.ewise3(
+        "seismic_update_stress",
+        lambda kb, s, vx, vz: kb.ffma(
+            kb.fadd(vx, vz), kb.const_f32(0.1), kb.fmul(s, kb.const_f32(0.995))
+        ),
+    )
+    absorb = kf.ewise1(
+        "seismic_absorb",
+        lambda kb, x: kb.fmul(x, kb.const_f32(0.99)),
+    )
+    snapshot = kf.ewise1("seismic_snapshot", lambda kb, x: kb.mov(x))
+    return "\n".join(
+        (update_vx, update_vz, update_stress, _source_kernel(), absorb, snapshot)
+    )
+
+
+class Seismic(WorkloadApp):
+    name = "355.seismic"
+    description = "Seismic wave modeling"
+    paper_static_kernels = 16
+    paper_dynamic_kernels = 3502
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+
+        vx = rt.to_device(np.zeros(_CELLS, np.float32))
+        vz = rt.to_device(np.zeros(_CELLS, np.float32))
+        stress = rt.to_device(np.zeros(_CELLS, np.float32))
+        scratch = rt.alloc(_CELLS, np.float32)
+        snap = rt.alloc(_CELLS, np.float32)
+
+        source_cell = (_HEIGHT // 2) * _WIDTH + _WIDTH // 2
+        grid = ceil_div(_CELLS, 64)
+        for step in range(_STEPS):
+            amplitude = float(np.float32(np.exp(-0.5 * (step - 3.0) ** 2)))
+            rt.launch(get("seismic_source"), grid, 64, stress, source_cell, amplitude)
+            rt.launch(get("seismic_update_vx"), grid, 64, _HEIGHT, stress, scratch)
+            rt.launch(get("seismic_update_vz"), grid, 64, _HEIGHT, scratch, vz)
+            rt.launch(
+                get("seismic_update_stress"), grid, 64,
+                _CELLS, stress, scratch, vz, stress,
+            )
+            rt.launch(get("seismic_absorb"), grid, 64, _CELLS, stress, stress)
+            if step % 2 == 1:
+                rt.launch(get("seismic_snapshot"), grid, 64, _CELLS, stress, snap)
+            if step == _STEPS // 2 and rt.synchronize() is not CudaError.SUCCESS:
+                ctx.print("seismic: CUDA failure detected mid-run")
+                ctx.exit(2)
+
+        self.finalize(ctx, np.concatenate([stress.to_host(), snap.to_host()]))

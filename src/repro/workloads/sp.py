@@ -1,0 +1,94 @@
+"""356.sp — NAS SP: scalar penta-diagonal solver.
+
+Nine static kernels: RHS computation, forward/backward line sweeps in x and
+y (per-thread sequential recurrences, like the real ADI solver), the
+inverse-transform, halo clamp and a solution-add pass, iterated over
+timesteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_TIMESTEPS = 14
+
+
+def _build_module() -> str:
+    parts = [
+        # compute_rhs: rhs = forcing - 0.2 * u
+        kf.ewise2(
+            "sp_compute_rhs",
+            lambda kb, f, u: kb.ffma(u, kb.const_f32(-0.2), f),
+        ),
+        kf.tridiag_sweep("sp_x_forward", forward=True, width=_WIDTH, coef=0.4),
+        kf.tridiag_sweep("sp_x_backward", forward=False, width=_WIDTH, coef=0.4),
+        kf.tridiag_sweep("sp_y_forward", forward=True, width=_WIDTH, coef=0.3),
+        kf.tridiag_sweep("sp_y_backward", forward=False, width=_WIDTH, coef=0.3),
+        # txinvr: block-diagonal inverse approximation
+        kf.ewise2(
+            "sp_txinvr",
+            lambda kb, r, u: kb.fmul(r, kb.mufu("RCP", kb.ffma(u, u, kb.const_f32(1.0)))),
+        ),
+        # add: u += rhs
+        kf.ewise2("sp_add", lambda kb, u, r: kb.fadd(u, r)),
+        kf.ewise1(
+            "sp_halo",
+            lambda kb, x: kb.fmnmx(
+                kb.fmnmx(x, kb.const_f32(-1e5), maximum=True), kb.const_f32(1e5)
+            ),
+        ),
+        kf.reduce_sum("sp_rhs_norm"),
+    ]
+    return "\n".join(parts)
+
+
+class Sp(WorkloadApp):
+    name = "356.sp"
+    description = "Scalar penta-diagonal solver"
+    paper_static_kernels = 71
+    paper_dynamic_kernels = 27692
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+    _kernel_prefix = "sp"
+    _timesteps = _TIMESTEPS
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        prefix = self._kernel_prefix
+        get = lambda name: rt.get_function(module, f"{prefix}_{name}")  # noqa: E731
+
+        rng = ctx.rng()
+        u = rt.to_device((rng.random(_CELLS) * 0.2 + 1.0).astype(np.float32))
+        forcing = rt.to_device((rng.random(_CELLS) * 0.1).astype(np.float32))
+        rhs = rt.alloc(_CELLS, np.float32)
+        norms = rt.to_device(np.zeros(self._timesteps, np.float32))
+
+        grid = ceil_div(_CELLS, 64)
+        line_grid = ceil_div(_HEIGHT, 32)
+        for step in range(self._timesteps):
+            rt.launch(get("compute_rhs"), grid, 64, _CELLS, forcing, u, rhs)
+            rt.launch(get("txinvr"), grid, 64, _CELLS, rhs, u, rhs)
+            rt.launch(get("x_forward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("x_backward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("y_forward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("y_backward"), line_grid, 32, _HEIGHT, rhs)
+            rt.launch(get("add"), grid, 64, _CELLS, u, rhs, u)
+            rt.launch(get("halo"), grid, 64, _CELLS, u, u)
+            rt.launch(get("rhs_norm"), grid, 64, _CELLS, rhs, norms.address + 4 * step)
+
+        self.finalize(ctx, np.concatenate([u.to_host(), norms.to_host()]))

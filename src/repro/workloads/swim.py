@@ -1,0 +1,81 @@
+"""363.swim — weather: shallow-water equations.
+
+Five static kernels (the classic SWIM structure): CALC1 (compute fluxes),
+CALC2 (update velocities/height), CALC3/time-smoothing, a periodic
+boundary pass, and a diagnostics reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runner.app import AppContext
+from repro.workloads import kernels as kf
+from repro.workloads.base import WorkloadApp, ceil_div
+
+_WIDTH = 16
+_HEIGHT = 16
+_CELLS = _WIDTH * _HEIGHT
+_STEPS = 18
+
+
+def _build_module() -> str:
+    calc1 = kf.ewise2(
+        "swim_calc1",
+        lambda kb, u, h: kb.fmul(u, kb.ffma(h, kb.const_f32(0.5), kb.const_f32(1.0))),
+    )
+    calc2 = kf.ewise3(
+        "swim_calc2",
+        lambda kb, u, flux, h: kb.ffma(
+            kb.fsub(flux, h), kb.const_f32(0.05), u
+        ),
+    )
+    smooth = kf.ewise3(
+        "swim_smooth",
+        lambda kb, old, cur, new: kb.ffma(
+            kb.fadd(old, new), kb.const_f32(0.05),
+            kb.fmul(cur, kb.const_f32(0.9)),
+        ),
+    )
+    boundary = kf.stencil5("swim_boundary", center=0.8, neighbour=0.05, width=_WIDTH)
+    diag = kf.reduce_sum("swim_diag")
+    return "\n".join((calc1, calc2, smooth, boundary, diag))
+
+
+class Swim(WorkloadApp):
+    name = "363.swim"
+    description = "Weather (shallow water)"
+    paper_static_kernels = 22
+    paper_dynamic_kernels = 11999
+    check_rtol = 5e-3
+
+    _module_cache: str | None = None
+
+    @classmethod
+    def module_text(cls) -> str:
+        if cls._module_cache is None:
+            cls._module_cache = _build_module()
+        return cls._module_cache
+
+    def run(self, ctx: AppContext) -> None:
+        rt = ctx.cuda
+        module = rt.load_module(self.module_text(), self.name)
+        get = lambda name: rt.get_function(module, name)  # noqa: E731
+
+        rng = ctx.rng()
+        u = rt.to_device((rng.random(_CELLS) - 0.5).astype(np.float32))
+        u_old = rt.to_device(np.zeros(_CELLS, np.float32))
+        h = rt.to_device((rng.random(_CELLS) * 0.2 + 1.0).astype(np.float32))
+        flux = rt.alloc(_CELLS, np.float32)
+        smoothed = rt.alloc(_CELLS, np.float32)
+        diag = rt.to_device(np.zeros(_STEPS, np.float32))
+
+        grid = ceil_div(_CELLS, 64)
+        for step in range(_STEPS):
+            rt.launch(get("swim_calc1"), grid, 64, _CELLS, u, h, flux)
+            rt.launch(get("swim_calc2"), grid, 64, _CELLS, u, flux, h, smoothed)
+            rt.launch(get("swim_smooth"), grid, 64, _CELLS, u_old, u, smoothed, u_old)
+            rt.launch(get("swim_boundary"), grid, 64, _HEIGHT, smoothed, u)
+            rt.launch(get("swim_diag"), grid, 64, _CELLS, u, diag.address + 4 * step)
+
+        self.finalize(ctx, np.concatenate([u.to_host(), diag.to_host()]))

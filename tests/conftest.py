@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device
+from repro.sass import assemble
+
+
+@pytest.fixture
+def device() -> Device:
+    """A small simulated GPU suitable for unit tests."""
+    return Device(num_sms=4, global_mem_bytes=4 * 1024 * 1024)
+
+
+def run_kernel(
+    device: Device,
+    text: str,
+    kernel_name: str,
+    grid,
+    block,
+    params: list[int],
+    hooks=None,
+):
+    """Assemble and launch one kernel on ``device``."""
+    kernel = assemble(text).get(kernel_name)
+    device.launch(kernel, grid, block, params, hooks=hooks)
+    return kernel
+
+
+def read_f32(device: Device, address: int, count: int) -> np.ndarray:
+    return np.frombuffer(
+        device.global_mem.read_bytes(address, 4 * count), dtype=np.float32
+    )
+
+
+def read_u32(device: Device, address: int, count: int) -> np.ndarray:
+    return np.frombuffer(
+        device.global_mem.read_bytes(address, 4 * count), dtype=np.uint32
+    )
+
+
+def write_f32(device: Device, address: int, values: np.ndarray) -> None:
+    device.global_mem.write_bytes(address, values.astype(np.float32).tobytes())
+
+
+def write_u32(device: Device, address: int, values: np.ndarray) -> None:
+    device.global_mem.write_bytes(address, values.astype(np.uint32).tobytes())

@@ -1,0 +1,83 @@
+"""Bit-flip mask tests — the Table II formulas, verbatim."""
+
+import pytest
+
+from repro.core.bitflip import BitFlipModel, apply_mask, compute_mask, corrupt_predicate
+from repro.errors import ParamError
+
+M = BitFlipModel
+
+
+class TestFlipSingleBit:
+    def test_formula(self):
+        """mask = 0x1 << int(32 * value)."""
+        assert compute_mask(M.FLIP_SINGLE_BIT, 0.0, 0) == 1
+        assert compute_mask(M.FLIP_SINGLE_BIT, 0.5, 0) == 1 << 16
+        assert compute_mask(M.FLIP_SINGLE_BIT, 31.4 / 32, 0) == 1 << 31
+
+    def test_every_bit_reachable(self):
+        masks = {
+            compute_mask(M.FLIP_SINGLE_BIT, (b + 0.5) / 32, 0) for b in range(32)
+        }
+        assert masks == {1 << b for b in range(32)}
+
+    def test_single_bit_flips_one_bit(self):
+        value = 0xDEADBEEF
+        corrupted = apply_mask(M.FLIP_SINGLE_BIT, 0.25, value)
+        assert bin(value ^ corrupted).count("1") == 1
+
+
+class TestFlipTwoBits:
+    def test_formula(self):
+        """mask = 0x3 << int(31 * value)."""
+        assert compute_mask(M.FLIP_TWO_BITS, 0.0, 0) == 3
+        assert compute_mask(M.FLIP_TWO_BITS, 30.9 / 31, 0) == 0x3 << 30
+
+    def test_adjacent_bits(self):
+        for value in (0.1, 0.4, 0.77):
+            mask = compute_mask(M.FLIP_TWO_BITS, value, 0)
+            shift = int(31 * value)
+            assert mask == 0b11 << shift
+
+    def test_never_wraps_out_of_32_bits(self):
+        mask = compute_mask(M.FLIP_TWO_BITS, 0.999999, 0)
+        assert mask <= 0xFFFFFFFF
+
+
+class TestRandomValue:
+    def test_formula(self):
+        """mask = 0xffffffff * value."""
+        assert compute_mask(M.RANDOM_VALUE, 0.0, 0) == 0
+        assert compute_mask(M.RANDOM_VALUE, 0.5, 0) == int(0xFFFFFFFF * 0.5)
+
+    def test_old_value_ignored(self):
+        assert compute_mask(M.RANDOM_VALUE, 0.3, 0) == compute_mask(
+            M.RANDOM_VALUE, 0.3, 0xFFFFFFFF
+        )
+
+
+class TestZeroValue:
+    def test_mask_equals_old_value(self):
+        """Table II: mask is the original value, so XOR produces 0x0."""
+        for old in (0, 1, 0xDEADBEEF, 0xFFFFFFFF):
+            assert compute_mask(M.ZERO_VALUE, 0.9, old) == old
+            assert apply_mask(M.ZERO_VALUE, 0.9, old) == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_value_out_of_range(self, bad):
+        with pytest.raises(ParamError, match=r"\[0, 1\)"):
+            compute_mask(M.FLIP_SINGLE_BIT, bad, 0)
+
+    def test_model_ids_match_table_ii(self):
+        assert M.FLIP_SINGLE_BIT == 1
+        assert M.FLIP_TWO_BITS == 2
+        assert M.RANDOM_VALUE == 3
+        assert M.ZERO_VALUE == 4
+
+
+class TestPredicateCorruption:
+    def test_flip(self):
+        assert corrupt_predicate(True) is False
+        assert corrupt_predicate(False) is True

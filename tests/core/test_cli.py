@@ -1,0 +1,97 @@
+"""CLI tests (`python -m repro ...`)."""
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.params import TransientParams
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("303.ostencil", "370.bt", "360.ilbdc"):
+            assert name in out
+
+
+class TestProfile:
+    def test_profile_to_stdout(self, capsys):
+        assert main(["profile", "314.omriq"]) == 0
+        captured = capsys.readouterr()
+        assert "computeQ" in captured.out
+        assert "dynamic kernels" in captured.err
+
+    def test_profile_to_file(self, tmp_path, capsys):
+        target = tmp_path / "profile.txt"
+        assert main(["profile", "360.ilbdc", "--output", str(target)]) == 0
+        assert "ilbdc_lattice" in target.read_text()
+
+    def test_approximate_mode(self, capsys):
+        assert main(["profile", "360.ilbdc", "--mode", "approximate"]) == 0
+        assert ";~;" in capsys.readouterr().out  # approximated records
+
+
+class TestSelect:
+    def test_select_emits_param_blocks(self, capsys):
+        assert main(["select", "314.omriq", "--count", "3", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        blocks = [b for b in out.strip().split("\n\n") if b.strip()]
+        assert len(blocks) == 3
+        for block in blocks:
+            TransientParams.from_text(block)  # must parse
+
+
+class TestInject:
+    def test_inject_from_param_file(self, tmp_path, capsys):
+        params = TransientParams(
+            group=8, model=1, kernel_name="computeQ", kernel_count=0,
+            instruction_count=500, dest_reg_selector=0.1, bit_pattern_value=0.4,
+        )
+        path = tmp_path / "params.txt"
+        path.write_text(params.to_text())
+        code = main(["inject", "314.omriq", str(path)])
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert code in (0, 1)
+
+
+class TestCampaignCommand:
+    def test_transient_campaign(self, capsys):
+        assert main(["campaign", "360.ilbdc", "--injections", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 transient injections" in out
+        assert "SDC=" in out
+
+    def test_campaign_with_permanent(self, capsys):
+        assert main([
+            "campaign", "314.omriq", "--injections", "2", "--permanent",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "permanent injections" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            main(["profile", "999.nope"])
+
+
+class TestDump:
+    def test_dump_all_kernels(self, capsys):
+        assert main(["dump", "314.omriq"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel computePhiMag" in out
+        assert ".kernel computeQ" in out
+        assert "FFMA" in out
+
+    def test_dump_single_kernel(self, capsys):
+        assert main(["dump", "314.omriq", "--kernel", "computeQ"]) == 0
+        out = capsys.readouterr().out
+        assert ".kernel computeQ" in out
+        assert ".kernel computePhiMag" not in out
+
+    def test_dump_output_reassembles(self, capsys):
+        from repro.sass import assemble
+
+        main(["dump", "360.ilbdc"])
+        out = capsys.readouterr().out
+        module = assemble(out)
+        assert "ilbdc_lattice" in module.kernels

@@ -1,0 +1,66 @@
+"""Fault-dictionary tests (paper §V extension)."""
+
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.dictionary import DictionaryEntry, FaultDictionary
+from repro.errors import ParamError
+
+M = BitFlipModel
+
+
+class TestEntries:
+    def test_unknown_opcode_rejected(self):
+        dictionary = FaultDictionary()
+        with pytest.raises(ParamError, match="unknown opcode"):
+            dictionary.add("FROB", DictionaryEntry(M.FLIP_SINGLE_BIT, 1.0))
+
+    def test_invalid_weight(self):
+        with pytest.raises(ParamError, match="weight"):
+            DictionaryEntry(M.FLIP_SINGLE_BIT, 0.0)
+
+    def test_invalid_value_range(self):
+        with pytest.raises(ParamError, match="value range"):
+            DictionaryEntry(M.FLIP_SINGLE_BIT, 1.0, 0.7, 0.2)
+
+    def test_default_entries_used_for_unlisted_opcodes(self):
+        dictionary = FaultDictionary()
+        entries = dictionary.entries_for("IMAD")
+        assert len(entries) == 1
+        assert entries[0].model is M.FLIP_SINGLE_BIT
+
+    def test_set_default_requires_entries(self):
+        with pytest.raises(ParamError):
+            FaultDictionary().set_default([])
+
+
+class TestDraw:
+    def test_draw_respects_value_range(self):
+        dictionary = FaultDictionary(seed=0)
+        dictionary.add("FADD", DictionaryEntry(M.FLIP_SINGLE_BIT, 1.0, 0.0, 0.25))
+        for _ in range(100):
+            model, value = dictionary.draw("FADD")
+            assert model is M.FLIP_SINGLE_BIT
+            assert 0.0 <= value < 0.25
+
+    def test_draw_respects_weights(self):
+        dictionary = FaultDictionary(seed=0)
+        dictionary.add("FADD", DictionaryEntry(M.FLIP_SINGLE_BIT, 9.0))
+        dictionary.add("FADD", DictionaryEntry(M.ZERO_VALUE, 1.0))
+        models = [dictionary.draw("FADD")[0] for _ in range(500)]
+        zero_fraction = sum(m is M.ZERO_VALUE for m in models) / 500
+        assert 0.05 < zero_fraction < 0.18
+
+    def test_conditioned_on_opcode(self):
+        dictionary = FaultDictionary(seed=0)
+        dictionary.add("FADD", DictionaryEntry(M.ZERO_VALUE, 1.0))
+        dictionary.add("IMAD", DictionaryEntry(M.RANDOM_VALUE, 1.0))
+        assert dictionary.draw("FADD")[0] is M.ZERO_VALUE
+        assert dictionary.draw("IMAD")[0] is M.RANDOM_VALUE
+
+    def test_low_mantissa_preset(self):
+        dictionary = FaultDictionary.low_mantissa_fp()
+        for _ in range(50):
+            model, value = dictionary.draw("FFMA")
+            assert model in (M.FLIP_SINGLE_BIT, M.FLIP_TWO_BITS)
+            assert value < 0.5  # low mantissa half of the word

@@ -1,0 +1,94 @@
+"""Instruction-group (arch state id) classification tests."""
+
+import pytest
+
+from repro.core.groups import (
+    InstructionGroup,
+    base_group,
+    in_group,
+    injectable,
+    require_injectable,
+)
+from repro.errors import ParamError
+from repro.sass.isa import OPCODES, opcode_info
+
+G = InstructionGroup
+
+
+class TestBaseGroups:
+    @pytest.mark.parametrize(
+        "opcode,group",
+        [
+            ("DADD", G.G_FP64),
+            ("DFMA", G.G_FP64),
+            ("FADD", G.G_FP32),
+            ("FFMA", G.G_FP32),
+            ("MUFU", G.G_FP32),
+            ("I2F", G.G_FP32),  # conversions count as FP32
+            ("LDG", G.G_LD),
+            ("LDS", G.G_LD),
+            ("ATOM", G.G_LD),  # atomics read memory and write a register
+            ("FSETP", G.G_PR),
+            ("ISETP", G.G_PR),
+            ("DSETP", G.G_PR),  # dest kind (pred) dominates FP64 category
+            ("VOTE", G.G_PR),
+            ("STG", G.G_NODEST),
+            ("BRA", G.G_NODEST),
+            ("EXIT", G.G_NODEST),
+            ("RED", G.G_NODEST),
+            ("IADD", G.G_OTHERS),
+            ("MOV", G.G_OTHERS),
+            ("S2R", G.G_OTHERS),
+            ("SHFL", G.G_OTHERS),
+        ],
+    )
+    def test_classification(self, opcode, group):
+        assert base_group(opcode_info(opcode)) is group
+
+    def test_base_groups_partition_the_isa(self):
+        """Every opcode lands in exactly one of groups 1..6."""
+        base = (G.G_FP64, G.G_FP32, G.G_LD, G.G_PR, G.G_NODEST, G.G_OTHERS)
+        for info in OPCODES:
+            memberships = [g for g in base if in_group(info, g)]
+            assert len(memberships) == 1, info.name
+
+
+class TestAggregateGroups:
+    def test_gppr_is_complement_of_nodest(self):
+        for info in OPCODES:
+            assert in_group(info, G.G_GPPR) == (base_group(info) is not G.G_NODEST)
+
+    def test_gp_excludes_pr_and_nodest(self):
+        for info in OPCODES:
+            expected = base_group(info) not in (G.G_NODEST, G.G_PR)
+            assert in_group(info, G.G_GP) == expected
+
+    def test_gp_is_subset_of_gppr(self):
+        for info in OPCODES:
+            if in_group(info, G.G_GP):
+                assert in_group(info, G.G_GPPR)
+
+    def test_table_ii_identities(self):
+        """G_GPPR = all - G_NODEST;  G_GP = all - G_NODEST - G_PR."""
+        total = len(OPCODES)
+        nodest = sum(in_group(i, G.G_NODEST) for i in OPCODES)
+        pr = sum(in_group(i, G.G_PR) for i in OPCODES)
+        gppr = sum(in_group(i, G.G_GPPR) for i in OPCODES)
+        gp = sum(in_group(i, G.G_GP) for i in OPCODES)
+        assert gppr == total - nodest
+        assert gp == total - nodest - pr
+
+
+class TestInjectability:
+    def test_nodest_not_injectable(self):
+        assert not injectable(G.G_NODEST)
+        with pytest.raises(ParamError, match="no destination"):
+            require_injectable(G.G_NODEST)
+
+    def test_all_other_groups_injectable(self):
+        for group in G:
+            if group is not G.G_NODEST:
+                require_injectable(group)  # must not raise
+
+    def test_group_ids_match_table_ii(self):
+        assert [g.value for g in G] == [1, 2, 3, 4, 5, 6, 7, 8]

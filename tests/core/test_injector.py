@@ -1,0 +1,269 @@
+"""Transient-injector tests: surgical precision of the injection.
+
+The central invariants: exactly one destination register of exactly one
+dynamic instruction of one thread is corrupted, with the Table II mask, in
+the targeted dynamic kernel instance — and nothing else changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.dictionary import DictionaryEntry, FaultDictionary
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.params import TransientParams
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+
+G = InstructionGroup
+M = BitFlipModel
+
+# One warp; GP-writing stream per instance (32 threads each):
+#   S2R, MOV, ISCADD, IADD, IMUL  -> 160 G_GP instructions per launch.
+_KERNEL = """
+.kernel chain
+.params 1
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    ISCADD R3, R1, R2, 2 ;
+    IADD R4, R1, 1 ;
+    IMUL R5, R4, 2 ;
+    STG.32 [R3], R5 ;
+    EXIT ;
+"""
+
+_PRED_KERNEL = """
+.kernel predk
+.params 1
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    ISCADD R3, R1, R2, 2 ;
+    ISETP.LT P0, R1, 16 ;
+    MOV R4, RZ ;
+@P0 MOV R4, 1 ;
+    STG.32 [R3], R4 ;
+    EXIT ;
+"""
+
+
+class ChainApp(Application):
+    name = "chain_app"
+
+    def __init__(self, text=_KERNEL, kernel="chain", launches=1):
+        self.text = text
+        self.kernel = kernel
+        self.launches = launches
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(self.text)
+        func = ctx.cuda.get_function(module, self.kernel)
+        out = ctx.cuda.alloc(32, np.uint32)
+        for _ in range(self.launches):
+            ctx.cuda.launch(func, 1, 32, out)
+        ctx.write_file("out.bin", out.to_host().tobytes())
+
+
+def _params(**overrides):
+    defaults = dict(
+        group=G.G_GP,
+        model=M.FLIP_SINGLE_BIT,
+        kernel_name="chain",
+        kernel_count=0,
+        instruction_count=96,  # first thread of the IADD
+        dest_reg_selector=0.0,
+        bit_pattern_value=0.0,  # mask = 1 << 0
+    )
+    defaults.update(overrides)
+    return TransientParams(**defaults)
+
+
+def _inject(app, params, dictionary=None, num_regs=1):
+    injector = TransientInjectorTool(params, dictionary=dictionary,
+                                     num_regs_to_corrupt=num_regs)
+    artifacts = run_app(app, preload=[injector])
+    out = np.frombuffer(artifacts.files["out.bin"], dtype=np.uint32)
+    return injector, out
+
+
+def _golden(app):
+    artifacts = run_app(app)
+    return np.frombuffer(artifacts.files["out.bin"], dtype=np.uint32)
+
+
+class TestPrecision:
+    def test_exact_lane_and_instruction(self):
+        # instruction_count 96 + k => IADD destination of lane k.
+        for lane in (0, 7, 31):
+            app = ChainApp()
+            injector, out = _inject(app, _params(instruction_count=96 + lane))
+            golden = _golden(app)
+            expected = golden.copy()
+            expected[lane] = (((lane + 1) ^ 1) * 2) & 0xFFFFFFFF
+            assert (out == expected).all()
+            assert injector.record.injected
+            assert injector.record.opcode == "IADD"
+            assert injector.record.lane == lane
+
+    def test_only_one_thread_affected(self):
+        app = ChainApp()
+        _, out = _inject(app, _params(instruction_count=96 + 5))
+        golden = _golden(app)
+        assert (out != golden).sum() == 1
+
+    def test_record_values_consistent_with_mask(self):
+        app = ChainApp()
+        injector, _ = _inject(app, _params(instruction_count=96 + 3,
+                                           bit_pattern_value=8.2 / 32))
+        record = injector.record
+        assert record.mask == 1 << 8
+        assert record.value_after == record.value_before ^ record.mask
+        assert record.value_before == 4  # tid 3 + 1
+        assert record.dest_kind == "reg"
+        assert record.dest_index == 4  # the IADD writes R4
+
+    def test_random_value_model(self):
+        app = ChainApp()
+        injector, _ = _inject(
+            app, _params(model=M.RANDOM_VALUE, bit_pattern_value=0.5)
+        )
+        assert injector.record.mask == int(0xFFFFFFFF * 0.5)
+
+    def test_zero_value_model(self):
+        app = ChainApp()
+        injector, out = _inject(
+            app,
+            _params(model=M.ZERO_VALUE, instruction_count=96 + 2),
+        )
+        assert injector.record.value_after == 0
+        assert out[2] == 0  # (0) * 2
+
+    def test_earlier_group_instruction_targets(self):
+        # instruction_count 0 => the very first S2R, lane 0, dest R1.
+        app = ChainApp()
+        injector, _ = _inject(app, _params(instruction_count=0))
+        assert injector.record.opcode == "S2R"
+        assert injector.record.dest_index == 1
+
+
+class TestKernelInstanceTargeting:
+    def test_second_instance_targeted(self):
+        # With two launches, kernel_count=1 corrupts only the second launch;
+        # since the second launch overwrites the buffer, the effect shows.
+        app = ChainApp(launches=2)
+        injector, out = _inject(
+            app, _params(kernel_count=1, instruction_count=96 + 4)
+        )
+        golden = _golden(app)
+        assert injector.record.injected
+        assert out[4] != golden[4]
+
+    def test_first_instance_effect_overwritten(self):
+        # Corrupting the first launch is masked: the second launch rewrites
+        # the output. This is genuine architectural masking.
+        app = ChainApp(launches=2)
+        injector, out = _inject(
+            app, _params(kernel_count=0, instruction_count=96 + 4)
+        )
+        golden = _golden(app)
+        assert injector.record.injected
+        assert (out == golden).all()
+
+    def test_unreached_instance_never_injects(self):
+        app = ChainApp(launches=1)
+        injector, out = _inject(app, _params(kernel_count=5))
+        assert not injector.record.injected
+        assert (out == _golden(app)).all()
+
+    def test_instruction_count_past_end_never_injects(self):
+        app = ChainApp()
+        injector, out = _inject(app, _params(instruction_count=10_000))
+        assert not injector.record.injected
+        assert (out == _golden(app)).all()
+
+    def test_wrong_kernel_name_never_injects(self):
+        app = ChainApp()
+        injector, _ = _inject(app, _params(kernel_name="other_kernel"))
+        assert not injector.record.injected
+
+    def test_injects_at_most_once(self):
+        app = ChainApp(launches=3)
+        injector, _ = _inject(app, _params(kernel_count=0))
+        assert injector.record.injected
+        # A second run of the same params object must not re-arm silently:
+        # the record already says injected and stays that way.
+        assert injector.record.num_regs_corrupted == 1
+
+
+class TestPredicateInjection:
+    def test_pr_group_flips_predicate(self):
+        # predk stream for G_PR: only ISETP (32 threads). Lane 3's P0 flips
+        # from True to False, so its guarded MOV is skipped -> out[3] = 0.
+        app = ChainApp(text=_PRED_KERNEL, kernel="predk")
+        params = _params(
+            group=G.G_PR, kernel_name="predk", instruction_count=3
+        )
+        injector, out = _inject(app, params)
+        golden = _golden(app)
+        assert injector.record.injected
+        assert injector.record.dest_kind == "pred"
+        assert out[3] == 0 and golden[3] == 1
+        mismatches = (out != golden).sum()
+        assert mismatches == 1
+
+
+class TestExtensions:
+    def test_multi_register_corruption(self):
+        app = ChainApp()
+        injector, _ = _inject(
+            app, _params(instruction_count=96 + 1), num_regs=3
+        )
+        # The IADD has a single destination; corruption count is capped.
+        assert injector.record.num_regs_corrupted == 1
+
+    def test_dictionary_overrides_model(self):
+        dictionary = FaultDictionary(seed=1)
+        dictionary.add(
+            "IADD", DictionaryEntry(M.ZERO_VALUE, 1.0)
+        )
+        app = ChainApp()
+        injector, out = _inject(
+            app, _params(instruction_count=96 + 6), dictionary=dictionary
+        )
+        assert injector.record.value_after == 0
+        assert out[6] == 0
+
+    def test_invalid_num_regs(self):
+        with pytest.raises(ValueError):
+            TransientInjectorTool(_params(), num_regs_to_corrupt=0)
+
+
+class TestSelectiveInstrumentation:
+    def test_untargeted_kernels_not_instrumented(self):
+        """The NVBitFI overhead claim: only the target dynamic kernel runs
+        instrumented code."""
+        calls = []
+
+        class SpyInjector(TransientInjectorTool):
+            def _visit(self, site):
+                calls.append(site.instr.pc)
+                super()._visit(site)
+
+        two_kernels = _KERNEL + "\n" + _PRED_KERNEL.replace("predk", "other")
+
+        class TwoKernelApp(ChainApp):
+            def run(self, ctx):
+                module = ctx.cuda.load_module(two_kernels)
+                chain = ctx.cuda.get_function(module, "chain")
+                other = ctx.cuda.get_function(module, "other")
+                out = ctx.cuda.alloc(32, np.uint32)
+                ctx.cuda.launch(other, 1, 32, out)
+                ctx.cuda.launch(chain, 1, 32, out)
+                ctx.cuda.launch(other, 1, 32, out)
+                ctx.write_file("out.bin", out.to_host().tobytes())
+
+        injector = SpyInjector(_params(instruction_count=0))
+        run_app(TwoKernelApp(), preload=[injector])
+        # Hooks fired only during the single 'chain' launch: 5 GP
+        # instructions, one call per warp-instruction = 5 calls.
+        assert len(calls) == 5

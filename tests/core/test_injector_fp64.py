@@ -1,0 +1,90 @@
+"""Transient injection into FP64 instructions: register-pair destinations.
+
+The destination-register selector of Table II exists precisely for
+multi-destination cases; for an FP64 pair it chooses between the low and
+high 32-bit halves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.params import TransientParams
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+
+_KERNEL = """
+.kernel dwork
+.params 1
+    S2R R1, SR_TID.X ;
+    I2F R2, R1 ;
+    F2F.F64.F32 R4, R2 ;
+    DADD R6, R4, R4 ;
+    F2F.F32.F64 R8, R6 ;
+    MOV R9, c[0x0][0x0] ;
+    ISCADD R10, R1, R9, 2 ;
+    STG.32 [R10], R8 ;
+    EXIT ;
+"""
+
+
+class DoubleApp(Application):
+    name = "dwork_app"
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "dwork")
+        out = ctx.cuda.alloc(32, np.float32)
+        ctx.cuda.launch(func, 1, 32, out)
+        ctx.write_file("out", out.to_host().tobytes())
+
+
+def _inject(selector: float, bit_value: float, lane: int = 4):
+    params = TransientParams(
+        group=InstructionGroup.G_FP64,
+        model=BitFlipModel.FLIP_SINGLE_BIT,
+        kernel_name="dwork",
+        kernel_count=0,
+        instruction_count=lane,  # the only FP64-group instr is the DADD
+        dest_reg_selector=selector,
+        bit_pattern_value=bit_value,
+    )
+    injector = TransientInjectorTool(params)
+    artifacts = run_app(DoubleApp(), preload=[injector])
+    return injector, np.frombuffer(artifacts.files["out"], np.float32)
+
+
+class TestFp64PairInjection:
+    def test_group_stream_is_dadd_only(self):
+        injector, _ = _inject(0.0, 0.1)
+        assert injector.record.injected
+        assert injector.record.opcode == "DADD"
+
+    def test_selector_low_half(self):
+        injector, _ = _inject(0.0, 0.1)
+        assert injector.record.dest_index == 6  # low word of the R6:R7 pair
+
+    def test_selector_high_half(self):
+        injector, _ = _inject(0.9, 0.1)
+        assert injector.record.dest_index == 7  # high word
+
+    def test_high_exponent_bit_blows_up_value(self):
+        # Flip bit 30 of the high word: the FP64 exponent field.
+        lane = 9
+        injector, out = _inject(0.9, 30.5 / 32, lane=lane)
+        golden = np.frombuffer(run_app(DoubleApp()).files["out"], np.float32)
+        assert injector.record.injected
+        assert not np.isclose(out[lane], golden[lane], rtol=1e-3)
+        untouched = np.delete(out, lane)
+        assert np.allclose(untouched, np.delete(golden, lane))
+
+    def test_low_word_flip_is_tiny(self):
+        # Flip bit 0 of the low word: one ULP of the FP64 mantissa tail —
+        # invisible after narrowing back to FP32.
+        lane = 9
+        injector, out = _inject(0.0, 0.001, lane=lane)
+        golden = np.frombuffer(run_app(DoubleApp()).files["out"], np.float32)
+        assert injector.record.injected
+        assert np.allclose(out, golden)

@@ -1,0 +1,129 @@
+"""Outcome-classification tests: the full Table V matrix."""
+
+import pytest
+
+from repro.core.outcomes import Outcome, classify
+from repro.runner.app import Application
+from repro.runner.artifacts import CheckResult, RunArtifacts
+
+
+class PlainApp(Application):
+    """Default check: exact stdout + file comparison."""
+
+    name = "plain"
+
+
+class TolerantApp(Application):
+    """An app whose SDC-check script always passes (tolerance swallows all)."""
+
+    name = "tolerant"
+
+    def check(self, golden, observed):
+        return CheckResult.ok()
+
+
+def _golden() -> RunArtifacts:
+    return RunArtifacts(stdout="result 42\n", files={"out": b"\x01\x02"})
+
+
+def _observed(**overrides) -> RunArtifacts:
+    artifacts = _golden()
+    for key, value in overrides.items():
+        setattr(artifacts, key, value)
+    return artifacts
+
+
+class TestDueRows:
+    def test_timeout_is_due(self):
+        record = classify(PlainApp(), _golden(), _observed(timed_out=True))
+        assert record.outcome is Outcome.DUE
+        assert "Timeout" in record.symptom
+
+    def test_crash_is_due(self):
+        record = classify(PlainApp(), _golden(),
+                          _observed(crashed=True, crash_reason="boom"))
+        assert record.outcome is Outcome.DUE
+        assert "crash" in record.symptom
+
+    def test_nonzero_exit_is_due(self):
+        record = classify(PlainApp(), _golden(), _observed(exit_status=3))
+        assert record.outcome is Outcome.DUE
+        assert "exit status" in record.symptom
+
+    def test_due_priority_over_sdc_signals(self):
+        observed = _observed(timed_out=True, stdout="garbage")
+        record = classify(PlainApp(), _golden(), observed)
+        assert record.outcome is Outcome.DUE
+
+
+class TestSdcRows:
+    def test_stdout_difference(self):
+        record = classify(PlainApp(), _golden(), _observed(stdout="result 43\n"))
+        assert record.outcome is Outcome.SDC
+        assert "Standard output" in record.symptom
+
+    def test_output_file_difference(self):
+        record = classify(PlainApp(), _golden(),
+                          _observed(files={"out": b"\x01\x03"}))
+        assert record.outcome is Outcome.SDC
+        assert "Output file" in record.symptom
+
+    def test_missing_output_file(self):
+        record = classify(PlainApp(), _golden(), _observed(files={}))
+        assert record.outcome is Outcome.SDC
+
+    def test_application_specific_check(self):
+        class AssertingApp(Application):
+            name = "asserting"
+
+            def check(self, golden, observed):
+                return CheckResult.fail("Application-specific check failed")
+
+        record = classify(AssertingApp(), _golden(), _observed())
+        assert record.outcome is Outcome.SDC
+        assert "Application-specific" in record.symptom
+
+
+class TestMaskedRow:
+    def test_identical_run_is_masked(self):
+        record = classify(PlainApp(), _golden(), _observed())
+        assert record.outcome is Outcome.MASKED
+        assert record.symptom == "No difference detected"
+
+    def test_tolerance_check_masks_file_difference(self):
+        """The user-supplied check script is authoritative (paper §IV-A)."""
+        record = classify(TolerantApp(), _golden(),
+                          _observed(files={"out": b"\xff\xff"}))
+        assert record.outcome is Outcome.MASKED
+
+
+class TestPotentialDue:
+    def test_masked_with_cuda_error(self):
+        observed = _observed(cuda_errors=["ERROR_ILLEGAL_ADDRESS: ..."])
+        record = classify(PlainApp(), _golden(), observed)
+        assert record.outcome is Outcome.MASKED
+        assert record.potential_due
+
+    def test_sdc_with_dmesg(self):
+        observed = _observed(stdout="bad\n", dmesg=["NVRM: Xid 13: ..."])
+        record = classify(PlainApp(), _golden(), observed)
+        assert record.outcome is Outcome.SDC
+        assert record.potential_due
+
+    def test_due_never_flagged_potential(self):
+        observed = _observed(timed_out=True, dmesg=["NVRM: Xid 8: ..."])
+        record = classify(PlainApp(), _golden(), observed)
+        assert record.outcome is Outcome.DUE
+        assert not record.potential_due
+
+    def test_golden_anomalies_not_counted_again(self):
+        golden = _golden()
+        golden.dmesg = ["NVRM: Xid 99: pre-existing"]
+        observed = _observed(dmesg=["NVRM: Xid 99: pre-existing"])
+        record = classify(PlainApp(), golden, observed)
+        assert not record.potential_due
+
+    def test_label_rendering(self):
+        observed = _observed(cuda_errors=["x"])
+        record = classify(PlainApp(), _golden(), observed)
+        assert "(potential DUE)" in record.label()

@@ -1,0 +1,47 @@
+"""Parallel campaign-runner tests."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.parallel import run_transient_parallel
+from repro.workloads import get_workload
+
+_CONFIG = dict(num_transient=6, seed=13)
+
+
+class TestParallelCampaign:
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        serial = Campaign(
+            get_workload("314.omriq"), CampaignConfig(**_CONFIG)
+        ).run_transient()
+        parallel = run_transient_parallel(
+            "314.omriq", CampaignConfig(**_CONFIG), max_workers=2
+        )
+        return serial, parallel
+
+    def test_same_number_of_results(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert len(parallel.results) == len(serial.results) == 6
+
+    def test_same_sites_selected(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert [r.params for r in parallel.results] == [
+            r.params for r in serial.results
+        ]
+
+    def test_same_outcomes(self, serial_and_parallel):
+        """Determinism across process boundaries: the simulator is seeded,
+        so parallel execution must not change a single classification."""
+        serial, parallel = serial_and_parallel
+        assert [r.outcome.outcome for r in parallel.results] == [
+            r.outcome.outcome for r in serial.results
+        ]
+
+    def test_tally_matches(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert parallel.tally.fractions() == serial.tally.fractions()
+
+    def test_records_transferred(self, serial_and_parallel):
+        _, parallel = serial_and_parallel
+        assert all(r.record.injected for r in parallel.results)

@@ -1,0 +1,108 @@
+"""Parameter-record tests (Tables II / III serialization and validation)."""
+
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.params import IntermittentParams, PermanentParams, TransientParams
+from repro.errors import ParamError
+
+
+def _transient(**overrides):
+    defaults = dict(
+        group=InstructionGroup.G_GP,
+        model=BitFlipModel.FLIP_SINGLE_BIT,
+        kernel_name="saxpy",
+        kernel_count=2,
+        instruction_count=1234,
+        dest_reg_selector=0.5,
+        bit_pattern_value=0.75,
+    )
+    defaults.update(overrides)
+    return TransientParams(**defaults)
+
+
+class TestTransientParams:
+    def test_roundtrip(self):
+        params = _transient()
+        assert TransientParams.from_text(params.to_text()) == params
+
+    def test_file_has_seven_values(self):
+        lines = [
+            line for line in _transient().to_text().splitlines()
+            if line.split("#")[0].strip()
+        ]
+        assert len(lines) == 7
+
+    def test_comments_are_ignored_on_parse(self):
+        text = "\n".join(
+            ["8 # group", "1", "kern # name", "0", "5", "0.1", "0.2 # trailing"]
+        )
+        params = TransientParams.from_text(text)
+        assert params.kernel_name == "kern"
+        assert params.instruction_count == 5
+
+    def test_wrong_line_count_rejected(self):
+        with pytest.raises(ParamError, match="7 lines"):
+            TransientParams.from_text("1\n2\n3\n")
+
+    def test_nodest_group_rejected(self):
+        with pytest.raises(ParamError, match="no destination"):
+            _transient(group=InstructionGroup.G_NODEST)
+
+    @pytest.mark.parametrize("field,value", [
+        ("kernel_count", -1),
+        ("instruction_count", -5),
+        ("dest_reg_selector", 1.0),
+        ("bit_pattern_value", -0.1),
+        ("kernel_name", ""),
+    ])
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ParamError):
+            _transient(**{field: value})
+
+
+class TestPermanentParams:
+    def test_roundtrip(self):
+        params = PermanentParams(sm_id=3, lane_id=17, bit_mask=0x40, opcode_id=12)
+        assert PermanentParams.from_text(params.to_text()) == params
+
+    def test_hex_mask_in_text(self):
+        assert "0x00000040" in PermanentParams(0, 0, 0x40, 0).to_text()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sm_id=-1, lane_id=0, bit_mask=1, opcode_id=0),
+        dict(sm_id=0, lane_id=32, bit_mask=1, opcode_id=0),
+        dict(sm_id=0, lane_id=0, bit_mask=1 << 32, opcode_id=0),
+        dict(sm_id=0, lane_id=0, bit_mask=1, opcode_id=171),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ParamError):
+            PermanentParams(**kwargs)
+
+    def test_opcode_id_covers_full_table(self):
+        PermanentParams(0, 0, 1, 0)
+        PermanentParams(0, 0, 1, 170)  # the last Volta opcode id
+
+
+class TestIntermittentParams:
+    def _permanent(self):
+        return PermanentParams(0, 0, 1, 0)
+
+    def test_valid_processes(self):
+        IntermittentParams(self._permanent(), process="random")
+        IntermittentParams(self._permanent(), process="bursty", burst_length=4.0)
+
+    def test_unknown_process(self):
+        with pytest.raises(ParamError, match="activation process"):
+            IntermittentParams(self._permanent(), process="chaotic")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ParamError):
+            IntermittentParams(self._permanent(), activation_probability=0.0)
+        with pytest.raises(ParamError):
+            IntermittentParams(self._permanent(), activation_probability=1.5)
+
+    def test_burst_length_bounds(self):
+        with pytest.raises(ParamError):
+            IntermittentParams(self._permanent(), process="bursty", burst_length=0.5)

@@ -1,0 +1,128 @@
+"""Permanent-injector tests: SM/lane pinning, every-instance corruption."""
+
+import numpy as np
+
+from repro.core.params import PermanentParams
+from repro.core.pf_injector import PermanentInjectorTool
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+from repro.sass.isa import opcode_info
+
+_KERNEL = """
+.kernel work
+.params 1
+    S2R R1, SR_TID.X ;
+    S2R R2, SR_CTAID.X ;
+    S2R R3, SR_NTID.X ;
+    IMAD R4, R2, R3, R1 ;
+    IADD R5, R4, 100 ;
+    MOV R6, c[0x0][0x0] ;
+    ISCADD R7, R4, R6, 2 ;
+    STG.32 [R7], R5 ;
+    EXIT ;
+"""
+
+_IADD_ID = opcode_info("IADD").opcode_id
+_DADD_ID = opcode_info("DADD").opcode_id
+
+
+class WorkApp(Application):
+    name = "work_app"
+
+    def __init__(self, blocks=4, launches=2):
+        self.blocks = blocks
+        self.launches = launches
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "work")
+        out = ctx.cuda.alloc(32 * self.blocks, np.uint32)
+        for _ in range(self.launches):
+            ctx.cuda.launch(func, self.blocks, 32, out)
+        ctx.write_file("out.bin", out.to_host().tobytes())
+
+
+def _run(params, app=None):
+    app = app or WorkApp()
+    injector = PermanentInjectorTool(params)
+    artifacts = run_app(app, preload=[injector])
+    out = np.frombuffer(artifacts.files["out.bin"], dtype=np.uint32)
+    return injector, out
+
+
+def _golden(app=None):
+    artifacts = run_app(app or WorkApp())
+    return np.frombuffer(artifacts.files["out.bin"], dtype=np.uint32)
+
+
+class TestPinning:
+    def test_only_pinned_sm_and_lane_corrupted(self):
+        # 4 blocks on 4 SMs (round-robin): block b runs on SM b.
+        params = PermanentParams(sm_id=2, lane_id=9, bit_mask=1 << 4, opcode_id=_IADD_ID)
+        injector, out = _run(params)
+        golden = _golden()
+        diff = np.nonzero(out != golden)[0]
+        # Exactly one element (block 2, lane 9) differs.
+        assert list(diff) == [2 * 32 + 9]
+        assert out[2 * 32 + 9] == golden[2 * 32 + 9] ^ (1 << 4)
+
+    def test_idle_sm_never_activates(self):
+        params = PermanentParams(sm_id=3, lane_id=0, bit_mask=1, opcode_id=_IADD_ID)
+        app = WorkApp(blocks=2)  # only SMs 0 and 1 populated
+        injector, out = _run(params, app)
+        assert injector.activations == 0
+        assert (out == _golden(app)).all()
+
+    def test_inactive_lane_never_activates(self):
+        class TinyApp(WorkApp):
+            def run(self, ctx):
+                module = ctx.cuda.load_module(_KERNEL)
+                func = ctx.cuda.get_function(module, "work")
+                out = ctx.cuda.alloc(32, np.uint32)
+                ctx.cuda.launch(func, 1, 8, out)  # lanes 8..31 invalid
+                ctx.write_file("out.bin", out.to_host().tobytes())
+
+        params = PermanentParams(sm_id=0, lane_id=20, bit_mask=1, opcode_id=_IADD_ID)
+        injector, _ = _run(params, TinyApp())
+        assert injector.activations == 0
+
+
+class TestEveryInstance:
+    def test_activates_once_per_dynamic_instance(self):
+        # IADD executes once per launch on the pinned (SM, lane): 2 launches.
+        params = PermanentParams(sm_id=0, lane_id=0, bit_mask=1, opcode_id=_IADD_ID)
+        injector, _ = _run(params, WorkApp(blocks=4, launches=2))
+        assert injector.activations == 2
+        assert injector.opportunities == 2
+
+    def test_same_mask_every_time(self):
+        """Table III: all instances corrupted with the same XOR mask, so an
+        even number of activations on an idempotent value is NOT the same
+        as zero — each dynamic instance gets a fresh XOR of its result."""
+        params = PermanentParams(sm_id=1, lane_id=3, bit_mask=1 << 7, opcode_id=_IADD_ID)
+        injector, out = _run(params, WorkApp(blocks=4, launches=3))
+        golden = _golden(WorkApp(blocks=4, launches=3))
+        assert injector.activations == 3
+        assert out[35] == golden[35] ^ (1 << 7)
+
+    def test_unused_opcode_never_activates(self):
+        params = PermanentParams(sm_id=0, lane_id=0, bit_mask=1, opcode_id=_DADD_ID)
+        injector, out = _run(params)
+        assert injector.activations == 0
+        assert (out == _golden()).all()
+
+    def test_multi_opcode_extension(self):
+        """Paper §V: one physical fault affecting multiple opcodes."""
+        imad_id = opcode_info("IMAD").opcode_id
+        params = PermanentParams(sm_id=0, lane_id=0, bit_mask=1, opcode_id=_IADD_ID)
+        injector = PermanentInjectorTool(params, extra_opcode_ids=[imad_id])
+        run_app(WorkApp(blocks=1, launches=1), preload=[injector])
+        # Both the IMAD and the IADD on lane 0 activate.
+        assert injector.activations == 2
+
+    def test_every_kernel_instrumented(self):
+        """Permanent injection instruments the whole program — the reason
+        the paper's Figure 4 shows higher overhead than transient."""
+        params = PermanentParams(sm_id=0, lane_id=0, bit_mask=1, opcode_id=_IADD_ID)
+        injector, _ = _run(params, WorkApp(launches=3))
+        assert injector.opportunities == 3  # every launch observed

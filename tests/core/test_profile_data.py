@@ -1,0 +1,86 @@
+"""Profile data-structure tests."""
+
+import pytest
+
+from repro.core.groups import InstructionGroup
+from repro.core.profile_data import KernelProfile, ProgramProfile
+from repro.errors import ProfileError
+
+
+def _profile() -> ProgramProfile:
+    profile = ProgramProfile()
+    profile.append(KernelProfile("a", 0, {"FADD": 100, "LDG": 50, "EXIT": 32}))
+    profile.append(KernelProfile("b", 0, {"IADD": 10, "FSETP": 5}))
+    profile.append(KernelProfile("a", 1, {"FADD": 100, "LDG": 50, "EXIT": 32}))
+    return profile
+
+
+class TestKernelProfile:
+    def test_add_accumulates(self):
+        kp = KernelProfile("k", 0)
+        kp.add("FADD", 10)
+        kp.add("FADD", 5)
+        assert kp.counts["FADD"] == 15
+
+    def test_add_zero_is_noop(self):
+        kp = KernelProfile("k", 0)
+        kp.add("FADD", 0)
+        assert "FADD" not in kp.counts
+
+    def test_total(self):
+        assert _profile().kernels[0].total() == 182
+
+    def test_group_count(self):
+        kp = _profile().kernels[0]
+        assert kp.group_count(InstructionGroup.G_FP32) == 100
+        assert kp.group_count(InstructionGroup.G_LD) == 50
+        assert kp.group_count(InstructionGroup.G_NODEST) == 32
+        assert kp.group_count(InstructionGroup.G_GP) == 150
+
+    def test_line_roundtrip(self):
+        kp = _profile().kernels[1]
+        again = KernelProfile.from_line(kp.to_line())
+        assert again.kernel_name == "b"
+        assert again.counts == kp.counts
+        assert not again.approximated
+
+    def test_approximated_flag_roundtrip(self):
+        kp = KernelProfile("k", 3, {"NOP": 1}, approximated=True)
+        assert KernelProfile.from_line(kp.to_line()).approximated
+
+    def test_malformed_line(self):
+        with pytest.raises(ProfileError, match="malformed"):
+            KernelProfile.from_line("just-one-field")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ProfileError, match="unknown opcode"):
+            KernelProfile.from_line("k;0;=;FROB:3")
+
+
+class TestProgramProfile:
+    def test_totals(self):
+        profile = _profile()
+        assert profile.total_count() == 182 * 2 + 15
+        assert profile.total_count(InstructionGroup.G_FP32) == 200
+        assert profile.total_count(InstructionGroup.G_PR) == 5
+
+    def test_kernel_counts(self):
+        profile = _profile()
+        assert profile.num_dynamic_kernels == 3
+        assert profile.num_static_kernels == 2
+
+    def test_executed_opcodes(self):
+        assert _profile().executed_opcodes() == {
+            "FADD", "LDG", "EXIT", "IADD", "FSETP",
+        }
+
+    def test_opcode_count_sums_across_kernels(self):
+        assert _profile().opcode_count("FADD") == 200
+        assert _profile().opcode_count("IMAD") == 0
+
+    def test_text_roundtrip(self):
+        profile = _profile()
+        again = ProgramProfile.from_text(profile.to_text())
+        assert again.num_dynamic_kernels == 3
+        assert again.total_count() == profile.total_count()
+        assert [kp.invocation for kp in again.kernels] == [0, 0, 1]

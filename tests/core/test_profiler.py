@@ -1,0 +1,135 @@
+"""Profiler tests: exact vs approximate modes, predication exclusion."""
+
+import numpy as np
+
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+
+_PREDICATED = """
+.kernel pred_kernel
+.params 0
+    S2R R1, SR_TID.X ;
+    ISETP.LT P0, R1, 10 ;
+@P0 IADD R2, R1, 1 ;
+    EXIT ;
+"""
+
+# A kernel whose dynamic instruction count depends on a parameter.
+_LOOPY = """
+.kernel loopy
+.params 1
+    MOV R1, RZ ;
+    MOV R2, c[0x0][0x0] ;
+    PBK DONE ;
+LOOP:
+    ISETP.GE P0, R1, R2 ;
+@P0 BRK ;
+    IADD R1, R1, 1 ;
+    BRA LOOP ;
+DONE:
+    EXIT ;
+"""
+
+
+class PredicatedApp(Application):
+    name = "pred_app"
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_PREDICATED)
+        func = ctx.cuda.get_function(module, "pred_kernel")
+        ctx.cuda.launch(func, 1, 32)
+
+
+class LoopyApp(Application):
+    """Launches the same static kernel with different trip counts."""
+
+    name = "loopy_app"
+
+    def __init__(self, trip_counts=(4, 8)):
+        self.trip_counts = trip_counts
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_LOOPY)
+        func = ctx.cuda.get_function(module, "loopy")
+        for count in self.trip_counts:
+            ctx.cuda.launch(func, 1, 32, count)
+
+
+def _profile(app, mode):
+    profiler = ProfilerTool(mode)
+    run_app(app, preload=[profiler])
+    return profiler.profile
+
+
+class TestExactProfiling:
+    def test_counts_per_thread(self):
+        profile = _profile(PredicatedApp(), ProfilingMode.EXACT)
+        counts = profile.kernels[0].counts
+        assert counts["S2R"] == 32
+        assert counts["ISETP"] == 32
+        assert counts["EXIT"] == 32
+
+    def test_predicated_off_instructions_excluded(self):
+        """Paper §III-A: 'Instructions that are not executed based on a
+        predicate register are not included in the profile.'"""
+        profile = _profile(PredicatedApp(), ProfilingMode.EXACT)
+        assert profile.kernels[0].counts["IADD"] == 10  # only lanes 0..9
+
+    def test_one_record_per_dynamic_kernel(self):
+        profile = _profile(LoopyApp((4, 8, 2)), ProfilingMode.EXACT)
+        assert profile.num_dynamic_kernels == 3
+        assert profile.num_static_kernels == 1
+        assert [kp.invocation for kp in profile.kernels] == [0, 1, 2]
+
+    def test_data_dependent_counts_differ(self):
+        profile = _profile(LoopyApp((4, 8)), ProfilingMode.EXACT)
+        first, second = profile.kernels
+        assert second.counts["IADD"] == 2 * first.counts["IADD"]
+
+
+class TestApproximateProfiling:
+    def test_matches_exact_for_identical_instances(self):
+        exact = _profile(LoopyApp((6, 6, 6)), ProfilingMode.EXACT)
+        approx = _profile(LoopyApp((6, 6, 6)), ProfilingMode.APPROXIMATE)
+        assert exact.total_count() == approx.total_count()
+        for kp_exact, kp_approx in zip(exact.kernels, approx.kernels):
+            assert kp_exact.counts == kp_approx.counts
+
+    def test_diverges_for_varying_instances(self):
+        """The approximation error the paper's Figure 2 studies."""
+        exact = _profile(LoopyApp((4, 8)), ProfilingMode.EXACT)
+        approx = _profile(LoopyApp((4, 8)), ProfilingMode.APPROXIMATE)
+        # Approximate copies instance 0's counts for instance 1.
+        assert approx.kernels[1].counts == approx.kernels[0].counts
+        assert exact.kernels[1].counts != approx.kernels[1].counts
+
+    def test_approximated_flag(self):
+        approx = _profile(LoopyApp((4, 8)), ProfilingMode.APPROXIMATE)
+        assert not approx.kernels[0].approximated
+        assert approx.kernels[1].approximated
+
+    def test_only_first_instance_instrumented(self):
+        """Approximate profiling must execute fewer instrumented instructions
+        (this is the Figure 4 overhead argument)."""
+        app = LoopyApp((16, 16, 16, 16))
+        exact_tool = ProfilerTool(ProfilingMode.EXACT)
+        approx_tool = ProfilerTool(ProfilingMode.APPROXIMATE)
+
+        exact_art = run_app(app, preload=[exact_tool])
+        approx_art = run_app(app, preload=[approx_tool])
+        # Both ran the same program...
+        assert exact_art.instructions_executed == approx_art.instructions_executed
+        # ...but approximate instrumented only 1 of 4 instances.
+        exact_counted = exact_tool.profile.total_count()
+        approx_counted = sum(
+            kp.total() for kp in approx_tool.profile.kernels if not kp.approximated
+        )
+        assert approx_counted * 4 == exact_counted
+
+
+class TestProfileDeterminism:
+    def test_two_exact_profiles_identical(self):
+        profile_a = _profile(LoopyApp((5, 9)), ProfilingMode.EXACT)
+        profile_b = _profile(LoopyApp((5, 9)), ProfilingMode.EXACT)
+        assert profile_a.to_text() == profile_b.to_text()

@@ -1,0 +1,91 @@
+"""Statistics tests: confidence intervals (the paper's §IV-B claims)."""
+
+import pytest
+
+from repro.core.outcomes import Outcome, OutcomeRecord
+from repro.core.report import OutcomeTally, confidence_interval, error_margin
+
+
+class TestPaperClaims:
+    def test_100_injections_90_confidence_8_percent(self):
+        """'100 injections provide results with 90% confidence intervals and
+        +-8% error margins' (paper §IV-B)."""
+        assert error_margin(100, confidence=0.90) == pytest.approx(0.08, abs=0.003)
+
+    def test_1000_injections_95_confidence_3_percent(self):
+        """'1000 injections are necessary to obtain results with 95%
+        confidence intervals and +-3% error margins'."""
+        assert error_margin(1000, confidence=0.95) == pytest.approx(0.03, abs=0.002)
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_estimate(self):
+        low, high = confidence_interval(0.3, 100)
+        assert low < 0.3 < high
+
+    def test_interval_clipped_to_unit_range(self):
+        low, _ = confidence_interval(0.01, 10)
+        _, high = confidence_interval(0.99, 10)
+        assert low == 0.0 and high == 1.0
+
+    def test_narrower_with_more_samples(self):
+        low_small, high_small = confidence_interval(0.5, 100)
+        low_big, high_big = confidence_interval(0.5, 10_000)
+        assert high_big - low_big < high_small - low_small
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_interval(0.5, 0)
+        with pytest.raises(ValueError):
+            confidence_interval(1.5, 10)
+        with pytest.raises(ValueError):
+            confidence_interval(0.5, 10, confidence=0.77)
+
+
+class TestOutcomeTally:
+    def _record(self, outcome, potential=False):
+        return OutcomeRecord(outcome, "x", potential_due=potential)
+
+    def test_fractions(self):
+        tally = OutcomeTally()
+        for _ in range(3):
+            tally.add(self._record(Outcome.SDC))
+        tally.add(self._record(Outcome.DUE))
+        for _ in range(6):
+            tally.add(self._record(Outcome.MASKED))
+        assert tally.fraction(Outcome.SDC) == 0.3
+        assert tally.fraction(Outcome.DUE) == 0.1
+        assert tally.fraction(Outcome.MASKED) == 0.6
+
+    def test_weighted_add(self):
+        tally = OutcomeTally()
+        tally.add(self._record(Outcome.SDC), weight=0.1)
+        tally.add(self._record(Outcome.DUE), weight=0.2)
+        assert tally.fraction(Outcome.DUE) == pytest.approx(2 / 3)
+
+    def test_potential_due_tracked(self):
+        tally = OutcomeTally()
+        tally.add(self._record(Outcome.MASKED, potential=True))
+        tally.add(self._record(Outcome.MASKED))
+        assert tally.potential_due_fraction() == 0.5
+
+    def test_merge(self):
+        a, b = OutcomeTally(), OutcomeTally()
+        a.add(self._record(Outcome.SDC))
+        b.add(self._record(Outcome.MASKED))
+        merged = a.merge(b)
+        assert merged.total == 2
+        assert merged.fraction(Outcome.SDC) == 0.5
+
+    def test_empty_tally(self):
+        tally = OutcomeTally()
+        assert tally.fraction(Outcome.SDC) == 0.0
+        assert tally.potential_due_fraction() == 0.0
+
+    def test_report_text(self):
+        tally = OutcomeTally()
+        for _ in range(10):
+            tally.add(self._record(Outcome.SDC))
+        text = tally.report(samples=10)
+        assert "SDC=100.0%" in text
+        assert "[" in text  # confidence bounds present

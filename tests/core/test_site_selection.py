@@ -1,0 +1,123 @@
+"""Site-selection tests: uniformity over the profile, tuple translation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.profile_data import KernelProfile, ProgramProfile
+from repro.core.site_selection import (
+    select_permanent_sites,
+    select_transient_site,
+    select_transient_sites,
+)
+from repro.errors import ProfileError
+from repro.sass.isa import opcode_by_id
+
+G = InstructionGroup
+
+
+def _profile() -> ProgramProfile:
+    profile = ProgramProfile()
+    profile.append(KernelProfile("alpha", 0, {"FADD": 60, "STG": 10}))
+    profile.append(KernelProfile("beta", 0, {"IADD": 30}))
+    profile.append(KernelProfile("alpha", 1, {"FADD": 10, "STG": 10}))
+    return profile
+
+
+class TestTransientSelection:
+    def test_site_fields_valid(self):
+        rng = np.random.default_rng(0)
+        site = select_transient_site(_profile(), G.G_GP, BitFlipModel.RANDOM_VALUE, rng)
+        assert site.kernel_name in ("alpha", "beta")
+        assert 0 <= site.dest_reg_selector < 1
+        assert 0 <= site.bit_pattern_value < 1
+
+    def test_instruction_count_within_kernel_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            site = select_transient_site(_profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng)
+            if site.kernel_name == "beta":
+                assert site.instruction_count < 30
+            elif site.kernel_count == 0:
+                assert site.instruction_count < 60
+            else:
+                assert site.instruction_count < 10
+
+    def test_kernel_count_is_per_name_invocation(self):
+        rng = np.random.default_rng(2)
+        seen = set()
+        for _ in range(300):
+            site = select_transient_site(_profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng)
+            seen.add((site.kernel_name, site.kernel_count))
+        assert ("alpha", 0) in seen and ("alpha", 1) in seen and ("beta", 0) in seen
+
+    def test_distribution_proportional_to_counts(self):
+        """Selection is uniform over dynamic instructions, so kernels are
+        hit proportionally to their group instruction counts (60:30:10)."""
+        rng = np.random.default_rng(3)
+        sites = select_transient_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, 2000, rng
+        )
+        hits = {("alpha", 0): 0, ("beta", 0): 0, ("alpha", 1): 0}
+        for site in sites:
+            hits[(site.kernel_name, site.kernel_count)] += 1
+        assert hits[("alpha", 0)] / 2000 == pytest.approx(0.6, abs=0.05)
+        assert hits[("beta", 0)] / 2000 == pytest.approx(0.3, abs=0.05)
+        assert hits[("alpha", 1)] / 2000 == pytest.approx(0.1, abs=0.05)
+
+    def test_group_filter_restricts_population(self):
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            site = select_transient_site(_profile(), G.G_FP32, BitFlipModel.FLIP_SINGLE_BIT, rng)
+            assert site.kernel_name == "alpha"  # only FADD qualifies
+
+    def test_empty_group_raises(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ProfileError, match="no G_FP64"):
+            select_transient_site(_profile(), G.G_FP64, BitFlipModel.FLIP_SINGLE_BIT, rng)
+
+    def test_deterministic_given_rng_seed(self):
+        sites_a = select_transient_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, 20,
+            np.random.default_rng(99),
+        )
+        sites_b = select_transient_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, 20,
+            np.random.default_rng(99),
+        )
+        assert sites_a == sites_b
+
+
+class TestPermanentSelection:
+    def test_one_site_per_executed_opcode(self):
+        rng = np.random.default_rng(0)
+        sites = select_permanent_sites(_profile(), rng)
+        names = {opcode_by_id(site.opcode_id).name for site in sites}
+        assert names == {"FADD", "STG", "IADD"}
+
+    def test_unused_opcodes_pruned(self):
+        """Paper §IV-C: permanent experiments are skipped for unused opcodes."""
+        rng = np.random.default_rng(0)
+        sites = select_permanent_sites(_profile(), rng)
+        assert len(sites) == 3  # not 171
+
+    def test_sm_ids_restricted(self):
+        rng = np.random.default_rng(0)
+        sites = select_permanent_sites(_profile(), rng, sm_ids=[2, 5])
+        assert {site.sm_id for site in sites} <= {2, 5}
+
+    def test_masks_are_single_bit(self):
+        rng = np.random.default_rng(0)
+        for site in select_permanent_sites(_profile(), rng):
+            assert bin(site.bit_mask).count("1") == 1
+
+    def test_explicit_opcode_list(self):
+        rng = np.random.default_rng(0)
+        sites = select_permanent_sites(_profile(), rng, opcodes=["FADD"])
+        assert len(sites) == 1
+
+    def test_empty_profile_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ProfileError, match="no executed opcodes"):
+            select_permanent_sites(ProgramProfile(), rng)

@@ -1,0 +1,122 @@
+"""Campaign-store tests: the on-disk study layout."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.outcomes import Outcome
+from repro.core.store import CampaignStore
+from repro.errors import ReproError
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    campaign = Campaign(get_workload("314.omriq"),
+                        CampaignConfig(num_transient=5, seed=3))
+    result = campaign.run_transient()
+    return campaign, result
+
+
+class TestRoundTrips:
+    def test_golden_roundtrip(self, tmp_path, campaign_result):
+        campaign, _ = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_golden(campaign.golden)
+        loaded = store.load_golden()
+        assert loaded.stdout == campaign.golden.stdout
+        assert loaded.files == campaign.golden.files
+
+    def test_profile_roundtrip(self, tmp_path, campaign_result):
+        campaign, _ = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_profile(campaign.profile)
+        loaded = store.load_profile()
+        assert loaded.total_count() == campaign.profile.total_count()
+        assert loaded.num_dynamic_kernels == campaign.profile.num_dynamic_kernels
+
+    def test_injection_roundtrip(self, tmp_path, campaign_result):
+        _, result = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_injection(0, result.results[0])
+        loaded = store.load_injection(0)
+        assert loaded.params == result.results[0].params
+        assert loaded.outcome.outcome == result.results[0].outcome.outcome
+        assert loaded.outcome.symptom == result.results[0].outcome.symptom
+        assert loaded.wall_time == pytest.approx(result.results[0].wall_time)
+
+    def test_full_campaign_roundtrip(self, tmp_path, campaign_result):
+        campaign, result = campaign_result
+        store = CampaignStore(tmp_path / "study")
+        store.save_campaign(campaign.golden, campaign.profile, result)
+        assert store.completed_injections() == list(range(5))
+        tally = store.load_tally()
+        for outcome in Outcome:
+            assert tally.fraction(outcome) == result.tally.fraction(outcome)
+
+    def test_results_csv(self, tmp_path, campaign_result):
+        campaign, result = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_results_csv(result)
+        csv_text = (tmp_path / "results.csv").read_text()
+        assert csv_text.count("\n") == 6  # header + 5 rows
+        assert "computeQ" in csv_text or "computePhiMag" in csv_text
+
+
+class TestResume:
+    def _make_campaign(self):
+        return Campaign(get_workload("314.omriq"),
+                        CampaignConfig(num_transient=4, seed=21))
+
+    def test_fresh_run_populates_store(self, tmp_path):
+        from repro.core.store import run_resumable_campaign
+
+        store = CampaignStore(tmp_path)
+        result = run_resumable_campaign(self._make_campaign(), store)
+        assert len(result.results) == 4
+        assert store.completed_injections() == [0, 1, 2, 3]
+
+    def test_resume_skips_completed_and_matches(self, tmp_path):
+        from repro.core.store import run_resumable_campaign
+
+        store = CampaignStore(tmp_path)
+        first = run_resumable_campaign(self._make_campaign(), store)
+
+        # Simulate an interruption: drop the last two runs from disk.
+        import shutil
+
+        for index in (2, 3):
+            shutil.rmtree(tmp_path / "injections" / f"run_{index:05d}")
+        assert store.completed_injections() == [0, 1]
+
+        second = run_resumable_campaign(self._make_campaign(), store)
+        assert store.completed_injections() == [0, 1, 2, 3]
+        assert [r.outcome.outcome for r in second.results] == [
+            r.outcome.outcome for r in first.results
+        ]
+
+    def test_mismatched_store_rejected(self, tmp_path):
+        from repro.core.store import run_resumable_campaign
+
+        store = CampaignStore(tmp_path)
+        run_resumable_campaign(self._make_campaign(), store)
+        other = Campaign(get_workload("314.omriq"),
+                         CampaignConfig(num_transient=4, seed=999))
+        with pytest.raises(ReproError, match="different"):
+            run_resumable_campaign(other, store)
+
+
+class TestErrors:
+    def test_missing_golden(self, tmp_path):
+        with pytest.raises(ReproError, match="no golden"):
+            CampaignStore(tmp_path).load_golden()
+
+    def test_missing_profile(self, tmp_path):
+        with pytest.raises(ReproError, match="no profile"):
+            CampaignStore(tmp_path).load_profile()
+
+    def test_missing_injection(self, tmp_path):
+        with pytest.raises(ReproError, match="not stored"):
+            CampaignStore(tmp_path).load_injection(7)
+
+    def test_empty_store_has_no_completed(self, tmp_path):
+        assert CampaignStore(tmp_path).completed_injections() == []

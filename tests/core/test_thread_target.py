@@ -1,0 +1,116 @@
+"""Thread-targeted injector tests (paper §III-B future direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.params import TransientParams
+from repro.core.thread_target import ThreadTarget, ThreadTargetedInjectorTool
+from repro.errors import ParamError
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+
+# Each thread accumulates in a loop; per-thread G_GP stream is long enough
+# to address individual iterations.
+_KERNEL = """
+.kernel percell
+.params 1
+    S2R R1, SR_TID.X ;
+    S2R R2, SR_CTAID.X ;
+    S2R R3, SR_NTID.X ;
+    IMAD R4, R2, R3, R1 ;
+    MOV R5, RZ ;
+    MOV R6, RZ ;
+    PBK DONE ;
+LOOP:
+    ISETP.GE P0, R6, 4 ;
+@P0 BRK ;
+    IADD R5, R5, 10 ;
+    IADD R6, R6, 1 ;
+    BRA LOOP ;
+DONE:
+    MOV R7, c[0x0][0x0] ;
+    ISCADD R8, R4, R7, 2 ;
+    STG.32 [R8], R5 ;
+    EXIT ;
+"""
+
+
+class PerCellApp(Application):
+    name = "percell"
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "percell")
+        out = ctx.cuda.alloc(96, np.uint32)
+        ctx.cuda.launch(func, 2, 48, out)  # 2 blocks, 1.5 warps each
+        ctx.write_file("out", out.to_host().tobytes())
+
+
+def _params(instruction_count: int) -> TransientParams:
+    return TransientParams(
+        group=InstructionGroup.G_GP,
+        model=BitFlipModel.FLIP_SINGLE_BIT,
+        kernel_name="percell",
+        kernel_count=0,
+        instruction_count=instruction_count,
+        dest_reg_selector=0.0,
+        bit_pattern_value=2.5 / 32,  # flip bit 2 (value 4)
+    )
+
+
+def _run(target: ThreadTarget, instruction_count: int):
+    injector = ThreadTargetedInjectorTool(_params(instruction_count), target)
+    artifacts = run_app(PerCellApp(), preload=[injector])
+    return injector, np.frombuffer(artifacts.files["out"], np.uint32)
+
+
+def _golden():
+    return np.frombuffer(run_app(PerCellApp()).files["out"], np.uint32)
+
+
+class TestThreadTargeting:
+    @pytest.mark.parametrize("ctaid,tid,flat", [
+        ((0, 0, 0), (0, 0, 0), 0),
+        ((0, 0, 0), (37, 0, 0), 37),  # second warp of block 0
+        ((1, 0, 0), (5, 0, 0), 53),
+        ((1, 0, 0), (47, 0, 0), 95),  # last thread (partial warp)
+    ])
+    def test_exactly_the_victim_thread_corrupted(self, ctaid, tid, flat):
+        target = ThreadTarget(ctaid=ctaid, tid=tid)
+        # The victim's 7th per-thread GP write is the 2nd loop IADD into R5.
+        injector, out = _run(target, 6)
+        golden = _golden()
+        assert injector.record.injected
+        assert injector.record.thread_idx == tid
+        diff = np.nonzero(out != golden)[0]
+        assert list(diff) == [flat]
+
+    def test_per_thread_count_semantics(self):
+        """instruction_count indexes the victim's own stream: its 5th GP
+        write is the first loop IADD into R5 (after S2R/S2R/S2R? no —
+        S2R,S2R,S2R,IMAD,MOV,MOV are 0..5, so index 6 is the first IADD)."""
+        target = ThreadTarget(ctaid=(0, 0, 0), tid=(3, 0, 0))
+        injector, _ = _run(target, 6)
+        assert injector.record.opcode == "IADD"
+        assert injector.record.dest_index == 5
+
+    def test_unreachable_thread_never_injects(self):
+        target = ThreadTarget(ctaid=(5, 0, 0), tid=(0, 0, 0))  # no block 5
+        injector, out = _run(target, 0)
+        assert not injector.record.injected
+        assert (out == _golden()).all()
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ParamError):
+            ThreadTarget(ctaid=(0, 0, 0), tid=(-1, 0, 0))
+
+    def test_padding_lane_not_mistaken_for_thread_zero(self):
+        """Block size 48 pads the second warp's lanes 16..31 with tid 0;
+        targeting thread (0,0,0) must hit warp 0 lane 0, not padding."""
+        target = ThreadTarget(ctaid=(0, 0, 0), tid=(0, 0, 0))
+        injector, out = _run(target, 6)
+        golden = _golden()
+        assert injector.record.injected
+        assert list(np.nonzero(out != golden)[0]) == [0]

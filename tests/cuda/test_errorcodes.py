@@ -1,0 +1,25 @@
+"""CUDA error-code semantics tests."""
+
+from repro.cuda.errorcodes import CudaError
+
+
+class TestCudaError:
+    def test_success_is_zero(self):
+        assert CudaError.SUCCESS == 0
+        assert not CudaError.SUCCESS.is_failure
+
+    def test_failures_flagged(self):
+        for code in CudaError:
+            if code is not CudaError.SUCCESS:
+                assert code.is_failure, code
+
+    def test_real_cuda_numbers(self):
+        """The codes workloads might hard-code match the real toolkit."""
+        assert CudaError.ERROR_ILLEGAL_ADDRESS == 700
+        assert CudaError.ERROR_MISALIGNED_ADDRESS == 716
+        assert CudaError.ERROR_LAUNCH_TIMEOUT == 702
+
+    def test_truthiness_matches_c_convention(self):
+        # `if cudaMemcpy(...)` in C fires on failure; IntEnum preserves it.
+        assert not CudaError.SUCCESS
+        assert CudaError.ERROR_ILLEGAL_ADDRESS

@@ -1,0 +1,119 @@
+"""Runtime-layer tests: DeviceArray, argument conversion, libraries."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.errorcodes import CudaError
+from repro.cuda.module_loader import LibraryRegistry
+from repro.cuda.runtime import CudaRuntime
+from repro.gpusim import Device
+from repro.utils.bits import f32_to_bits
+
+_SAXPY = """
+.kernel saxpy
+.params 4
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x4] ;
+    ISCADD R3, R1, R2, 2 ;
+    LDG.32 R4, [R3] ;
+    MOV R5, c[0x0][0xc] ;
+    FFMA R6, R4, R5, R4 ;
+    MOV R7, c[0x0][0x8] ;
+    ISCADD R8, R1, R7, 2 ;
+    STG.32 [R8], R6 ;
+    EXIT ;
+"""
+
+
+@pytest.fixture
+def runtime():
+    return CudaRuntime(Device(num_sms=2, global_mem_bytes=1 << 20))
+
+
+class TestDeviceArray:
+    def test_roundtrip(self, runtime):
+        host = np.arange(10, dtype=np.float32)
+        array = runtime.to_device(host)
+        assert (array.to_host() == host).all()
+
+    def test_shape_preserved(self, runtime):
+        host = np.ones((4, 8), dtype=np.float32)
+        assert runtime.to_device(host).to_host().shape == (4, 8)
+
+    def test_dtype_preserved(self, runtime):
+        host = np.arange(6, dtype=np.uint32)
+        assert runtime.to_device(host).to_host().dtype == np.uint32
+
+    def test_size_mismatch_rejected(self, runtime):
+        array = runtime.alloc(8, np.float32)
+        with pytest.raises(ValueError, match="elements"):
+            array.from_host(np.zeros(9, np.float32))
+
+    def test_free(self, runtime):
+        array = runtime.alloc(8)
+        array.free()  # freeing twice would raise; once is clean
+
+
+class TestLaunchArguments:
+    def test_float_args_become_f32_bits(self, runtime):
+        module = runtime.load_module(_SAXPY)
+        func = runtime.get_function(module, "saxpy")
+        x = runtime.to_device(np.ones(32, np.float32))
+        y = runtime.alloc(32, np.float32)
+        runtime.launch(func, 1, 32, 32, x, y, 2.0)
+        assert np.allclose(y.to_host(), 3.0)
+
+    def test_device_array_becomes_address(self, runtime):
+        module = runtime.load_module(_SAXPY)
+        func = runtime.get_function(module, "saxpy")
+        x = runtime.to_device(np.ones(32, np.float32))
+        y = runtime.alloc(32, np.float32)
+        # Passing the raw address must behave identically.
+        runtime.launch(func, 1, 32, 32, x.address, y.address, 1.0)
+        assert np.allclose(y.to_host(), 2.0)
+
+    def test_unsupported_arg_rejected(self, runtime):
+        module = runtime.load_module(_SAXPY)
+        func = runtime.get_function(module, "saxpy")
+        with pytest.raises(TypeError, match="unsupported"):
+            runtime.launch(func, 1, 32, "not-an-arg")
+
+    def test_numpy_scalars_accepted(self, runtime):
+        module = runtime.load_module(_SAXPY)
+        func = runtime.get_function(module, "saxpy")
+        x = runtime.to_device(np.ones(32, np.float32))
+        y = runtime.alloc(32, np.float32)
+        result = runtime.launch(
+            func, 1, 32, np.uint32(32), x, y, np.float32(0.5)
+        )
+        assert result is CudaError.SUCCESS
+        assert np.allclose(y.to_host(), 1.5)
+
+
+class TestLibraries:
+    def test_local_registration_and_load(self, runtime):
+        runtime.libraries.register("libfoo.so", _SAXPY)
+        module = runtime.load_library("libfoo.so")
+        assert module.is_library
+        assert "saxpy" in module.functions
+
+    def test_global_registration(self, runtime):
+        try:
+            LibraryRegistry.register_global("libglobal.so", _SAXPY)
+            module = runtime.load_library("libglobal.so")
+            assert module.is_library
+        finally:
+            LibraryRegistry.clear_global()
+
+    def test_local_shadows_global(self, runtime):
+        try:
+            LibraryRegistry.register_global("lib.so", ".kernel g\nEXIT ;")
+            runtime.libraries.register("lib.so", ".kernel l\nEXIT ;")
+            module = runtime.load_library("lib.so")
+            assert "l" in module.functions
+        finally:
+            LibraryRegistry.clear_global()
+
+    def test_missing_library(self, runtime):
+        with pytest.raises(KeyError, match="not found"):
+            runtime.load_library("libmissing.so")

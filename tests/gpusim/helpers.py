@@ -1,0 +1,61 @@
+"""Harness for instruction-semantics tests.
+
+``run_lanes`` wraps a SASS body in a one-warp kernel that stores R0 (or a
+register pair) per lane to an output buffer, and returns the 32 lane
+values.  The body sees the lane's thread id in R50.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim import Device
+from repro.sass import assemble
+from repro.utils.bits import f32_to_bits
+
+
+def run_lanes(
+    device: Device,
+    body: str,
+    params: list[int] | None = None,
+    result_reg: str = "R0",
+    pair: bool = False,
+    block: int = 32,
+) -> np.ndarray:
+    """Run ``body`` on one warp; returns each lane's ``result_reg`` value.
+
+    Extra ``params`` appear at c[0x0][0x4], c[0x0][0x8], ...
+    """
+    params = list(params or [])
+    out = device.malloc(8 * block)
+    width = "64" if pair else "32"
+    shift = 3 if pair else 2
+    text = f"""
+.kernel harness
+.params {1 + len(params)}
+    S2R R50, SR_TID.X ;
+    MOV R51, c[0x0][0x0] ;
+    ISCADD R52, R50, R51, {shift} ;
+{body}
+    STG.{width} [R52], {result_reg} ;
+    EXIT ;
+"""
+    kernel = assemble(text).get("harness")
+    device.launch(kernel, 1, block, [out] + params)
+    if pair:
+        raw = device.global_mem.read_bytes(out, 8 * block)
+        return np.frombuffer(raw, dtype=np.uint64)[:block]
+    raw = device.global_mem.read_bytes(out, 4 * block)
+    return np.frombuffer(raw, dtype=np.uint32)[:block]
+
+
+def lanes_f32(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.uint32).view(np.float32)
+
+
+def lanes_f64(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.uint64).view(np.float64)
+
+
+def fbits(value: float) -> int:
+    return f32_to_bits(value)

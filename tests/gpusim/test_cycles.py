@@ -1,0 +1,89 @@
+"""Simulated-time model tests: the cycle accounting behind Figures 4/5."""
+
+import numpy as np
+
+from repro.cuda.driver import CudaEvent
+from repro.cuda.runtime import CudaRuntime
+from repro.gpusim import Device
+from repro.gpusim.device import (
+    INSTRUMENTATION_FIXED_CYCLES,
+    INSTRUMENTATION_PER_THREAD_CYCLES,
+    JIT_COMPILE_CYCLES,
+)
+from repro.nvbit import IPoint, NVBitRuntime, NVBitTool
+
+_KERNEL = """
+.kernel tick
+.params 0
+    NOP ;
+    NOP ;
+    NOP ;
+    EXIT ;
+"""
+
+
+class InstrumentEverything(NVBitTool):
+    def __init__(self, enable=True):
+        super().__init__()
+        self.enable = enable
+        self._done = set()
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit):
+        if event is CudaEvent.LAUNCH_KERNEL and not is_exit:
+            if payload.func not in self._done:
+                self._done.add(payload.func)
+                for instr in self.nvbit.get_instrs(payload.func):
+                    instr.insert_call(lambda s: None, IPoint.AFTER)
+            self.nvbit.enable_instrumented(payload.func, self.enable)
+
+
+def _run(tool=None, launches=1, block=32):
+    device = Device(num_sms=2, global_mem_bytes=1 << 20)
+    interceptor = NVBitRuntime([tool]) if tool else None
+    runtime = CudaRuntime(device, interceptor=interceptor)
+    module = runtime.load_module(_KERNEL)
+    func = runtime.get_function(module, "tick")
+    for _ in range(launches):
+        runtime.launch(func, 1, block)
+    return device
+
+
+class TestCycleAccounting:
+    def test_uninstrumented_cycles_equal_instructions(self):
+        device = _run()
+        assert device.cycles == device.instructions_executed == 4
+
+    def test_instrumented_cycles_include_trampoline_and_threads(self):
+        device = _run(InstrumentEverything())
+        base = 4  # warp-instructions
+        per_hook = INSTRUMENTATION_FIXED_CYCLES + 32 * INSTRUMENTATION_PER_THREAD_CYCLES
+        expected = base + 4 * per_hook + JIT_COMPILE_CYCLES
+        assert device.cycles == expected
+
+    def test_partial_warp_charges_fewer_thread_cycles(self):
+        full = _run(InstrumentEverything(), block=32).cycles
+        partial = _run(InstrumentEverything(), block=8).cycles
+        assert partial < full
+        # 3 NOPs + EXIT, 8 active threads each (EXIT removes lanes after).
+        assert full - partial == 4 * 24 * INSTRUMENTATION_PER_THREAD_CYCLES
+
+    def test_jit_charged_once_across_launches(self):
+        device = _run(InstrumentEverything(), launches=3)
+        per_hook = INSTRUMENTATION_FIXED_CYCLES + 32 * INSTRUMENTATION_PER_THREAD_CYCLES
+        expected = 3 * (4 + 4 * per_hook) + JIT_COMPILE_CYCLES
+        assert device.cycles == expected
+
+    def test_disabled_instrumentation_costs_nothing(self):
+        device = _run(InstrumentEverything(enable=False))
+        assert device.cycles == 4
+
+    def test_watchdog_counts_instructions_not_cycles(self):
+        """Instrumentation cost must never trip the hang detector."""
+        device = Device(num_sms=1, instruction_budget=10)
+        tool = InstrumentEverything()
+        runtime = CudaRuntime(device, interceptor=NVBitRuntime([tool]))
+        module = runtime.load_module(_KERNEL)
+        func = runtime.get_function(module, "tick")
+        runtime.launch(func, 1, 32)  # 4 instrs but >5000 cycles: fine
+        assert device.instructions_executed == 4
+        assert device.cycles > 5000

@@ -1,0 +1,148 @@
+"""Device-level tests: launch validation, scheduling, barriers, dmesg."""
+
+import numpy as np
+import pytest
+
+from repro.arch.families import ARCH_FAMILIES, arch_by_name
+from repro.errors import LaunchError
+from repro.gpusim import Device
+from repro.sass import assemble
+from tests.conftest import read_u32
+
+_STORE_TID = """
+.kernel k
+.params 1
+    S2R R1, SR_TID.X ;
+    S2R R2, SR_CTAID.X ;
+    S2R R3, SR_NTID.X ;
+    IMAD R4, R2, R3, R1 ;
+    MOV R5, c[0x0][0x0] ;
+    ISCADD R6, R4, R5, 2 ;
+    STG.32 [R6], R4 ;
+    EXIT ;
+"""
+
+
+class TestLaunchValidation:
+    def test_too_many_threads(self, device):
+        kernel = assemble(".kernel k\nEXIT ;").get("k")
+        with pytest.raises(LaunchError, match="exceeds"):
+            device.launch(kernel, 1, 2048, [])
+
+    def test_empty_grid(self, device):
+        kernel = assemble(".kernel k\nEXIT ;").get("k")
+        with pytest.raises(LaunchError, match="empty launch"):
+            device.launch(kernel, 0, 32, [])
+
+    def test_missing_params(self, device):
+        kernel = assemble(".kernel k\n.params 2\nEXIT ;").get("k")
+        with pytest.raises(LaunchError, match="expects 2 params"):
+            device.launch(kernel, 1, 32, [1])
+
+    def test_shared_limit(self, device):
+        kernel = assemble(".kernel k\n.shared 65536\nEXIT ;").get("k")
+        with pytest.raises(LaunchError, match="shared memory"):
+            device.launch(kernel, 1, 32, [])
+
+    def test_int_and_tuple_dims_equivalent(self, device):
+        out1 = device.malloc(4 * 64)
+        out2 = device.malloc(4 * 64)
+        kernel = assemble(_STORE_TID).get("k")
+        device.launch(kernel, 2, 32, [out1])
+        device.launch(kernel, (2, 1, 1), (32, 1, 1), [out2])
+        assert (read_u32(device, out1, 64) == read_u32(device, out2, 64)).all()
+
+
+class TestScheduling:
+    def test_multi_block_coverage(self, device):
+        out = device.malloc(4 * 256)
+        device.launch(assemble(_STORE_TID).get("k"), 8, 32, [out])
+        assert (read_u32(device, out, 256) == np.arange(256)).all()
+
+    def test_active_sms_recorded(self, device):
+        out = device.malloc(4 * 256)
+        device.launch(assemble(_STORE_TID).get("k"), 3, 32, [out])
+        assert device.active_sms == {0, 1, 2}
+
+    def test_instruction_counting(self, device):
+        before = device.instructions_executed
+        device.launch(assemble(".kernel k\nNOP ;\nEXIT ;").get("k"), 2, 64, [])
+        # 2 blocks x 2 warps x 2 instructions = 8 warp-instructions
+        assert device.instructions_executed - before == 8
+
+    def test_launch_count_and_grid_id(self, device):
+        kernel = assemble(".kernel k\nEXIT ;").get("k")
+        device.launch(kernel, 1, 1, [])
+        device.launch(kernel, 1, 1, [])
+        assert device.launch_count == 2
+
+
+class TestBarriers:
+    def test_inter_warp_communication(self, device):
+        # Warp 1 reads what warp 0 wrote before the barrier.
+        text = """
+.kernel k
+.params 1
+.shared 256
+    S2R R1, SR_TID.X ;
+    SHL R2, R1, 2 ;
+    STS.32 [R2], R1 ;
+    BAR.SYNC ;
+    MOV R3, 63 ;
+    IADD R4, R3, -R1 ;
+    SHL R5, R4, 2 ;
+    LDS.32 R6, [R5] ;
+    MOV R7, c[0x0][0x0] ;
+    ISCADD R8, R1, R7, 2 ;
+    STG.32 [R8], R6 ;
+    EXIT ;
+"""
+        out = device.malloc(4 * 64)
+        device.launch(assemble(text).get("k"), 1, 64, [out])
+        assert (read_u32(device, out, 64) == np.arange(63, -1, -1)).all()
+
+    def test_barrier_with_exited_warp(self, device):
+        # Warp 1 exits before the barrier; warp 0 must not deadlock.
+        text = """
+.kernel k
+.params 1
+    S2R R1, SR_TID.X ;
+    ISETP.GE P0, R1, 32 ;
+@P0 EXIT ;
+    BAR.SYNC ;
+    MOV R2, c[0x0][0x0] ;
+    ISCADD R3, R1, R2, 2 ;
+    MOV R4, 1 ;
+    STG.32 [R3], R4 ;
+    EXIT ;
+"""
+        out = device.malloc(4 * 64)
+        device.launch(assemble(text).get("k"), 1, 64, [out])
+        assert (read_u32(device, out, 32) == 1).all()
+
+
+class TestArchFamilies:
+    def test_all_families_construct(self):
+        for name in ARCH_FAMILIES:
+            device = Device(family=name, num_sms=2)
+            assert device.arch.name == name
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            arch_by_name("hopper2")
+
+    def test_default_num_sms_from_family(self):
+        assert Device(family="volta").num_sms == 80
+        assert Device(family="kepler").num_sms == 15
+
+    def test_same_kernel_runs_on_all_families(self):
+        """The architectural-abstraction claim: one binary, all families."""
+        kernel = assemble(_STORE_TID).get("k")
+        results = []
+        for name in ARCH_FAMILIES:
+            device = Device(family=name, num_sms=4)
+            out = device.malloc(4 * 64)
+            device.launch(kernel, 2, 32, [out])
+            results.append(read_u32(device, out, 64))
+        for result in results[1:]:
+            assert (result == results[0]).all()

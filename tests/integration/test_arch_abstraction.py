@@ -1,0 +1,70 @@
+"""Architectural-abstraction tests (paper §I, third bullet).
+
+NVBitFI 'presents a single interface that works on all recent NVIDIA
+architecture families'.  Here: the same workload, profile and injection
+behave identically across the simulated Kepler..Ampere families (modulo SM
+counts, which change block placement but not single-block programs).
+"""
+
+import pytest
+
+from repro.arch.families import ARCH_FAMILIES
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.params import TransientParams
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.runner.sandbox import SandboxConfig, run_app
+from repro.workloads import get_workload
+
+_FAMILIES = sorted(ARCH_FAMILIES)
+
+
+def _config(family: str) -> SandboxConfig:
+    # Pin the SM count so block->SM placement (and hence SMID-dependent
+    # state, none of which our workloads use) is identical across families.
+    return SandboxConfig(family=family, num_sms=8)
+
+
+class TestSameToolEveryFamily:
+    def test_golden_outputs_identical(self):
+        app = get_workload("314.omriq")
+        outputs = {}
+        for family in _FAMILIES:
+            artifacts = run_app(app, config=_config(family))
+            assert artifacts.exit_status == 0
+            outputs[family] = (artifacts.stdout, artifacts.files[app.output_file])
+        reference = outputs[_FAMILIES[0]]
+        for family, observed in outputs.items():
+            assert observed == reference, family
+
+    def test_profiles_identical(self):
+        app = get_workload("360.ilbdc")
+        texts = set()
+        for family in _FAMILIES:
+            profiler = ProfilerTool(ProfilingMode.EXACT)
+            run_app(app, preload=[profiler], config=_config(family))
+            texts.add(profiler.profile.to_text())
+        assert len(texts) == 1
+
+    def test_same_fault_same_outcome(self):
+        app = get_workload("314.omriq")
+        site = TransientParams(
+            group=InstructionGroup.G_GP,
+            model=BitFlipModel.FLIP_SINGLE_BIT,
+            kernel_name="computeQ",
+            kernel_count=0,
+            instruction_count=777,
+            dest_reg_selector=0.3,
+            bit_pattern_value=0.6,
+        )
+        results = set()
+        for family in _FAMILIES:
+            injector = TransientInjectorTool(site)
+            artifacts = run_app(app, preload=[injector], config=_config(family))
+            assert injector.record.injected, family
+            results.add(
+                (injector.record.opcode, injector.record.lane,
+                 injector.record.value_after, artifacts.stdout)
+            )
+        assert len(results) == 1  # bit-identical across families

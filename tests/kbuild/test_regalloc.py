@@ -1,0 +1,60 @@
+"""Linear-scan register allocator tests."""
+
+import pytest
+
+from repro.errors import RegisterAllocationError
+from repro.kbuild.regalloc import Interval, allocate
+
+
+def _iv(vid, kind, start, end):
+    return Interval(vid, kind, start, end)
+
+
+class TestAllocation:
+    def test_disjoint_intervals_share_register(self):
+        assignment = allocate([_iv(0, "u32", 0, 2), _iv(1, "u32", 3, 5)])
+        assert assignment[0] == assignment[1]
+
+    def test_overlapping_intervals_get_distinct_registers(self):
+        assignment = allocate([_iv(0, "u32", 0, 5), _iv(1, "u32", 2, 6)])
+        assert assignment[0] != assignment[1]
+
+    def test_boundary_overlap_counts_as_live(self):
+        # Interval ending at 3 and one starting at 3 must not share.
+        assignment = allocate([_iv(0, "u32", 0, 3), _iv(1, "u32", 3, 4)])
+        assert assignment[0] != assignment[1]
+
+    def test_pred_and_gp_pools_independent(self):
+        assignment = allocate([_iv(0, "u32", 0, 5), _iv(1, "pred", 0, 5)])
+        assert assignment[0] == 0 and assignment[1] == 0
+
+    def test_f64_gets_even_pair(self):
+        assignment = allocate(
+            [_iv(0, "u32", 0, 9), _iv(1, "f64", 0, 9), _iv(2, "u32", 0, 9)]
+        )
+        assert assignment[1] % 2 == 0
+        pair = {assignment[1], assignment[1] + 1}
+        assert assignment[0] not in pair and assignment[2] not in pair
+
+    def test_f64_register_reused_after_expiry(self):
+        assignment = allocate([_iv(0, "f64", 0, 2), _iv(1, "f64", 4, 6)])
+        assert assignment[0] == assignment[1]
+
+
+class TestExhaustion:
+    def test_gp_exhaustion_raises(self):
+        intervals = [_iv(i, "u32", 0, 100) for i in range(5)]
+        with pytest.raises(RegisterAllocationError, match="out of GP registers"):
+            allocate(intervals, max_gp_regs=4)
+
+    def test_pred_exhaustion_raises(self):
+        intervals = [_iv(i, "pred", 0, 100) for i in range(8)]
+        with pytest.raises(RegisterAllocationError, match="predicate"):
+            allocate(intervals, max_preds=7)
+
+    def test_pair_fragmentation_raises(self):
+        # With 3 GP regs, a live u32 in R0 leaves R1, R2 — no even pair
+        # beyond R2 exists, so R2+R3 is impossible.
+        intervals = [_iv(0, "u32", 0, 10), _iv(1, "u32", 0, 10), _iv(2, "f64", 1, 10)]
+        with pytest.raises(RegisterAllocationError, match="even-aligned"):
+            allocate(intervals, max_gp_regs=3)

@@ -1,0 +1,87 @@
+"""Unit tests for the device memory allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.allocator import Allocator
+
+
+class TestAlloc:
+    def test_never_returns_null(self):
+        allocator = Allocator(1 << 20)
+        assert allocator.alloc(16) != 0
+
+    def test_alignment(self):
+        allocator = Allocator(1 << 20)
+        for _ in range(5):
+            assert allocator.alloc(100) % 256 == 0
+
+    def test_distinct_allocations_disjoint(self):
+        allocator = Allocator(1 << 20)
+        a = allocator.alloc(1000)
+        b = allocator.alloc(1000)
+        assert abs(a - b) >= 1024
+
+    def test_zero_size_rejected(self):
+        allocator = Allocator(1 << 20)
+        with pytest.raises(AllocationError):
+            allocator.alloc(0)
+
+    def test_out_of_memory(self):
+        allocator = Allocator(4096)
+        with pytest.raises(AllocationError, match="out of device memory"):
+            allocator.alloc(1 << 20)
+
+    def test_exhaustion_then_free_recovers(self):
+        allocator = Allocator(8192)
+        block = allocator.alloc(4096)
+        with pytest.raises(AllocationError):
+            allocator.alloc(4096)
+        allocator.free(block)
+        assert allocator.alloc(4096) == block
+
+
+class TestFree:
+    def test_double_free_rejected(self):
+        allocator = Allocator(1 << 20)
+        block = allocator.alloc(64)
+        allocator.free(block)
+        with pytest.raises(AllocationError, match="unallocated"):
+            allocator.free(block)
+
+    def test_free_unknown_rejected(self):
+        allocator = Allocator(1 << 20)
+        with pytest.raises(AllocationError):
+            allocator.free(0xDEAD00)
+
+    def test_coalescing(self):
+        allocator = Allocator(256 * 5)
+        blocks = [allocator.alloc(256) for _ in range(4)]
+        for block in blocks:
+            allocator.free(block)
+        # After coalescing, one allocation can span the whole region again.
+        assert allocator.alloc(1024) == blocks[0]
+
+
+class TestQueries:
+    def test_owns(self):
+        allocator = Allocator(1 << 20)
+        block = allocator.alloc(512)
+        assert allocator.owns(block)
+        assert allocator.owns(block + 511)
+        assert not allocator.owns(block + 512)
+
+    def test_allocation_of(self):
+        allocator = Allocator(1 << 20)
+        block = allocator.alloc(100)
+        start, size = allocator.allocation_of(block + 50)
+        assert start == block
+        assert size == 256  # rounded to alignment
+
+    def test_accounting(self):
+        allocator = Allocator(1 << 20)
+        before = allocator.free_bytes()
+        allocator.alloc(256)
+        assert allocator.free_bytes() == before - 256
+        assert allocator.allocated_bytes() == 256
+        assert len(allocator) == 1

@@ -1,0 +1,140 @@
+"""Unit tests for global/shared/constant memory with MMU checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryViolation
+from repro.mem.memory import ConstantBank, GlobalMemory, SharedMemory
+
+
+def _lanes(values) -> np.ndarray:
+    out = np.zeros(32, dtype=np.int64)
+    out[: len(values)] = values
+    return out
+
+
+def _mask(count: int) -> np.ndarray:
+    mask = np.zeros(32, dtype=bool)
+    mask[:count] = True
+    return mask
+
+
+class TestGlobalMemory:
+    def test_host_roundtrip(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        mem.write_bytes(block, b"\x01\x02\x03\x04")
+        assert mem.read_bytes(block, 4) == b"\x01\x02\x03\x04"
+
+    def test_load32_gather(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        mem.write_bytes(block, np.arange(16, dtype=np.uint32).tobytes())
+        addrs = _lanes([block, block + 4, block + 60])
+        out = mem.load32(addrs, _mask(3))
+        assert list(out[:3]) == [0, 1, 15]
+
+    def test_store32_scatter(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        addrs = _lanes([block + 8, block + 12])
+        values = np.zeros(32, dtype=np.uint32)
+        values[0], values[1] = 7, 9
+        mem.store32(addrs, _mask(2), values)
+        raw = np.frombuffer(mem.read_bytes(block, 16), dtype=np.uint32)
+        assert raw[2] == 7 and raw[3] == 9
+
+    def test_load64(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        mem.write_bytes(block, np.array([0x1122334455667788], np.uint64).tobytes())
+        out = mem.load64(_lanes([block]), _mask(1))
+        assert out[0] == 0x1122334455667788
+
+    def test_misaligned_raises(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        with pytest.raises(MemoryViolation, match="misaligned"):
+            mem.load32(_lanes([block + 2]), _mask(1))
+
+    def test_unmapped_raises(self):
+        mem = GlobalMemory(1 << 16)
+        mem.alloc(64)
+        with pytest.raises(MemoryViolation, match="unmapped"):
+            mem.load32(_lanes([0x8000]), _mask(1))
+
+    def test_null_pointer_raises(self):
+        mem = GlobalMemory(1 << 16)
+        mem.alloc(64)
+        with pytest.raises(MemoryViolation):
+            mem.load32(_lanes([0]), _mask(1))
+
+    def test_straddling_allocation_end_raises(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)  # rounds to 256
+        with pytest.raises(MemoryViolation, match="unmapped"):
+            mem.load32(_lanes([block + 256]), _mask(1))
+
+    def test_freed_memory_raises(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        mem.free(block)
+        with pytest.raises(MemoryViolation, match="unmapped"):
+            mem.load32(_lanes([block]), _mask(1))
+
+    def test_inactive_lanes_not_checked(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        addrs = _lanes([block, 0xDEAD1])  # lane 1 bad but inactive
+        out = mem.load32(addrs, _mask(1))
+        assert out.shape == (32,)
+
+    def test_misaligned_64bit(self):
+        mem = GlobalMemory(1 << 16)
+        block = mem.alloc(64)
+        with pytest.raises(MemoryViolation, match="misaligned"):
+            mem.load64(_lanes([block + 4]), _mask(1))
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        shared = SharedMemory(128)
+        values = np.zeros(32, dtype=np.uint32)
+        values[0] = 42
+        shared.store32(_lanes([16]), _mask(1), values)
+        assert shared.load32(_lanes([16]), _mask(1))[0] == 42
+
+    def test_out_of_bounds(self):
+        shared = SharedMemory(128)
+        with pytest.raises(MemoryViolation, match="out-of-bounds"):
+            shared.load32(_lanes([128]), _mask(1))
+
+    def test_misaligned(self):
+        shared = SharedMemory(128)
+        with pytest.raises(MemoryViolation, match="misaligned"):
+            shared.load32(_lanes([3]), _mask(1))
+
+
+class TestConstantBank:
+    def test_params_visible(self):
+        bank = ConstantBank()
+        bank.write_params([10, 20, 0xFFFFFFFF])
+        assert bank.read32(0) == 10
+        assert bank.read32(4) == 20
+        assert bank.read32(8) == 0xFFFFFFFF
+
+    def test_vector_load(self):
+        bank = ConstantBank()
+        bank.write_params([5, 6])
+        out = bank.load32(_lanes([0, 4]), _mask(2))
+        assert list(out[:2]) == [5, 6]
+
+    def test_out_of_bounds_read(self):
+        bank = ConstantBank(size=16)
+        with pytest.raises(MemoryViolation):
+            bank.read32(16)
+
+    def test_misaligned_read(self):
+        bank = ConstantBank()
+        with pytest.raises(MemoryViolation):
+            bank.read32(2)

@@ -1,0 +1,202 @@
+"""NVBit runtime tests: inspection, insertion, selective enable, JIT cache."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.driver import CudaEvent
+from repro.cuda.runtime import CudaRuntime
+from repro.gpusim import Device
+from repro.nvbit import IPoint, NVBitRuntime, NVBitTool
+
+_KERNEL = """
+.kernel work
+.params 2
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    ISCADD R3, R1, R2, 2 ;
+    LDG.32 R4, [R3] ;
+    IADD R5, R4, 1 ;
+    MOV R6, c[0x0][0x4] ;
+    ISCADD R7, R1, R6, 2 ;
+    STG.32 [R7], R5 ;
+    EXIT ;
+"""
+
+
+class CountAllTool(NVBitTool):
+    """Instruments everything on first launch; counts executed threads."""
+
+    def __init__(self, enable: bool = True):
+        super().__init__()
+        self.enable = enable
+        self.total = 0
+        self.seen_events = []
+        self._instrumented = set()
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit):
+        self.seen_events.append((event, is_exit))
+        if event is CudaEvent.LAUNCH_KERNEL and not is_exit:
+            if payload.func not in self._instrumented:
+                self._instrumented.add(payload.func)
+                for instr in self.nvbit.get_instrs(payload.func):
+                    instr.insert_call(self._count, IPoint.AFTER)
+            self.nvbit.enable_instrumented(payload.func, self.enable)
+
+    def _count(self, site):
+        self.total += site.num_executed
+
+
+def _make_runtime(tools):
+    return CudaRuntime(Device(num_sms=2, global_mem_bytes=1 << 20),
+                       interceptor=NVBitRuntime(tools))
+
+
+def _run_work(runtime, launches=1):
+    module = runtime.load_module(_KERNEL)
+    func = runtime.get_function(module, "work")
+    x = runtime.to_device(np.zeros(32, np.uint32))
+    y = runtime.alloc(32, np.uint32)
+    for _ in range(launches):
+        runtime.launch(func, 1, 32, x, y)
+    return func
+
+
+class TestInstrumentation:
+    def test_counts_all_executed_threads(self):
+        tool = CountAllTool()
+        _run_work(_make_runtime([tool]))
+        assert tool.total == 9 * 32  # 9 instructions, 32 threads
+
+    def test_disabled_instrumentation_runs_clean(self):
+        tool = CountAllTool(enable=False)
+        _run_work(_make_runtime([tool]))
+        assert tool.total == 0
+
+    def test_enable_flag_toggles_between_launches(self):
+        class Toggler(CountAllTool):
+            launches = 0
+
+            def nvbit_at_cuda_event(self, driver, event, payload, is_exit):
+                if event is CudaEvent.LAUNCH_KERNEL and not is_exit:
+                    # Instrument even-numbered launches only.
+                    self.enable = self.launches % 2 == 0
+                    self.launches += 1
+                super().nvbit_at_cuda_event(driver, event, payload, is_exit)
+
+        tool = Toggler()
+        _run_work(_make_runtime([tool]), launches=4)
+        assert tool.total == 2 * 9 * 32  # launches 0 and 2 instrumented
+
+    def test_before_and_after_ordering(self):
+        order = []
+
+        class OrderTool(NVBitTool):
+            def nvbit_at_cuda_event(self, driver, event, payload, is_exit):
+                if event is CudaEvent.LAUNCH_KERNEL and not is_exit:
+                    instr = self.nvbit.get_instrs(payload.func)[4]  # the IADD
+                    if not instr.before_calls:
+                        instr.insert_call(
+                            lambda s: order.append(("before", s.read_reg(0, 5))),
+                            IPoint.BEFORE,
+                        )
+                        instr.insert_call(
+                            lambda s: order.append(("after", s.read_reg(0, 5))),
+                            IPoint.AFTER,
+                        )
+                    self.nvbit.enable_instrumented(payload.func, True)
+
+        _run_work(_make_runtime([OrderTool()]))
+        assert order[0][0] == "before" and order[1][0] == "after"
+        # R5 is written by the IADD: before sees 0, after sees 1.
+        assert order[0][1] == 0 and order[1][1] == 1
+
+    def test_multiple_tools_all_fire(self):
+        tool_a, tool_b = CountAllTool(), CountAllTool()
+        _run_work(_make_runtime([tool_a, tool_b]))
+        assert tool_a.total == tool_b.total == 9 * 32
+
+    def test_tool_lifecycle_callbacks(self):
+        calls = []
+
+        class Lifecycle(NVBitTool):
+            def nvbit_at_init(self):
+                calls.append("init")
+
+            def nvbit_at_term(self):
+                calls.append("term")
+
+        nvbit = NVBitRuntime([Lifecycle()])
+        assert calls == ["init"]
+        nvbit.terminate()
+        assert calls == ["init", "term"]
+
+
+class TestJitCache:
+    def test_compiled_once_when_unchanged(self):
+        tool = CountAllTool()
+        runtime = _make_runtime([tool])
+        _run_work(runtime, launches=5)
+        assert runtime.driver.interceptor.jit_compile_count == 1
+
+    def test_recompiles_after_new_insertion(self):
+        class TwoPhase(CountAllTool):
+            extra_added = False
+
+            def nvbit_at_cuda_event(self, driver, event, payload, is_exit):
+                super().nvbit_at_cuda_event(driver, event, payload, is_exit)
+                if (
+                    event is CudaEvent.LAUNCH_KERNEL
+                    and is_exit
+                    and not self.extra_added
+                ):
+                    self.extra_added = True
+                    self.nvbit.get_instrs(payload.func)[0].insert_call(
+                        self._count, IPoint.BEFORE
+                    )
+
+        tool = TwoPhase()
+        runtime = _make_runtime([tool])
+        _run_work(runtime, launches=2)
+        assert runtime.driver.interceptor.jit_compile_count == 2
+
+    def test_remove_calls(self):
+        tool = CountAllTool()
+        runtime = _make_runtime([tool])
+        func = _run_work(runtime)
+        first_total = tool.total
+        # Silence the tool so it cannot re-insert, then strip instrumentation.
+        tool.nvbit_at_cuda_event = lambda *args: None
+        for instr in runtime.driver.interceptor.get_instrs(func):
+            instr.remove_calls()
+        x = runtime.to_device(np.zeros(32, np.uint32))
+        runtime.launch(func, 1, 32, x, x)
+        assert tool.total == first_total  # nothing counted after removal
+
+
+class TestInstrInspection:
+    def test_opcode_views(self):
+        runtime = _make_runtime([])
+        module = runtime.load_module(".kernel k\nISETP.GE.U32 P0, R1, R2 ;\nEXIT ;")
+        func = runtime.get_function(module, "k")
+        instr = runtime.driver.interceptor.get_instrs(func)[0]
+        assert instr.get_opcode() == "ISETP.GE.U32"
+        assert instr.get_opcode_short() == "ISETP"
+        assert instr.get_idx() == 0
+        assert instr.get_dest_pred() == 0
+        assert instr.has_dest()
+        assert instr.get_src_regs() == (1, 2)
+
+    def test_dest_regs_fp64_pair(self):
+        runtime = _make_runtime([])
+        module = runtime.load_module(".kernel k\nDADD R4, R0, R2 ;\nEXIT ;")
+        func = runtime.get_function(module, "k")
+        instr = runtime.driver.interceptor.get_instrs(func)[0]
+        assert instr.get_dest_regs() == (4, 5)
+
+    def test_guard_and_sass_text(self):
+        runtime = _make_runtime([])
+        module = runtime.load_module(".kernel k\n@!P1 MOV R0, R1 ;\nEXIT ;")
+        func = runtime.get_function(module, "k")
+        instr = runtime.driver.interceptor.get_instrs(func)[0]
+        assert instr.has_guard_pred()
+        assert "@!P1" in instr.get_sass()

@@ -1,0 +1,80 @@
+"""Property tests: allocator invariants under random alloc/free sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.mem.allocator import Allocator
+
+_HEAP = 1 << 16
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random interleaving of alloc(size) and free(handle index) ops."""
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(1, 40))):
+        if live and draw(st.booleans()):
+            ops.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(("alloc", draw(st.integers(1, 2048))))
+            live += 1
+    return ops
+
+
+class TestAllocatorProperties:
+    @given(alloc_free_script())
+    @settings(max_examples=60)
+    def test_no_overlap_and_conservation(self, script):
+        allocator = Allocator(_HEAP)
+        total = allocator.free_bytes()
+        live: list[int] = []
+        for op, arg in script:
+            if op == "alloc":
+                try:
+                    live.append(allocator.alloc(arg))
+                except AllocationError:
+                    continue  # heap exhausted/fragmented: acceptable
+            else:
+                if live:
+                    allocator.free(live.pop(arg % len(live)))
+            # Invariant 1: live allocations never overlap.
+            spans = sorted(
+                allocator.allocation_of(address) for address in live
+            )
+            for (s1, n1), (s2, _) in zip(spans, spans[1:]):
+                assert s1 + n1 <= s2
+            # Invariant 2: free + allocated == heap capacity.
+            assert (
+                allocator.free_bytes() + allocator.allocated_bytes() == total
+            )
+
+    @given(alloc_free_script())
+    @settings(max_examples=30)
+    def test_full_free_restores_capacity(self, script):
+        allocator = Allocator(_HEAP)
+        capacity = allocator.free_bytes()
+        live = []
+        for op, arg in script:
+            if op == "alloc":
+                try:
+                    live.append(allocator.alloc(arg))
+                except AllocationError:
+                    pass
+            elif live:
+                allocator.free(live.pop(arg % len(live)))
+        for address in live:
+            allocator.free(address)
+        assert allocator.free_bytes() == capacity
+        # After full free the heap coalesces back to one max-size block.
+        assert allocator.alloc(capacity) > 0
+
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=20))
+    def test_addresses_aligned_and_nonzero(self, sizes):
+        allocator = Allocator(_HEAP)
+        for size in sizes:
+            address = allocator.alloc(size)
+            assert address % 256 == 0
+            assert address != 0

@@ -1,0 +1,72 @@
+"""Property tests: assembler/disassembler/encoder round-trips on random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sass import assemble, decode_module, disassemble, encode_module
+
+_REG = st.integers(0, 60).map(lambda i: f"R{i}")
+_PRED = st.integers(0, 6).map(lambda i: f"P{i}")
+_IMM = st.integers(-(2**31), 2**32 - 1).map(str)
+
+
+@st.composite
+def alu_line(draw):
+    opcode = draw(st.sampled_from(["IADD", "IMUL", "LOP.AND", "LOP.XOR", "SHL",
+                                   "FADD", "FMUL", "IMNMX.MIN"]))
+    dest = draw(_REG)
+    a = draw(_REG)
+    b = draw(st.one_of(_REG, _IMM))
+    guard = draw(st.sampled_from(["", "@P0 ", "@!P1 "]))
+    return f"{guard}{opcode} {dest}, {a}, {b} ;"
+
+
+@st.composite
+def setp_line(draw):
+    cmp = draw(st.sampled_from(["LT", "LE", "GT", "GE", "EQ", "NE"]))
+    mods = draw(st.sampled_from(["", ".U32"]))
+    return f"ISETP.{cmp}{mods} {draw(_PRED)}, {draw(_REG)}, {draw(st.one_of(_REG, _IMM))} ;"
+
+
+@st.composite
+def mem_line(draw):
+    reg = draw(_REG)
+    base = draw(_REG)
+    offset = draw(st.integers(-64, 64)) * 4
+    suffix = f"+{hex(offset)}" if offset > 0 else (f"-{hex(-offset)}" if offset < 0 else "")
+    if draw(st.booleans()):
+        return f"LDG.32 {reg}, [{base}{suffix}] ;"
+    return f"STG.32 [{base}{suffix}], {reg} ;"
+
+
+@st.composite
+def program(draw):
+    lines = draw(
+        st.lists(st.one_of(alu_line(), setp_line(), mem_line()), min_size=1,
+                 max_size=25)
+    )
+    body = "\n".join(f"    {line}" for line in lines)
+    return f".kernel fuzz\n.params 2\n{body}\n    EXIT ;\n"
+
+
+class TestRoundTrips:
+    @given(program())
+    @settings(max_examples=80)
+    def test_text_roundtrip_is_fixed_point(self, text):
+        module = assemble(text)
+        rendered = disassemble(module)
+        assert disassemble(assemble(rendered)) == rendered
+
+    @given(program())
+    @settings(max_examples=80)
+    def test_binary_roundtrip_preserves_semantics(self, text):
+        module = assemble(text)
+        decoded = decode_module(encode_module(module))
+        assert disassemble(decoded) == disassemble(module)
+
+    @given(program())
+    @settings(max_examples=40)
+    def test_instruction_count_stable(self, text):
+        module = assemble(text)
+        again = assemble(disassemble(module))
+        assert len(again.get("fuzz")) == len(module.get("fuzz"))

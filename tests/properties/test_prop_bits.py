@@ -1,0 +1,101 @@
+"""Property tests: bit helpers and Table II mask invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitflip import BitFlipModel, apply_mask, compute_mask
+from repro.utils.bits import (
+    MASK32,
+    bit_field_extract,
+    bit_field_insert,
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    sign_extend,
+    to_i32,
+    to_u32,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True,
+                 allow_nan=False, allow_infinity=False)
+
+
+class TestBitHelpers:
+    @given(u32)
+    def test_i32_u32_roundtrip(self, value):
+        assert to_u32(to_i32(value)) == value
+
+    @given(u32)
+    def test_f32_bits_roundtrip(self, bits):
+        # NaN payloads may not round-trip; skip NaNs.
+        value = bits_to_f32(bits)
+        if value == value:
+            assert f32_to_bits(value) == bits
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_f64_bits_roundtrip(self, bits):
+        value = bits_to_f64(bits)
+        if value == value:
+            assert f64_to_bits(value) == bits
+
+    @given(u32, st.integers(0, 31), st.integers(0, 32))
+    def test_bfe_result_fits_width(self, value, pos, width):
+        extracted = bit_field_extract(value, pos, width)
+        assert extracted < (1 << max(width, 1)) or width == 0
+
+    @given(u32, u32, st.integers(0, 31), st.integers(0, 16))
+    def test_bfi_then_bfe_recovers(self, base, insert, pos, width):
+        if pos + width > 32:
+            width = 32 - pos
+        inserted = bit_field_insert(base, insert, pos, width)
+        if width:
+            assert bit_field_extract(inserted, pos, width) == insert & (
+                (1 << width) - 1
+            )
+
+    @given(st.integers(0, MASK32), st.integers(1, 32))
+    def test_sign_extend_idempotent_on_mask(self, value, bits):
+        extended = sign_extend(value, bits)
+        assert sign_extend(extended, bits) == extended
+
+
+class TestMaskProperties:
+    @given(unit, u32)
+    def test_masks_are_32_bit(self, value, old):
+        for model in BitFlipModel:
+            assert 0 <= compute_mask(model, value, old) <= MASK32
+
+    @given(unit, u32)
+    def test_single_bit_flips_exactly_one(self, value, old):
+        corrupted = apply_mask(BitFlipModel.FLIP_SINGLE_BIT, value, old)
+        assert bin(corrupted ^ old).count("1") == 1
+
+    @given(unit, u32)
+    def test_two_bits_flip_one_or_two_adjacent(self, value, old):
+        mask = compute_mask(BitFlipModel.FLIP_TWO_BITS, value, old)
+        # The top shift (31*value = 30) keeps both bits in-word; count is 2.
+        assert bin(mask).count("1") in (1, 2)
+        # Bits are adjacent when two are set.
+        if bin(mask).count("1") == 2:
+            low = mask & -mask
+            assert mask == low | (low << 1)
+
+    @given(unit, u32)
+    def test_zero_value_always_zeroes(self, value, old):
+        assert apply_mask(BitFlipModel.ZERO_VALUE, value, old) == 0
+
+    @given(unit, u32)
+    def test_injection_is_involutory(self, value, old):
+        """XOR masks are self-inverse: applying twice restores the value."""
+        for model in (BitFlipModel.FLIP_SINGLE_BIT, BitFlipModel.FLIP_TWO_BITS,
+                      BitFlipModel.RANDOM_VALUE):
+            mask = compute_mask(model, value, old)
+            assert (old ^ mask) ^ mask == old
+
+    @given(unit)
+    def test_mask_independent_of_old_value_except_zero_model(self, value):
+        for model in (BitFlipModel.FLIP_SINGLE_BIT, BitFlipModel.FLIP_TWO_BITS,
+                      BitFlipModel.RANDOM_VALUE):
+            assert compute_mask(model, value, 0) == compute_mask(model, value, MASK32)

@@ -1,0 +1,136 @@
+"""Property tests: profile/injection consistency.
+
+The load-bearing contract between the profiler and the injector: *every*
+index below a dynamic kernel's profiled group count maps to a real dynamic
+instruction, and the injector deterministically reaches it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.params import TransientParams
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import SandboxConfig, run_app
+
+_KERNEL = """
+.kernel vary
+.params 2
+    S2R R1, SR_TID.X ;
+    S2R R2, SR_CTAID.X ;
+    S2R R3, SR_NTID.X ;
+    IMAD R4, R2, R3, R1 ;
+    MOV R5, c[0x0][0x4] ;
+    LOP.AND R6, R4, 7 ;
+    MOV R7, RZ ;
+    PBK DONE ;
+LOOP:
+    ISETP.GE P0, R7, R6 ;
+@P0 BRK ;
+    IADD R5, R5, R4 ;
+    IADD R7, R7, 1 ;
+    BRA LOOP ;
+DONE:
+    MOV R8, c[0x0][0x0] ;
+    ISCADD R9, R4, R8, 2 ;
+    STG.32 [R9], R5 ;
+    EXIT ;
+"""
+
+
+class VaryApp(Application):
+    """Divergent loops + arbitrary grid/block so counting is non-trivial."""
+
+    name = "vary"
+
+    def __init__(self, grid: int, block: int, launches: int):
+        self.grid = grid
+        self.block = block
+        self.launches = launches
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "vary")
+        total = self.grid * self.block
+        out = ctx.cuda.alloc(total, np.uint32)
+        for _ in range(self.launches):
+            ctx.cuda.launch(func, self.grid, self.block, out, 100)
+        ctx.write_file("out", out.to_host().tobytes())
+
+
+@st.composite
+def scenario(draw):
+    grid = draw(st.integers(1, 3))
+    block = draw(st.integers(1, 70))
+    launches = draw(st.integers(1, 3))
+    return grid, block, launches
+
+
+class TestProfileInjectionContract:
+    @given(scenario(), st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_every_profiled_index_is_injectable(self, shape, data):
+        grid, block, launches = shape
+        app = VaryApp(grid, block, launches)
+        profiler = ProfilerTool(ProfilingMode.EXACT)
+        run_app(app, preload=[profiler])
+        profile = profiler.profile
+        group = InstructionGroup.G_GP
+
+        # Pick any dynamic kernel instance and any index inside its count.
+        kernel_profile = data.draw(
+            st.sampled_from(profile.kernels), label="dynamic kernel"
+        )
+        group_count = kernel_profile.group_count(group)
+        index = data.draw(
+            st.integers(0, group_count - 1), label="instruction index"
+        )
+        params = TransientParams(
+            group=group,
+            model=BitFlipModel.FLIP_SINGLE_BIT,
+            kernel_name=kernel_profile.kernel_name,
+            kernel_count=kernel_profile.invocation,
+            instruction_count=index,
+            dest_reg_selector=data.draw(
+                st.floats(0, 1, exclude_max=True), label="selector"
+            ),
+            bit_pattern_value=data.draw(
+                st.floats(0, 1, exclude_max=True), label="bit value"
+            ),
+        )
+        injector = TransientInjectorTool(params)
+        artifacts = run_app(
+            app, preload=[injector],
+            config=SandboxConfig(instruction_budget=2_000_000),
+        )
+        # The contract: a profiled index always reaches a real instruction.
+        assert injector.record.injected
+        # And the run terminates with one of the legal outcomes (no crash of
+        # the simulator itself).
+        assert not artifacts.crashed, artifacts.crash_reason
+
+    @given(scenario())
+    @settings(max_examples=10, deadline=None)
+    def test_index_past_group_count_never_injects(self, shape):
+        grid, block, launches = shape
+        app = VaryApp(grid, block, launches)
+        profiler = ProfilerTool(ProfilingMode.EXACT)
+        run_app(app, preload=[profiler])
+        kernel_profile = profiler.profile.kernels[-1]
+        group_count = kernel_profile.group_count(InstructionGroup.G_GP)
+        params = TransientParams(
+            group=InstructionGroup.G_GP,
+            model=BitFlipModel.FLIP_SINGLE_BIT,
+            kernel_name=kernel_profile.kernel_name,
+            kernel_count=kernel_profile.invocation,
+            instruction_count=group_count,  # one past the end
+            dest_reg_selector=0.0,
+            bit_pattern_value=0.0,
+        )
+        injector = TransientInjectorTool(params)
+        run_app(app, preload=[injector])
+        assert not injector.record.injected

@@ -1,0 +1,90 @@
+"""Property tests: site selection over randomly generated profiles."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup, in_group
+from repro.core.profile_data import KernelProfile, ProgramProfile
+from repro.core.site_selection import select_transient_site
+from repro.sass.isa import OPCODES_BY_NAME
+
+_GP_OPCODES = ["FADD", "IADD", "IMAD", "LDG", "MOV", "MUFU", "DADD"]
+_OTHER_OPCODES = ["STG", "BRA", "EXIT", "FSETP"]
+
+
+@st.composite
+def profiles(draw):
+    profile = ProgramProfile()
+    invocations: dict[str, int] = {}
+    for _ in range(draw(st.integers(1, 8))):
+        name = draw(st.sampled_from(["alpha", "beta", "gamma"]))
+        invocation = invocations.get(name, 0)
+        invocations[name] = invocation + 1
+        counts = {}
+        for opcode in draw(
+            st.lists(st.sampled_from(_GP_OPCODES + _OTHER_OPCODES),
+                     min_size=1, max_size=6, unique=True)
+        ):
+            counts[opcode] = draw(st.integers(1, 500))
+        profile.append(KernelProfile(name, invocation, counts))
+    return profile
+
+
+class TestSelectionProperties:
+    @given(profiles(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60)
+    def test_site_is_consistent_with_profile(self, profile, seed):
+        group = InstructionGroup.G_GP
+        assume(profile.total_count(group) > 0)
+        rng = np.random.default_rng(seed)
+        site = select_transient_site(profile, group, BitFlipModel.FLIP_SINGLE_BIT, rng)
+        # The selected (kernel, invocation) exists in the profile...
+        matching = [
+            kp for kp in profile.kernels
+            if kp.kernel_name == site.kernel_name
+            and kp.invocation == site.kernel_count
+        ]
+        assert len(matching) == 1
+        # ...and the instruction index is within that instance's group count.
+        assert 0 <= site.instruction_count < matching[0].group_count(group)
+
+    @given(profiles(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_selected_group_population_nonempty(self, profile, seed):
+        for group in (InstructionGroup.G_FP32, InstructionGroup.G_LD):
+            if profile.total_count(group) == 0:
+                continue
+            rng = np.random.default_rng(seed)
+            site = select_transient_site(profile, group,
+                                         BitFlipModel.RANDOM_VALUE, rng)
+            kp = next(
+                k for k in profile.kernels
+                if k.kernel_name == site.kernel_name
+                and k.invocation == site.kernel_count
+            )
+            group_opcodes = [
+                op for op in kp.counts if in_group(OPCODES_BY_NAME[op], group)
+            ]
+            assert group_opcodes  # the chosen instance really has the group
+
+    @given(profiles())
+    @settings(max_examples=40)
+    def test_group_counts_are_consistent_partitions(self, profile):
+        base_groups = (
+            InstructionGroup.G_FP64, InstructionGroup.G_FP32,
+            InstructionGroup.G_LD, InstructionGroup.G_PR,
+            InstructionGroup.G_NODEST, InstructionGroup.G_OTHERS,
+        )
+        total = profile.total_count()
+        assert sum(profile.total_count(g) for g in base_groups) == total
+        assert (
+            profile.total_count(InstructionGroup.G_GPPR)
+            == total - profile.total_count(InstructionGroup.G_NODEST)
+        )
+        assert (
+            profile.total_count(InstructionGroup.G_GP)
+            == profile.total_count(InstructionGroup.G_GPPR)
+            - profile.total_count(InstructionGroup.G_PR)
+        )

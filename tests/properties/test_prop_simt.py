@@ -1,0 +1,107 @@
+"""Property tests: SIMT reconvergence and execution-model invariants.
+
+Random structured programs (nested if/else over random lane predicates,
+loops with random per-lane trip counts) are generated with the kernel
+builder and checked against a straight-line numpy oracle.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import Device
+from repro.kbuild import KernelBuilder
+from repro.sass import assemble
+
+
+def _run(kb: KernelBuilder, params):
+    device = Device(num_sms=2, global_mem_bytes=1 << 20)
+    out = device.malloc(4 * 32)
+    kernel = assemble(kb.finish()).get(kb.name)
+    device.launch(kernel, 1, 32, [out] + params)
+    return np.frombuffer(device.global_mem.read_bytes(out, 4 * 32), np.uint32)
+
+
+class TestReconvergence:
+    @given(
+        st.integers(0, 32), st.integers(0, 32),
+        st.integers(1, 1000), st.integers(1, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nested_if_matches_oracle(self, t_outer, t_inner, add_a, add_b):
+        lanes = np.arange(32)
+        kb = KernelBuilder("fuzz_if", num_params=1)
+        i = kb.tid_x()
+        acc = kb.mov(kb.const_u32(0))
+        outer = kb.isetp("LT", i, t_outer)
+        with kb.if_then(outer):
+            kb.assign(acc, kb.iadd(acc, add_a))
+            inner = kb.isetp("LT", i, t_inner)
+            with kb.if_then(inner):
+                kb.assign(acc, kb.iadd(acc, add_b))
+        kb.assign(acc, kb.iadd(acc, 1))  # post-reconvergence: all lanes
+        kb.stg(kb.index(kb.param(0), i, 4), acc)
+        out = _run(kb, [])
+
+        oracle = np.zeros(32, dtype=np.uint64)
+        oracle[lanes < t_outer] += add_a
+        oracle[(lanes < t_outer) & (lanes < t_inner)] += add_b
+        oracle += 1
+        assert (out == (oracle & 0xFFFFFFFF)).all()
+
+    @given(st.integers(1, 7), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_loop_trip_counts_match_oracle(self, modulus, offset):
+        lanes = np.arange(32)
+        kb = KernelBuilder("fuzz_loop", num_params=1)
+        i = kb.tid_x()
+        # target trip count = (lane + offset) % modulus
+        target = kb.iadd(i, offset)
+        # modulo via repeated conditional subtract is overkill; use AND for
+        # power-of-two or a loop bound parameterised by i directly.
+        trips = kb.land(target, modulus) if False else target
+        count = kb.mov(kb.const_u32(0))
+        limit = kb.land(trips, 7)  # (lane+offset) & 7
+        with kb.loop() as loop:
+            done = kb.isetp("GE", count, limit)
+            loop.break_if(done)
+            kb.assign(count, kb.iadd(count, 1))
+        kb.stg(kb.index(kb.param(0), i, 4), count)
+        out = _run(kb, [])
+        assert (out == ((lanes + offset) & 7)).all()
+
+    @given(st.integers(0, 31))
+    @settings(max_examples=20, deadline=None)
+    def test_exit_threshold(self, threshold):
+        kb = KernelBuilder("fuzz_exit", num_params=1)
+        i = kb.tid_x()
+        addr = kb.index(kb.param(0), i, 4)
+        kb.stg(addr, kb.const_u32(1))
+        kb.exit_if(kb.isetp("GE", i, threshold))
+        kb.stg(addr, kb.const_u32(2))
+        out = _run(kb, [])
+        lanes = np.arange(32)
+        assert (out == np.where(lanes < threshold, 2, 1)).all()
+
+
+class TestExecutionInvariants:
+    @given(st.integers(1, 64), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_instruction_count_scales_with_threads(self, block, grid):
+        """Warp-instruction count depends only on warp count for a
+        divergence-free kernel."""
+        text = ".kernel k\n    NOP ;\n    NOP ;\n    EXIT ;"
+        kernel = assemble(text).get("k")
+        device = Device(num_sms=2, global_mem_bytes=1 << 20)
+        device.launch(kernel, grid, block, [])
+        warps = grid * ((block + 31) // 32)
+        assert device.instructions_executed == warps * 3
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_mov_preserves_arbitrary_bits(self, value):
+        kb = KernelBuilder("fuzz_mov", num_params=1)
+        i = kb.tid_x()
+        kb.stg(kb.index(kb.param(0), i, 4), kb.const_u32(value))
+        out = _run(kb, [])
+        assert (out == value).all()

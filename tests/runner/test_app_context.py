@@ -1,0 +1,71 @@
+"""AppContext (process environment) behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.runtime import CudaRuntime
+from repro.gpusim import Device
+from repro.runner.app import AppContext, AppExit
+
+
+@pytest.fixture
+def ctx():
+    return AppContext(CudaRuntime(Device(num_sms=2)), seed=5)
+
+
+class TestStdout:
+    def test_print_joins_with_spaces(self, ctx):
+        ctx.print("a", 1, 2.5)
+        assert ctx.stdout == "a 1 2.5\n"
+
+    def test_multiple_lines(self, ctx):
+        ctx.print("first")
+        ctx.print("second")
+        assert ctx.stdout == "first\nsecond\n"
+
+    def test_empty_stdout_has_no_trailing_newline(self, ctx):
+        assert ctx.stdout == ""
+
+
+class TestFiles:
+    def test_write_str_encodes(self, ctx):
+        ctx.write_file("a.txt", "hello")
+        assert ctx.files["a.txt"] == b"hello"
+
+    def test_write_bytes_passthrough(self, ctx):
+        ctx.write_file("b.bin", b"\x00\x01")
+        assert ctx.files["b.bin"] == b"\x00\x01"
+
+    def test_write_bytearray(self, ctx):
+        ctx.write_file("c.bin", bytearray([1, 2]))
+        assert ctx.files["c.bin"] == b"\x01\x02"
+
+    def test_overwrite(self, ctx):
+        ctx.write_file("d", "one")
+        ctx.write_file("d", "two")
+        assert ctx.files["d"] == b"two"
+
+
+class TestExit:
+    def test_exit_raises_app_exit(self, ctx):
+        with pytest.raises(AppExit) as excinfo:
+            ctx.exit(42)
+        assert excinfo.value.code == 42
+
+
+class TestRng:
+    def test_seeded_and_salted(self):
+        a = AppContext(CudaRuntime(Device(num_sms=1)), seed=5)
+        b = AppContext(CudaRuntime(Device(num_sms=1)), seed=5)
+        assert a.rng().random() == b.rng().random()
+        assert a.rng("other").random() != b.rng("input").random()
+
+    def test_different_seeds(self):
+        a = AppContext(CudaRuntime(Device(num_sms=1)), seed=5)
+        b = AppContext(CudaRuntime(Device(num_sms=1)), seed=6)
+        assert a.rng().random() != b.rng().random()
+
+    def test_rng_is_fresh_each_call(self, ctx):
+        # Each rng() call returns an independent generator from the same
+        # seed, so input generation is order-independent.
+        assert ctx.rng().random() == ctx.rng().random()

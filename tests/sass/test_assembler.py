@@ -1,0 +1,137 @@
+"""Unit tests for the SASS text assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.sass import assemble, assemble_kernel
+from repro.sass.operands import ConstMem, Imm, LabelRef, MemRef, Pred, Reg, SpecialReg
+from repro.utils.bits import f32_to_bits
+
+
+class TestBasicParsing:
+    def test_minimal_kernel(self):
+        kernel = assemble(".kernel k\n EXIT ;").get("k")
+        assert len(kernel) == 1
+        assert kernel.instructions[0].opcode == "EXIT"
+
+    def test_directives(self):
+        kernel = assemble(
+            ".kernel k\n.params 3\n.shared 128\n.local 16\nEXIT ;"
+        ).get("k")
+        assert kernel.num_params == 3
+        assert kernel.shared_bytes == 128
+        assert kernel.local_bytes == 16
+
+    def test_comments_ignored(self):
+        kernel = assemble(".kernel k\n// a comment\nEXIT ; // trailing").get("k")
+        assert len(kernel) == 1
+
+    def test_multiple_kernels(self):
+        module = assemble(".kernel a\nEXIT ;\n.kernel b\nEXIT ;")
+        assert sorted(k.name for k in module) == ["a", "b"]
+
+    def test_assemble_kernel_shortcut(self):
+        kernel = assemble_kernel("NOP ;\nEXIT ;", name="snippet")
+        assert kernel.name == "snippet"
+        assert len(kernel) == 2
+
+
+class TestOperands:
+    def test_registers(self):
+        instr = assemble_kernel("IADD R1, R2, R3 ;\nEXIT ;").instructions[0]
+        assert instr.dest == Reg(1)
+        assert instr.sources == (Reg(2), Reg(3))
+
+    def test_rz(self):
+        instr = assemble_kernel("IADD R1, RZ, R3 ;\nEXIT ;").instructions[0]
+        assert instr.sources[0].is_rz
+
+    def test_negated_and_abs_registers(self):
+        instr = assemble_kernel("FADD R1, -R2, |R3| ;\nEXIT ;").instructions[0]
+        assert instr.sources[0].negate
+        assert instr.sources[1].absolute
+
+    def test_immediates_decimal_hex_negative(self):
+        instr = assemble_kernel("IADD3 R1, 10, 0x10, -2 ;\nEXIT ;").instructions[0]
+        assert instr.sources[0] == Imm(10)
+        assert instr.sources[1] == Imm(16)
+        assert instr.sources[2] == Imm(0xFFFFFFFE)
+
+    def test_float_immediate(self):
+        instr = assemble_kernel("FMUL R1, R2, 1.5f ;\nEXIT ;").instructions[0]
+        assert instr.sources[1] == Imm(f32_to_bits(1.5))
+
+    def test_const_memory(self):
+        instr = assemble_kernel("MOV R1, c[0x0][0x8] ;\nEXIT ;").instructions[0]
+        assert instr.sources[0] == ConstMem(0, 8)
+
+    def test_memory_operands(self):
+        kernel = assemble_kernel(
+            "LDG.32 R1, [R2] ;\nLDG.32 R3, [R4+0x10] ;\nLDG.32 R5, [R6-4] ;\nEXIT ;"
+        )
+        assert kernel.instructions[0].sources[0] == MemRef(2, 0)
+        assert kernel.instructions[1].sources[0] == MemRef(4, 16)
+        assert kernel.instructions[2].sources[0] == MemRef(6, -4)
+
+    def test_special_register(self):
+        instr = assemble_kernel("S2R R0, SR_TID.X ;\nEXIT ;").instructions[0]
+        assert instr.sources[0] == SpecialReg("SR_TID.X")
+
+    def test_predicates(self):
+        instr = assemble_kernel("ISETP.LT P1, R2, R3, !P0 ;\nEXIT ;").instructions[0]
+        assert instr.dest == Pred(1)
+        assert instr.sources[2] == Pred(0, negate=True)
+
+
+class TestGuardsAndLabels:
+    def test_guard(self):
+        instr = assemble_kernel("@P2 EXIT ;\nEXIT ;").instructions[0]
+        assert instr.guard == Pred(2)
+
+    def test_negated_guard(self):
+        instr = assemble_kernel("@!P0 EXIT ;\nEXIT ;").instructions[0]
+        assert instr.guard == Pred(0, negate=True)
+
+    def test_label_resolution(self):
+        kernel = assemble_kernel("L0:\n NOP ;\n BRA L0 ;\nEXIT ;")
+        bra = kernel.instructions[1]
+        assert isinstance(bra.sources[0], LabelRef)
+        assert bra.sources[0].target_pc == 0
+        assert bra.branch_target == 0
+
+    def test_forward_label(self):
+        kernel = assemble_kernel("BRA DONE ;\nNOP ;\nDONE:\nEXIT ;")
+        assert kernel.instructions[0].branch_target == 2
+
+    def test_modifiers(self):
+        instr = assemble_kernel("ISETP.GE.U32 P0, R1, R2 ;\nEXIT ;").instructions[0]
+        assert instr.modifiers == ("GE", "U32")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("EXIT ;", "before any .kernel"),
+            (".kernel k\nFROBNICATE R1 ;", "unknown opcode"),
+            (".kernel k\nBRA NOWHERE ;\nEXIT ;", "undefined label"),
+            (".kernel k\nIADD R1, R2, [R3 ;\nEXIT ;", "unbalanced"),
+            (".kernel k\nL0:\nL0:\nEXIT ;", "duplicate label"),
+            (".kernel k\n.params banana\nEXIT ;", "malformed directive"),
+            (".kernel k\nFADD P0, R1, R2 ;\nEXIT ;", "register destination"),
+            (".kernel k\nISETP.LT R0, R1, R2 ;\nEXIT ;", "predicate destination"),
+            (".kernel k\nDADD R1, R2, R4 ;\nEXIT ;", "even register pair"),
+            (".kernel k\nIADD R1, R2, NOT_A_LABEL ;\nEXIT ;", "label operand"),
+        ],
+    )
+    def test_rejects(self, text, match):
+        with pytest.raises(AssemblyError, match=match):
+            assemble(text)
+
+    def test_kernel_must_end_with_exit(self):
+        with pytest.raises(AssemblyError, match="must end with EXIT"):
+            assemble(".kernel k\nNOP ;")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble(".kernel k\nNOP ;\nBOGUS ;")

@@ -1,0 +1,85 @@
+"""Unit tests for the ISA opcode table."""
+
+import pytest
+
+from repro.sass.isa import (
+    NUM_OPCODES,
+    OPCODES,
+    OPCODES_BY_NAME,
+    Category,
+    DestKind,
+    executable_opcodes,
+    opcode_by_id,
+    opcode_info,
+)
+
+
+class TestTableShape:
+    def test_exactly_171_opcodes(self):
+        """The paper: 'the Volta ISA contains 171 opcodes' (Table III)."""
+        assert NUM_OPCODES == 171
+
+    def test_ids_are_dense_and_ordered(self):
+        for index, info in enumerate(OPCODES):
+            assert info.opcode_id == index
+
+    def test_no_duplicate_names(self):
+        assert len(OPCODES_BY_NAME) == NUM_OPCODES
+
+    def test_executable_subset_is_substantial(self):
+        assert len(executable_opcodes()) >= 50
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert opcode_info("FADD").category is Category.FP32
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="FROB"):
+            opcode_info("FROB")
+
+    def test_by_id(self):
+        assert opcode_by_id(opcode_info("IMAD").opcode_id).name == "IMAD"
+
+    def test_by_id_out_of_range(self):
+        with pytest.raises(IndexError):
+            opcode_by_id(171)
+        with pytest.raises(IndexError):
+            opcode_by_id(-1)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,dest",
+        [
+            ("FADD", DestKind.GP),
+            ("DADD", DestKind.GP_PAIR),
+            ("FSETP", DestKind.PRED),
+            ("ISETP", DestKind.PRED),
+            ("STG", DestKind.NONE),
+            ("BRA", DestKind.NONE),
+            ("EXIT", DestKind.NONE),
+            ("LDG", DestKind.GP),
+            ("RED", DestKind.NONE),
+            ("ATOM", DestKind.GP),
+        ],
+    )
+    def test_dest_kinds(self, name, dest):
+        assert opcode_info(name).dest_kind is dest
+
+    def test_fp64_category(self):
+        for name in ("DADD", "DMUL", "DFMA", "DSETP"):
+            assert opcode_info(name).category is Category.FP64
+
+    def test_writes_gp_property(self):
+        assert opcode_info("IMAD").writes_gp
+        assert not opcode_info("ISETP").writes_gp
+        assert not opcode_info("EXIT").writes_gp
+
+    def test_writes_pred_only_property(self):
+        assert opcode_info("FSETP").writes_pred_only
+        assert not opcode_info("FADD").writes_pred_only
+
+    def test_control_opcodes_have_no_dest(self):
+        for name in ("BRA", "SSY", "SYNC", "PBK", "BRK", "EXIT", "BAR", "NOP"):
+            assert not opcode_info(name).has_dest

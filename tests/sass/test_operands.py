@@ -1,0 +1,96 @@
+"""Operand value-object validation tests."""
+
+import pytest
+
+from repro.sass.operands import (
+    ConstMem,
+    Imm,
+    LabelRef,
+    MemRef,
+    Pred,
+    Reg,
+    SpecialReg,
+)
+
+
+class TestReg:
+    def test_range_validation(self):
+        Reg(0)
+        Reg(255)
+        with pytest.raises(ValueError):
+            Reg(256)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_rz_detection(self):
+        assert Reg(255).is_rz
+        assert not Reg(254).is_rz
+
+    def test_rendering_with_modifiers(self):
+        assert str(Reg(3)) == "R3"
+        assert str(Reg(3, negate=True)) == "-R3"
+        assert str(Reg(3, absolute=True)) == "|R3|"
+        assert str(Reg(3, negate=True, absolute=True)) == "-|R3|"
+        assert str(Reg(255)) == "RZ"
+
+
+class TestPred:
+    def test_range_validation(self):
+        Pred(0)
+        Pred(7)
+        with pytest.raises(ValueError):
+            Pred(8)
+
+    def test_pt_detection(self):
+        assert Pred(7).is_pt
+        assert str(Pred(7)) == "PT"
+
+    def test_negation_rendering(self):
+        assert str(Pred(2, negate=True)) == "!P2"
+
+
+class TestImm:
+    def test_32bit_bounds(self):
+        Imm(0)
+        Imm(0xFFFFFFFF)
+        with pytest.raises(ValueError):
+            Imm(0x1_0000_0000)
+        with pytest.raises(ValueError):
+            Imm(-1)
+
+    def test_hex_rendering(self):
+        assert str(Imm(255)) == "0xff"
+
+
+class TestConstMem:
+    def test_validation(self):
+        ConstMem(0, 0)
+        with pytest.raises(ValueError):
+            ConstMem(-1, 0)
+        with pytest.raises(ValueError):
+            ConstMem(0, -4)
+
+    def test_rendering(self):
+        assert str(ConstMem(0, 16)) == "c[0x0][0x10]"
+
+
+class TestMemRef:
+    def test_rendering_variants(self):
+        assert str(MemRef(2, 0)) == "[R2]"
+        assert str(MemRef(2, 16)) == "[R2+0x10]"
+        assert str(MemRef(2, -4)) == "[R2-0x4]"
+        assert str(MemRef(None, 0x100)) == "[0x100]"
+        assert str(MemRef(255, 0)) == "[RZ]"
+
+
+class TestSpecialReg:
+    def test_known_names_only(self):
+        SpecialReg("SR_TID.X")
+        with pytest.raises(ValueError):
+            SpecialReg("SR_BANANA")
+
+
+class TestLabelRef:
+    def test_rendering(self):
+        assert str(LabelRef("LOOP")) == "LOOP"
+        assert LabelRef("LOOP", target_pc=4).target_pc == 4

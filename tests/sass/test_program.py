@@ -1,0 +1,58 @@
+"""Unit tests for Kernel / SassModule containers."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.sass import assemble, assemble_kernel
+from repro.sass.program import SassModule
+
+
+class TestKernel:
+    def test_pcs_assigned(self):
+        kernel = assemble_kernel("NOP ;\nNOP ;\nEXIT ;")
+        assert [i.pc for i in kernel.instructions] == [0, 1, 2]
+
+    def test_num_regs_counts_dest_and_sources(self):
+        kernel = assemble_kernel("IADD R7, R2, R3 ;\nEXIT ;")
+        assert kernel.num_regs == 8
+
+    def test_num_regs_counts_memref_base(self):
+        kernel = assemble_kernel("LDG.32 R0, [R9] ;\nEXIT ;")
+        assert kernel.num_regs == 10
+
+    def test_num_regs_counts_fp64_pair(self):
+        kernel = assemble_kernel("DADD R4, R0, R2 ;\nEXIT ;")
+        assert kernel.num_regs == 6  # pair R4:R5
+
+    def test_num_regs_ignores_rz(self):
+        kernel = assemble_kernel("MOV R1, RZ ;\nEXIT ;")
+        assert kernel.num_regs == 2
+
+    def test_static_opcode_counts(self):
+        kernel = assemble_kernel("NOP ;\nNOP ;\nIADD R1, R2, R3 ;\nEXIT ;")
+        counts = kernel.static_opcode_counts()
+        assert counts == {"NOP": 2, "IADD": 1, "EXIT": 1}
+
+    def test_str_renders_sass(self):
+        kernel = assemble_kernel("IADD R1, R2, 5 ;\nEXIT ;", name="k")
+        text = str(kernel)
+        assert ".kernel k" in text
+        assert "IADD R1, R2, 0x5 ;" in text
+
+
+class TestModule:
+    def test_get_missing_kernel(self):
+        module = assemble(".kernel a\nEXIT ;")
+        with pytest.raises(KeyError, match="available"):
+            module.get("b")
+
+    def test_duplicate_kernel_rejected(self):
+        module = SassModule()
+        module.add(assemble_kernel("EXIT ;", name="dup"))
+        with pytest.raises(AssemblyError, match="duplicate kernel"):
+            module.add(assemble_kernel("EXIT ;", name="dup"))
+
+    def test_len_and_iter(self):
+        module = assemble(".kernel a\nEXIT ;\n.kernel b\nEXIT ;")
+        assert len(module) == 2
+        assert {k.name for k in module} == {"a", "b"}

@@ -1,0 +1,99 @@
+"""Disassembler and binary-encoding round-trip tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.sass import (
+    assemble,
+    decode_module,
+    disassemble,
+    disassemble_kernel,
+    encode_module,
+)
+from repro.sass.encoding import WORD_SIZE, decode_instruction, encode_instruction
+
+_SAMPLE = """
+.kernel sample
+.params 3
+.shared 64
+    S2R R0, SR_CTAID.X ;
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    IMAD R3, R0, 32, R1 ;
+    ISETP.GE.U32 P0, R3, R2 ;
+@P0 EXIT ;
+    SSY RECONV ;
+@!P0 BRA SKIP ;
+    LDG.32 R4, [R3+0x10] ;
+    FFMA R5, R4, 2.5f, -R4 ;
+    STS.32 [R3], R5 ;
+SKIP:
+    SYNC ;
+RECONV:
+    PBK DONE ;
+LOOP:
+    IADD R3, R3, -1 ;
+    ISETP.LE P1, R3, 0 ;
+@P1 BRK ;
+    BRA LOOP ;
+DONE:
+    EXIT ;
+"""
+
+
+class TestTextRoundTrip:
+    def test_disassemble_reassembles(self):
+        module = assemble(_SAMPLE)
+        text = disassemble(module)
+        again = disassemble(assemble(text))
+        assert text == again
+
+    def test_preserves_instruction_count(self):
+        module = assemble(_SAMPLE)
+        again = assemble(disassemble(module))
+        assert len(again.get("sample")) == len(module.get("sample"))
+
+    def test_preserves_directives(self):
+        kernel = assemble(disassemble(assemble(_SAMPLE))).get("sample")
+        assert kernel.num_params == 3
+        assert kernel.shared_bytes == 64
+
+    def test_labels_regenerated_at_targets(self):
+        text = disassemble_kernel(assemble(_SAMPLE).get("sample"))
+        assert text.count(":") >= 3  # three branch targets
+
+
+class TestBinaryRoundTrip:
+    def test_module_roundtrip(self):
+        module = assemble(_SAMPLE)
+        blob = encode_module(module)
+        decoded = decode_module(blob)
+        assert disassemble(decoded) == disassemble(module)
+
+    def test_word_size(self):
+        module = assemble(".kernel k\nEXIT ;")
+        instr = module.get("k").instructions[0]
+        assert len(encode_instruction(instr)) == WORD_SIZE
+
+    def test_instruction_roundtrip_guard(self):
+        instr = assemble(".kernel k\n@!P3 IADD R1, R2, 0x12345678 ;\nEXIT ;").get(
+            "k"
+        ).instructions[0]
+        decoded = decode_instruction(encode_instruction(instr))
+        assert decoded.guard == instr.guard
+        assert decoded.sources == instr.sources
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(EncodingError, match="magic"):
+            decode_module(b"XXXX" + b"\x00" * 16)
+
+    def test_corrupt_word_rejected(self):
+        module = assemble(".kernel k\nEXIT ;")
+        blob = bytearray(encode_module(module))
+        blob[-1] ^= 0xFF  # clobber the sentinel
+        with pytest.raises(EncodingError):
+            decode_module(bytes(blob))
+
+    def test_truncated_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(b"\x00" * (WORD_SIZE - 1))

@@ -1,0 +1,111 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.bits import (
+    MASK32,
+    bit_field_extract,
+    bit_field_insert,
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    flo,
+    popcount,
+    sign_extend,
+    to_i32,
+    to_i64,
+    to_u32,
+)
+
+
+class TestTruncation:
+    def test_to_u32_wraps(self):
+        assert to_u32(0x1_0000_0003) == 3
+
+    def test_to_u32_negative(self):
+        assert to_u32(-1) == MASK32
+
+    def test_to_i32_positive(self):
+        assert to_i32(5) == 5
+
+    def test_to_i32_sign_bit(self):
+        assert to_i32(0xFFFFFFFF) == -1
+        assert to_i32(0x80000000) == -(2**31)
+
+    def test_to_i64_sign_bit(self):
+        assert to_i64(0xFFFFFFFFFFFFFFFF) == -1
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sign_extend(0x80, 8) == -128
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_width_one(self):
+        assert sign_extend(1, 1) == -1
+        assert sign_extend(0, 1) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+
+class TestFloatViews:
+    def test_f32_roundtrip(self):
+        for value in (0.0, 1.0, -2.5, 3.14159, 1e-38, 1e38):
+            assert bits_to_f32(f32_to_bits(value)) == pytest.approx(value, rel=1e-6)
+
+    def test_f32_one(self):
+        assert f32_to_bits(1.0) == 0x3F800000
+
+    def test_f32_nan(self):
+        assert math.isnan(bits_to_f32(0x7FC00000))
+
+    def test_f64_roundtrip(self):
+        for value in (0.0, -1.0, 2.718281828459045, 1e-300):
+            assert bits_to_f64(f64_to_bits(value)) == value
+
+    def test_f64_one(self):
+        assert f64_to_bits(1.0) == 0x3FF0000000000000
+
+
+class TestPopcountFlo:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(0x80000001) == 2
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_flo_zero_is_all_ones(self):
+        assert flo(0) == MASK32
+
+    def test_flo_values(self):
+        assert flo(1) == 0
+        assert flo(0x80000000) == 31
+        assert flo(0x00010000) == 16
+
+
+class TestBitFields:
+    def test_extract(self):
+        assert bit_field_extract(0xABCD1234, 8, 8) == 0x12
+
+    def test_extract_zero_width(self):
+        assert bit_field_extract(0xFFFFFFFF, 4, 0) == 0
+
+    def test_insert(self):
+        assert bit_field_insert(0x0, 0xFF, 8, 8) == 0xFF00
+
+    def test_insert_preserves_rest(self):
+        assert bit_field_insert(0xAAAAAAAA, 0x5, 0, 4) == 0xAAAAAAA5
+
+    def test_insert_zero_width_is_identity(self):
+        assert bit_field_insert(0x1234, 0xFF, 4, 0) == 0x1234

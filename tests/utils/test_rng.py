@@ -1,0 +1,40 @@
+"""Unit tests for deterministic RNG streams."""
+
+import pytest
+
+from repro.utils.rng import SeedSequenceStream
+
+
+class TestSeedSequenceStream:
+    def test_same_seed_same_values(self):
+        a = SeedSequenceStream(42).generator().random(5)
+        b = SeedSequenceStream(42).generator().random(5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceStream(1).generator().random(5)
+        b = SeedSequenceStream(2).generator().random(5)
+        assert not (a == b).all()
+
+    def test_children_are_independent(self):
+        root = SeedSequenceStream(7)
+        sites = root.child("sites").generator().random(5)
+        inputs = root.child("inputs").generator().random(5)
+        assert not (sites == inputs).all()
+
+    def test_child_is_stable(self):
+        a = SeedSequenceStream(7).child("sites").seed
+        b = SeedSequenceStream(7).child("sites").seed
+        assert a == b
+
+    def test_nested_children_distinct(self):
+        root = SeedSequenceStream(7)
+        assert root.child("a").child("b").seed != root.child("b").child("a").seed
+
+    def test_uniform_in_range(self):
+        value = SeedSequenceStream(3).uniform()
+        assert 0.0 <= value < 1.0
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            SeedSequenceStream(-1)

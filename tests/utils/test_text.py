@@ -1,0 +1,38 @@
+"""Unit tests for the table formatter."""
+
+import pytest
+
+from repro.utils.text import format_histogram_row, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+        assert "yyyy" in lines[3]
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestHistogramRow:
+    def test_contains_percentages(self):
+        row = format_histogram_row("prog", {"SDC": 0.25, "DUE": 0.05, "Masked": 0.70})
+        assert "SDC= 25.0%" in row
+        assert "Masked= 70.0%" in row
+
+    def test_bar_length_tracks_fraction(self):
+        row = format_histogram_row("p", {"SDC": 0.5}, width=10)
+        assert "#" * 5 in row

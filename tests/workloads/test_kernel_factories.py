@@ -1,0 +1,124 @@
+"""Direct unit tests of the shared kernel factories."""
+
+import numpy as np
+import pytest
+
+from repro.sass import assemble
+from repro.workloads import kernels as kf
+from tests.conftest import read_f32, write_f32
+
+
+def _launch(device, text, name, grid, block, params):
+    device.launch(assemble(text).get(name), grid, block, params)
+
+
+class TestEwise:
+    def test_ewise1(self, device):
+        text = kf.ewise1("square", lambda kb, x: kb.fmul(x, x))
+        data = np.arange(40, dtype=np.float32)
+        src = device.malloc(160)
+        dst = device.malloc(160)
+        write_f32(device, src, data)
+        _launch(device, text, "square", 2, 32, [40, src, dst])
+        assert np.allclose(read_f32(device, dst, 40), data**2)
+
+    def test_ewise1_respects_bounds(self, device):
+        text = kf.ewise1("copy1", lambda kb, x: kb.mov(x))
+        src = device.malloc(256)
+        dst = device.malloc(256)
+        write_f32(device, dst, np.full(64, -1.0, np.float32))
+        write_f32(device, src, np.arange(64, dtype=np.float32))
+        _launch(device, text, "copy1", 2, 32, [10, src, dst])
+        out = read_f32(device, dst, 64)
+        assert np.allclose(out[:10], np.arange(10))
+        assert (out[10:] == -1.0).all()  # untouched beyond n
+
+    def test_ewise2_scalar(self, device):
+        from repro.utils.bits import f32_to_bits
+
+        text = kf.ewise2_scalar("axpy2", lambda kb, y, x, a: kb.ffma(x, a, y))
+        x = np.arange(32, dtype=np.float32)
+        y = np.ones(32, dtype=np.float32)
+        px, py, pout = device.malloc(128), device.malloc(128), device.malloc(128)
+        write_f32(device, px, y)
+        write_f32(device, py, x)
+        _launch(device, text, "axpy2", 1, 32,
+                [32, px, py, pout, f32_to_bits(3.0)])
+        assert np.allclose(read_f32(device, pout, 32), 1.0 + 3.0 * x)
+
+    def test_ewise3(self, device):
+        text = kf.ewise3("fma3", lambda kb, a, b, c: kb.ffma(a, b, c))
+        arrays = [np.random.default_rng(i).random(32).astype(np.float32)
+                  for i in range(3)]
+        pointers = []
+        for arr in arrays:
+            p = device.malloc(128)
+            write_f32(device, p, arr)
+            pointers.append(p)
+        out = device.malloc(128)
+        _launch(device, text, "fma3", 1, 32, [32, *pointers, out])
+        expected = arrays[0] * arrays[1] + arrays[2]
+        assert np.allclose(read_f32(device, out, 32), expected, rtol=1e-6)
+
+
+class TestReductions:
+    def test_dot_product(self, device):
+        text = kf.dot_product("dp")
+        rng = np.random.default_rng(0)
+        x = rng.random(100).astype(np.float32)
+        y = rng.random(100).astype(np.float32)
+        px, py = device.malloc(400), device.malloc(400)
+        write_f32(device, px, x)
+        write_f32(device, py, y)
+        acc = device.malloc(4)
+        write_f32(device, acc, np.zeros(1, np.float32))
+        _launch(device, text, "dp", 4, 32, [100, px, py, acc])
+        assert np.isclose(read_f32(device, acc, 1)[0], float(x @ y), rtol=1e-4)
+
+    def test_reduce_sum_accumulates_across_launches(self, device):
+        text = kf.reduce_sum("rs2")
+        data = np.ones(64, dtype=np.float32)
+        src = device.malloc(256)
+        write_f32(device, src, data)
+        acc = device.malloc(4)
+        write_f32(device, acc, np.zeros(1, np.float32))
+        for _ in range(3):
+            _launch(device, text, "rs2", 2, 32, [64, src, acc])
+        assert read_f32(device, acc, 1)[0] == 192.0
+
+
+class TestStencil:
+    def test_boundary_cells_copied(self, device):
+        text = kf.stencil5("st5", center=0.0, neighbour=0.0, width=16)
+        field = np.random.default_rng(1).random((8, 16)).astype(np.float32)
+        src = device.malloc(field.nbytes)
+        dst = device.malloc(field.nbytes)
+        write_f32(device, src, field)
+        _launch(device, text, "st5", 2, 64, [8, src, dst])
+        out = read_f32(device, dst, 128).reshape(8, 16)
+        # With zero coefficients, interior becomes 0 and boundary copies.
+        assert np.allclose(out[0], field[0])
+        assert np.allclose(out[-1], field[-1])
+        assert np.allclose(out[:, 0], field[:, 0])
+        assert np.allclose(out[1:-1, 1:-1], 0.0)
+
+    def test_non_power_of_two_width_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            kf.stencil5("bad", 1.0, 0.1, width=24)
+
+
+class TestTridiag:
+    def test_backward_sweep(self, device):
+        text = kf.tridiag_sweep("tb", forward=False, width=8, coef=1.0)
+        field = np.ones((4, 8), dtype=np.float32)
+        p = device.malloc(field.nbytes)
+        write_f32(device, p, field)
+        _launch(device, text, "tb", 1, 4, [4, p])
+        out = read_f32(device, p, 32).reshape(4, 8)
+        # Backward recurrence from column 6 down to column 1 with carry.
+        expected = field.copy()
+        carry = np.zeros(4, dtype=np.float32)
+        for col in range(6, 0, -1):
+            expected[:, col] = carry + expected[:, col]
+            carry = expected[:, col]
+        assert np.allclose(out, expected)

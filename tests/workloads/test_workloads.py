@@ -1,0 +1,113 @@
+"""Workload-suite tests: golden behaviour, determinism, check scripts."""
+
+import numpy as np
+import pytest
+
+from repro.runner.artifacts import RunArtifacts
+from repro.runner.golden import capture_golden
+from repro.runner.sandbox import SandboxConfig, run_app
+from repro.workloads import WORKLOAD_CLASSES, all_workloads, get_workload
+
+_ALL_NAMES = [cls.name for cls in WORKLOAD_CLASSES]
+
+
+class TestSuiteShape:
+    def test_fifteen_programs(self):
+        """Table IV lists 15 SpecACCEL OpenACC v1.2 programs."""
+        assert len(WORKLOAD_CLASSES) == 15
+
+    def test_names_match_table_iv(self):
+        expected = {
+            "303.ostencil", "304.olbm", "314.omriq", "350.md", "351.palm",
+            "352.ep", "353.clvrleaf", "354.cg", "355.seismic", "356.sp",
+            "357.csp", "359.miniGhost", "360.ilbdc", "363.swim", "370.bt",
+        }
+        assert set(_ALL_NAMES) == expected
+
+    def test_paper_metadata_present(self):
+        for cls in WORKLOAD_CLASSES:
+            assert cls.paper_static_kernels > 0
+            assert cls.paper_dynamic_kernels > 0
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("banana")
+
+    def test_all_workloads_fresh_instances(self):
+        first = all_workloads()
+        second = all_workloads()
+        assert all(a is not b for a, b in zip(first, second))
+
+
+@pytest.mark.parametrize("name", _ALL_NAMES)
+class TestEveryProgram:
+    def test_golden_run_clean(self, name):
+        golden = capture_golden(get_workload(name))
+        assert golden.exit_status == 0
+        assert golden.stdout
+        assert golden.files
+
+    def test_deterministic(self, name):
+        app = get_workload(name)
+        a = run_app(app, config=SandboxConfig(seed=3))
+        b = run_app(app, config=SandboxConfig(seed=3))
+        assert a.stdout == b.stdout
+        assert a.files == b.files
+
+    def test_check_passes_against_itself(self, name):
+        app = get_workload(name)
+        golden = capture_golden(app)
+        assert app.check(golden, golden).passed
+
+
+class TestCheckScripts:
+    def _golden(self, name) -> tuple:
+        app = get_workload(name)
+        return app, capture_golden(app)
+
+    def test_tolerance_masks_tiny_fp_noise(self):
+        app, golden = self._golden("303.ostencil")
+        noisy = RunArtifacts(stdout=golden.stdout, files=dict(golden.files))
+        data = np.frombuffer(noisy.files[app.output_file], np.float32).copy()
+        data[0] += data[0] * 1e-6  # far below check_rtol
+        noisy.files[app.output_file] = data.tobytes()
+        assert app.check(golden, noisy).passed
+
+    def test_large_corruption_detected(self):
+        app, golden = self._golden("303.ostencil")
+        corrupt = RunArtifacts(stdout=golden.stdout, files=dict(golden.files))
+        data = np.frombuffer(corrupt.files[app.output_file], np.float32).copy()
+        data[5] += 1000.0
+        corrupt.files[app.output_file] = data.tobytes()
+        result = app.check(golden, corrupt)
+        assert not result.passed
+        assert "Output file" in result.detail
+
+    def test_stdout_change_detected(self):
+        app, golden = self._golden("360.ilbdc")
+        altered = RunArtifacts(stdout="something else\n", files=dict(golden.files))
+        assert not app.check(golden, altered).passed
+
+    def test_missing_file_detected(self):
+        app, golden = self._golden("360.ilbdc")
+        empty = RunArtifacts(stdout=golden.stdout, files={})
+        result = app.check(golden, empty)
+        assert not result.passed
+        assert "missing" in result.detail
+
+    def test_integer_workload_is_bit_exact(self):
+        """352.ep (integer LCG + histogram) uses exact comparison."""
+        app, golden = self._golden("352.ep")
+        corrupt = RunArtifacts(stdout=golden.stdout, files=dict(golden.files))
+        data = np.frombuffer(corrupt.files[app.output_file], np.float32).copy()
+        data[0] = np.nextafter(data[0], np.float32(np.inf))  # one ULP
+        corrupt.files[app.output_file] = data.tobytes()
+        assert not app.check(golden, corrupt).passed
+
+
+class TestSeeds:
+    def test_different_seeds_different_inputs(self):
+        app = get_workload("350.md")
+        a = run_app(app, config=SandboxConfig(seed=1))
+        b = run_app(app, config=SandboxConfig(seed=2))
+        assert a.files[app.output_file] != b.files[app.output_file]

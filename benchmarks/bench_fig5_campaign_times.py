@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import statistics
 
-from benchmarks.harness import emit
+from benchmarks.harness import campaign_seed, emit
 from benchmarks.overheads import measure_all
 from repro.utils.text import format_table
 
@@ -46,6 +46,38 @@ def _render(measurements) -> str:
         title="Figure 5: total campaign times "
               "(paper: transient typically ~2x permanent, 5x to <1x range)",
     )
+
+
+def test_fig5_parallel_engine_campaign(benchmark):
+    """The campaign-speed claim, exercised end-to-end: a real (small)
+    transient campaign through :class:`CampaignEngine` with injection runs
+    fanned out over a process pool — the paper's ``run_injections.py -p``
+    path — checking the engine's throughput metrics and result integrity."""
+    from repro.core.campaign import CampaignConfig
+    from repro.core.engine import CampaignEngine, ParallelExecutor
+
+    engines = []
+
+    def run():
+        engine = CampaignEngine(
+            "314.omriq",
+            CampaignConfig(num_transient=8, seed=campaign_seed()),
+            executor=ParallelExecutor(max_workers=2, chunksize=2),
+        )
+        engines.append(engine)
+        return engine.run_transient()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    engine = engines[-1]
+    emit(
+        "fig5_parallel_engine",
+        f"parallel engine campaign (8 faults, 2 workers): "
+        f"{engine.metrics.summary()}",
+    )
+    assert len(result.results) == 8
+    assert result.tally.total == 8
+    assert engine.metrics.injections_per_second > 0
+    assert engine.metrics.phase_seconds.keys() >= {"golden", "profile", "inject"}
 
 
 def test_fig5_campaign_times(benchmark):

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""An end-to-end AVF study: parallel campaign + persistence + analysis.
+"""An end-to-end AVF study: parallel engine + persistence + analysis.
 
 Shows the workflow a resilience researcher would actually run on top of
-NVBitFI: execute a campaign with injection runs fanned out over worker
-processes, persist every artifact to a study directory (so the campaign is
-auditable and resumable), and derive AVF estimates with per-kernel and
-per-instruction-group breakdowns.
+NVBitFI: one :class:`CampaignEngine` executes the campaign with injection
+runs fanned out over worker processes, checkpointing every artifact to a
+study directory *as it completes* (so the campaign is auditable and — even
+if killed mid-flight — resumable by rerunning this script), and then AVF
+estimates are derived with per-kernel and per-instruction-group breakdowns.
 
 Run:  python examples/avf_study.py [workload] [injections] [study_dir]
 """
@@ -18,14 +19,25 @@ import time
 from pathlib import Path
 
 from repro.core import (
-    Campaign,
     CampaignConfig,
+    CampaignEngine,
     CampaignStore,
+    EngineHooks,
+    ParallelExecutor,
     estimate_avf,
     format_avf_report,
-    run_transient_parallel,
 )
-from repro.workloads import get_workload
+
+
+class ProgressHooks(EngineHooks):
+    """Live progress: phase timings + running outcome counts."""
+
+    def on_phase(self, phase, seconds):
+        print(f"  phase {phase}: {seconds:.2f}s")
+
+    def on_injection(self, index, outcome, completed, total, tally):
+        if completed % 10 == 0 or completed == total:
+            print(f"  [{completed}/{total}] {tally.report(samples=completed)}")
 
 
 def main() -> None:
@@ -35,22 +47,26 @@ def main() -> None:
         sys.argv[3] if len(sys.argv) > 3 else tempfile.mkdtemp(prefix="avf_study_")
     )
 
-    config = CampaignConfig(num_transient=injections, seed=1234)
+    store = CampaignStore(study_dir)
+    engine = CampaignEngine(
+        workload,
+        CampaignConfig(num_transient=injections, seed=1234),
+        executor=ParallelExecutor(max_workers=4),
+        store=store,
+        hooks=ProgressHooks(),
+    )
 
     print(f"== parallel campaign: {injections} faults into {workload} ==")
     started = time.perf_counter()
-    result = run_transient_parallel(workload, config, max_workers=4)
+    result = engine.run_transient()
     elapsed = time.perf_counter() - started
-    print(f"completed in {elapsed:.1f}s "
-          f"(sum of injection runtimes: "
+    print(f"completed in {elapsed:.1f}s at "
+          f"{engine.metrics.injections_per_second:.1f} injections/s "
+          f"({engine.metrics.injections_loaded} resumed from disk; "
+          f"sum of injection runtimes: "
           f"{sum(r.wall_time for r in result.results):.1f}s)")
 
-    print("\n== persisting the study ==")
-    campaign = Campaign(get_workload(workload), config)
-    campaign.run_golden()
-    campaign.run_profile()
-    store = CampaignStore(study_dir)
-    store.save_campaign(campaign.golden, campaign.profile, result)
+    print("\n== the study on disk ==")
     print(f"study directory: {study_dir}")
     print(f"  {len(store.completed_injections())} injections on disk, "
           f"plus golden/, profile.txt and results.csv")

@@ -19,6 +19,13 @@ from repro.core.campaign import (
     TransientResult,
 )
 from repro.core.dictionary import DictionaryEntry, FaultDictionary
+from repro.core.engine import (
+    CampaignEngine,
+    EngineHooks,
+    EngineMetrics,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from repro.core.groups import InstructionGroup, base_group, in_group
 from repro.core.injector import InjectionRecord, TransientInjectorTool
 from repro.core.parallel import run_transient_parallel
@@ -73,6 +80,11 @@ __all__ = [
     "select_permanent_sites",
     "Campaign",
     "CampaignConfig",
+    "CampaignEngine",
+    "EngineHooks",
+    "EngineMetrics",
+    "SerialExecutor",
+    "ParallelExecutor",
     "TransientCampaignResult",
     "TransientResult",
     "PermanentCampaignResult",

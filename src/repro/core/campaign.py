@@ -9,8 +9,11 @@ A campaign automates Figure 1 end-to-end for one application:
    injector tool attached,
 5. Table V classification and aggregation.
 
-Timing of every phase is recorded so the overhead figures (paper Figures 4
-and 5) can be regenerated.
+The actual pipeline lives in :class:`repro.core.engine.CampaignEngine`;
+:class:`Campaign` is the serial-convenience facade over it (as
+``run_transient_parallel`` and ``run_resumable_campaign`` are the parallel
+and resumable facades).  Timing of every phase is recorded so the overhead
+figures (paper Figures 4 and 5) can be regenerated.
 """
 
 from __future__ import annotations
@@ -20,20 +23,15 @@ from dataclasses import dataclass, field
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup
-from repro.core.injector import InjectionRecord, TransientInjectorTool
-from repro.core.outcomes import OutcomeRecord, classify
+from repro.core.injector import InjectionRecord
+from repro.core.outcomes import OutcomeRecord
 from repro.core.params import IntermittentParams, PermanentParams, TransientParams
-from repro.core.pf_injector import IntermittentInjectorTool, PermanentInjectorTool
 from repro.core.profile_data import ProgramProfile
-from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.core.profiler import ProfilingMode
 from repro.core.report import OutcomeTally
-from repro.core.site_selection import select_permanent_sites, select_transient_sites
 from repro.runner.app import Application
 from repro.runner.artifacts import RunArtifacts
-from repro.runner.golden import capture_golden, hang_budget
-from repro.runner.sandbox import SandboxConfig, run_app
-from repro.sass.isa import opcode_by_id
-from repro.utils.rng import SeedSequenceStream
+from repro.runner.sandbox import SandboxConfig
 
 
 @dataclass
@@ -57,6 +55,7 @@ class TransientResult:
     record: InjectionRecord
     outcome: OutcomeRecord
     wall_time: float
+    instructions: int = 0  # deterministic simulated duration of the run
 
 
 @dataclass
@@ -98,163 +97,69 @@ class PermanentCampaignResult:
 
 
 class Campaign:
-    """Fault-injection campaign for one application."""
+    """Fault-injection campaign for one application (serial engine facade)."""
 
     def __init__(self, app: Application, config: CampaignConfig | None = None) -> None:
+        # Engine imports this module's dataclasses, so import it lazily.
+        from repro.core.engine import CampaignEngine
+
         self.app = app
         self.config = config or CampaignConfig()
-        self._stream = SeedSequenceStream(self.config.seed, path=app.name)
-        self.golden: RunArtifacts | None = None
-        self.profile: ProgramProfile | None = None
-        self.golden_time = 0.0
-        self.profile_time = 0.0
+        self.engine = CampaignEngine(app, self.config)
+
+    # -- pipeline state (owned by the engine) -------------------------------------
+
+    @property
+    def golden(self) -> RunArtifacts | None:
+        return self.engine.golden
+
+    @property
+    def profile(self) -> ProgramProfile | None:
+        return self.engine.profile
+
+    @property
+    def golden_time(self) -> float:
+        return self.engine.golden_time
+
+    @property
+    def profile_time(self) -> float:
+        return self.engine.profile_time
 
     # -- phases -----------------------------------------------------------------
 
     def run_golden(self) -> RunArtifacts:
-        config = self._sandbox_config()
-        self.golden = capture_golden(self.app, config)
-        self.golden_time = self.golden.wall_time
-        return self.golden
+        return self.engine.run_golden()
 
     def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
-        if self.golden is None:
-            self.run_golden()
-        profiler = ProfilerTool(mode or self.config.profiling)
-        artifacts = run_app(self.app, preload=[profiler], config=self._injection_config())
-        if artifacts.crashed or artifacts.timed_out:
-            raise RuntimeError(
-                f"profiling run failed unexpectedly: {artifacts.summary()}"
-            )
-        self.profile = profiler.profile
-        self.profile_time = artifacts.wall_time
-        return self.profile
+        return self.engine.run_profile(mode)
 
     def select_sites(self, count: int | None = None) -> list[TransientParams]:
-        if self.profile is None:
-            self.run_profile()
-        rng = self._stream.child("sites").generator()
-        return select_transient_sites(
-            self.profile,
-            self.config.group,
-            self.config.model,
-            count if count is not None else self.config.num_transient,
-            rng,
-        )
+        return self.engine.select_sites(count)
 
     def run_transient(self, sites: list[TransientParams] | None = None) -> TransientCampaignResult:
         """The full transient campaign (Figure 1 for N faults)."""
-        if sites is None:
-            sites = self.select_sites()
-        tally = OutcomeTally()
-        results = []
-        for params in sites:
-            injector = TransientInjectorTool(params)
-            artifacts = run_app(
-                self.app, preload=[injector], config=self._injection_config()
-            )
-            outcome = classify(self.app, self.golden, artifacts)
-            tally.add(outcome)
-            results.append(
-                TransientResult(params, injector.record, outcome, artifacts.wall_time)
-            )
-        return TransientCampaignResult(
-            results=results,
-            tally=tally,
-            golden_time=self.golden_time,
-            profile_time=self.profile_time,
-            median_injection_time=_median(r.wall_time for r in results),
-        )
+        return self.engine.run_transient(sites)
 
     def run_permanent(
         self, sites: list[PermanentParams] | None = None
     ) -> PermanentCampaignResult:
         """One injection per executed opcode, outcomes weighted by dynamic count."""
-        if self.profile is None:
-            self.run_profile()
-        if sites is None:
-            rng = self._stream.child("permanent").generator()
-            sites = select_permanent_sites(
-                self.profile, rng, sm_ids=self._active_sm_ids()
-            )
-        total_dynamic = max(self.profile.total_count(), 1)
-        tally = OutcomeTally()
-        results = []
-        for params in sites:
-            opcode = opcode_by_id(params.opcode_id).name
-            weight = self.profile.opcode_count(opcode) / total_dynamic
-            injector = PermanentInjectorTool(params)
-            artifacts = run_app(
-                self.app, preload=[injector], config=self._injection_config()
-            )
-            outcome = classify(self.app, self.golden, artifacts)
-            tally.add(outcome, weight=weight)
-            results.append(
-                PermanentResult(
-                    params=params,
-                    opcode=opcode,
-                    weight=weight,
-                    activations=injector.activations,
-                    outcome=outcome,
-                    wall_time=artifacts.wall_time,
-                )
-            )
-        return PermanentCampaignResult(
-            results=results,
-            tally=tally,
-            golden_time=self.golden_time,
-            median_injection_time=_median(r.wall_time for r in results),
-        )
+        return self.engine.run_permanent(sites)
 
     def run_intermittent(self, params: IntermittentParams) -> PermanentResult:
         """One intermittent-fault run (§V extension)."""
-        if self.golden is None:
-            self.run_golden()
-        injector = IntermittentInjectorTool(params)
-        artifacts = run_app(
-            self.app, preload=[injector], config=self._injection_config()
-        )
-        outcome = classify(self.app, self.golden, artifacts)
-        opcode = opcode_by_id(params.permanent.opcode_id).name
-        return PermanentResult(
-            params=params.permanent,
-            opcode=opcode,
-            weight=1.0,
-            activations=injector.activations,
-            outcome=outcome,
-            wall_time=artifacts.wall_time,
-        )
+        return self.engine.run_intermittent([params])[0]
 
     # -- helpers -------------------------------------------------------------------
 
     def _sandbox_config(self) -> SandboxConfig:
-        base = self.config.sandbox
-        return SandboxConfig(
-            seed=base.seed,
-            instruction_budget=base.instruction_budget,
-            family=base.family,
-            num_sms=base.num_sms,
-            global_mem_bytes=base.global_mem_bytes,
-        )
+        return self.engine._sandbox_config()
 
     def _injection_config(self) -> SandboxConfig:
-        config = self._sandbox_config()
-        if self.golden is not None:
-            config.instruction_budget = hang_budget(
-                self.golden, factor=self.config.hang_budget_factor
-            )
-        return config
+        return self.engine._injection_config()
 
     def _active_sm_ids(self) -> list[int]:
-        """SMs that actually ran blocks in the golden run.
-
-        A permanent fault pinned to an idle SM can never activate; real
-        campaigns target populated SMs, so site selection draws from the
-        golden run's active set.
-        """
-        if self.golden is not None and self.golden.active_sms:
-            return list(self.golden.active_sms)
-        return list(range(self.config.sandbox.num_sms or 8))
+        return self.engine._active_sm_ids()
 
 
 def _median(values) -> float:

@@ -60,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--permanent", action="store_true",
                           help="also run the permanent-fault campaign")
+    campaign.add_argument("--workers", type=int, default=0,
+                          help="fan injection runs out over N worker processes")
+    campaign.add_argument("--chunksize", type=int, default=1,
+                          help="injections per parallel work chunk")
+    campaign.add_argument("--store",
+                          help="study directory: checkpoint each injection "
+                               "as it completes and resume interrupted runs")
+    campaign.add_argument("--family", default="volta",
+                          help="GPU architecture family of the sandbox device")
+    campaign.add_argument("--num-sms", type=int, default=None,
+                          help="override the device's SM count")
+    campaign.add_argument("--progress", action="store_true",
+                          help="print per-injection progress")
 
     dump = sub.add_parser(
         "dump", help="disassemble a workload's kernels (cuobjdump analogue)"
@@ -149,19 +162,47 @@ def _main(argv: list[str] | None = None) -> int:
         return 0 if outcome.outcome.value == "Masked" else 1
 
     if args.command == "campaign":
+        from repro.core.engine import (
+            CampaignEngine,
+            EngineHooks,
+            ParallelExecutor,
+            SerialExecutor,
+        )
+        from repro.core.store import CampaignStore
+
         config = CampaignConfig(
             seed=args.seed,
             num_transient=args.injections,
             group=InstructionGroup(args.group),
             model=BitFlipModel(args.model),
             profiling=ProfilingMode(args.profiling),
+            sandbox=SandboxConfig(
+                seed=args.seed, family=args.family, num_sms=args.num_sms
+            ),
         )
-        campaign = Campaign(app, config)
-        result = campaign.run_transient()
+
+        class _Progress(EngineHooks):
+            def on_injection(self, index, outcome, completed, total, tally):
+                print(f"  [{completed}/{total}] run {index:05d}: "
+                      f"{outcome.outcome.value}", file=sys.stderr)
+
+        engine = CampaignEngine(
+            app,
+            config,
+            executor=(
+                ParallelExecutor(max_workers=args.workers, chunksize=args.chunksize)
+                if args.workers
+                else SerialExecutor()
+            ),
+            store=CampaignStore(args.store) if args.store else None,
+            hooks=_Progress() if args.progress else None,
+        )
+        result = engine.run_transient()
         print(f"{app.name}: {len(result.results)} transient injections")
         print(result.tally.report(samples=len(result.results)))
+        print(engine.metrics.summary(), file=sys.stderr)
         if args.permanent:
-            permanent = campaign.run_permanent()
+            permanent = engine.run_permanent()
             print(f"{app.name}: {len(permanent.results)} permanent injections "
                   "(one per executed opcode)")
             print(permanent.tally.report())

@@ -1,0 +1,536 @@
+"""The campaign engine: the one place the injection-run loop lives.
+
+Historically the per-injection loop existed three times — in
+``Campaign.run_transient``, in ``run_transient_parallel`` and in
+``run_resumable_campaign`` — and the copies diverged (the parallel worker
+rebuilt its sandbox from ``seed`` + ``instruction_budget`` only, silently
+dropping ``family``, ``num_sms``, ``global_mem_bytes`` and ``extra_env``).
+:class:`CampaignEngine` owns the golden → profile → select → inject →
+classify pipeline exactly once; the legacy entry points are thin wrappers
+over it, so serial, parallel and resumed campaigns can never drift apart
+again.
+
+Three orthogonal knobs plug into the engine:
+
+* an **executor** — :class:`SerialExecutor` runs injections in-process;
+  :class:`ParallelExecutor` fans frozen, picklable work items out over a
+  ``ProcessPoolExecutor`` with configurable chunking, carrying the *full*
+  :class:`~repro.runner.sandbox.SandboxSpec` to every worker;
+* an optional **store** — a :class:`~repro.core.store.CampaignStore`; each
+  injection is persisted the moment it completes (not at campaign end), so
+  a killed campaign — serial or parallel — resumes where it stopped;
+* **hooks** — :class:`EngineHooks` receives per-phase timings and a
+  per-injection progress callback carrying the running
+  :class:`~repro.core.report.OutcomeTally`; :class:`EngineMetrics`
+  aggregates phase seconds, injections/sec and outcome counts so far.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.arch.families import arch_by_name
+from repro.core.campaign import (
+    CampaignConfig,
+    PermanentCampaignResult,
+    PermanentResult,
+    TransientCampaignResult,
+    TransientResult,
+    _median,
+)
+from repro.core.injector import InjectionRecord, TransientInjectorTool
+from repro.core.outcomes import classify
+from repro.core.params import IntermittentParams, PermanentParams, TransientParams
+from repro.core.pf_injector import IntermittentInjectorTool, PermanentInjectorTool
+from repro.core.profile_data import ProgramProfile
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.core.report import OutcomeTally
+from repro.core.site_selection import select_permanent_sites, select_transient_sites
+from repro.errors import ReproError
+from repro.runner.app import Application
+from repro.runner.artifacts import RunArtifacts
+from repro.runner.golden import capture_golden, hang_budget
+from repro.runner.sandbox import SandboxConfig, SandboxSpec, run_app
+from repro.sass.isa import opcode_by_id
+from repro.utils.rng import SeedSequenceStream
+from repro.workloads import WORKLOADS, get_workload
+
+# -- work items (what crosses the process boundary) ---------------------------
+
+
+@dataclass(frozen=True)
+class InjectionTask:
+    """One injection run, frozen and picklable.
+
+    ``workload`` is a registry name so workers rebuild the application
+    without pickling live device state; ``sandbox`` is the *complete*
+    sandbox snapshot.
+    """
+
+    index: int
+    workload: str
+    kind: str  # "transient" | "permanent" | "intermittent"
+    params: TransientParams | PermanentParams | IntermittentParams
+    sandbox: SandboxSpec
+
+
+@dataclass
+class InjectionOutput:
+    """What a worker hands back: raw artifacts, classified by the parent."""
+
+    index: int
+    record: InjectionRecord | None
+    activations: int
+    artifacts: RunArtifacts
+
+
+def execute_task(task: InjectionTask, app: Application | None = None) -> InjectionOutput:
+    """Run one injection (the worker body).
+
+    Classification happens in the parent, which holds the golden run; the
+    worker only reruns the app with the right injector attached, on a
+    sandbox rebuilt from the task's full :class:`SandboxSpec`.
+    """
+    if app is None:
+        app = get_workload(task.workload)
+    if task.kind == "transient":
+        injector: TransientInjectorTool | PermanentInjectorTool = (
+            TransientInjectorTool(task.params)
+        )
+    elif task.kind == "permanent":
+        injector = PermanentInjectorTool(task.params)
+    elif task.kind == "intermittent":
+        injector = IntermittentInjectorTool(task.params)
+    else:  # pragma: no cover
+        raise ReproError(f"unknown injection kind {task.kind!r}")
+    artifacts = run_app(app, preload=[injector], config=task.sandbox.config())
+    return InjectionOutput(
+        index=task.index,
+        record=getattr(injector, "record", None),
+        activations=getattr(injector, "activations", 0),
+        artifacts=artifacts,
+    )
+
+
+def _execute_chunk(tasks: list[InjectionTask]) -> list[InjectionOutput]:
+    """Worker entry point for the process pool: one pickled chunk of tasks."""
+    return [execute_task(task) for task in tasks]
+
+
+# -- executors ----------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Runs injections one after another in the calling process."""
+
+    def run(
+        self, tasks: Sequence[InjectionTask], app: Application | None = None
+    ) -> Iterator[InjectionOutput]:
+        for task in tasks:
+            yield execute_task(task, app)
+
+
+class ParallelExecutor:
+    """Fans injections out over a ``ProcessPoolExecutor``.
+
+    ``chunksize`` trades dispatch overhead against checkpoint granularity:
+    results are yielded (and therefore persisted) as each chunk completes,
+    so ``chunksize=1`` (the default) checkpoints every single injection.
+    """
+
+    def __init__(self, max_workers: int | None = None, chunksize: int = 1) -> None:
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(
+        self, tasks: Sequence[InjectionTask], app: Application | None = None
+    ) -> Iterator[InjectionOutput]:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        unregistered = {t.workload for t in tasks if t.workload not in WORKLOADS}
+        if unregistered:
+            raise ReproError(
+                "parallel execution needs registry workloads (workers rebuild "
+                f"the app by name); unknown: {sorted(unregistered)}"
+            )
+        chunks = [
+            tasks[start : start + self.chunksize]
+            for start in range(0, len(tasks), self.chunksize)
+        ]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            pending = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield from future.result()
+
+
+Executor = SerialExecutor | ParallelExecutor
+
+
+# -- progress hooks and metrics -----------------------------------------------
+
+
+class EngineHooks:
+    """Progress callbacks; override any subset. Default methods do nothing."""
+
+    def on_phase(self, phase: str, seconds: float) -> None:
+        """A pipeline phase ("golden", "profile", "select", "inject") ended."""
+
+    def on_injection(
+        self,
+        index: int,
+        outcome,
+        completed: int,
+        total: int,
+        tally: OutcomeTally,
+    ) -> None:
+        """One injection was classified (``tally`` = outcome counts so far)."""
+
+
+@dataclass
+class EngineMetrics:
+    """What the engine measured while running — feeds the report layer."""
+
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    injections_done: int = 0
+    injections_loaded: int = 0  # resumed from the store instead of re-run
+    injections_total: int = 0
+    inject_seconds: float = 0.0
+    tally: OutcomeTally = field(default_factory=OutcomeTally)
+
+    @property
+    def injections_per_second(self) -> float:
+        if self.inject_seconds <= 0:
+            return 0.0
+        return self.injections_done / self.inject_seconds
+
+    def summary(self) -> str:
+        phases = "  ".join(
+            f"{name}={seconds:.2f}s" for name, seconds in self.phase_seconds.items()
+        )
+        return (
+            f"{phases}  "
+            f"ran={self.injections_done}/{self.injections_total} "
+            f"(resumed {self.injections_loaded})  "
+            f"{self.injections_per_second:.1f} inj/s"
+        )
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class CampaignEngine:
+    """Owns the golden → profile → select → inject → classify pipeline."""
+
+    def __init__(
+        self,
+        app: Application | str,
+        config: CampaignConfig | None = None,
+        executor: Executor | None = None,
+        store=None,  # CampaignStore | None (kept untyped to avoid an import cycle)
+        hooks: EngineHooks | None = None,
+    ) -> None:
+        self.app = get_workload(app) if isinstance(app, str) else app
+        self.config = config or CampaignConfig()
+        self.executor = executor or SerialExecutor()
+        self.store = store
+        self.hooks = hooks or EngineHooks()
+        self.metrics = EngineMetrics()
+        self._stream = SeedSequenceStream(self.config.seed, path=self.app.name)
+        self.golden: RunArtifacts | None = None
+        self.profile: ProgramProfile | None = None
+        self.golden_time = 0.0
+        self.profile_time = 0.0
+
+    # -- pipeline phases --------------------------------------------------------
+
+    def run_golden(self) -> RunArtifacts:
+        self.golden = capture_golden(self.app, self._sandbox_config())
+        self.golden_time = self.golden.wall_time
+        if self.store is not None:
+            self.store.save_golden(self.golden)
+        self._phase("golden", self.golden_time)
+        return self.golden
+
+    def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
+        if self.golden is None:
+            self.run_golden()
+        profiler = ProfilerTool(mode or self.config.profiling)
+        artifacts = run_app(self.app, preload=[profiler], config=self._injection_config())
+        if artifacts.crashed or artifacts.timed_out:
+            raise RuntimeError(
+                f"profiling run failed unexpectedly: {artifacts.summary()}"
+            )
+        self.profile = profiler.profile
+        self.profile_time = artifacts.wall_time
+        if self.store is not None:
+            self.store.save_profile(self.profile)
+        self._phase("profile", self.profile_time)
+        return self.profile
+
+    def select_sites(self, count: int | None = None) -> list[TransientParams]:
+        if self.profile is None:
+            self.run_profile()
+        started = time.perf_counter()
+        rng = self._stream.child("sites").generator()
+        sites = select_transient_sites(
+            self.profile,
+            self.config.group,
+            self.config.model,
+            count if count is not None else self.config.num_transient,
+            rng,
+        )
+        self._phase("select", time.perf_counter() - started)
+        return sites
+
+    def select_permanent(self) -> list[PermanentParams]:
+        if self.profile is None:
+            self.run_profile()
+        rng = self._stream.child("permanent").generator()
+        return select_permanent_sites(
+            self.profile,
+            rng,
+            sm_ids=self._active_sm_ids(),
+            num_sms=self.device_num_sms(),
+        )
+
+    # -- campaigns --------------------------------------------------------------
+
+    def run_transient(
+        self, sites: list[TransientParams] | None = None
+    ) -> TransientCampaignResult:
+        """The full transient campaign (Figure 1 for N faults)."""
+        if sites is None:
+            sites = self.select_sites()
+        if self.golden is None:
+            self.run_golden()
+
+        loaded = self._load_completed(
+            sites,
+            completed=self.store.completed_injections() if self.store else [],
+            load=lambda index: self.store.load_injection(index),
+        )
+
+        def build(output: InjectionOutput) -> TransientResult:
+            outcome = classify(self.app, self.golden, output.artifacts)
+            return TransientResult(
+                params=sites[output.index],
+                record=output.record,
+                outcome=outcome,
+                wall_time=output.artifacts.wall_time,
+                instructions=output.artifacts.instructions_executed,
+            )
+
+        results = self._inject(
+            sites,
+            kind="transient",
+            loaded=loaded,
+            build=build,
+            save=(
+                (lambda index, item: self.store.save_injection(index, item))
+                if self.store
+                else None
+            ),
+        )
+        tally = OutcomeTally()
+        for item in results:
+            tally.add(item.outcome)
+        result = TransientCampaignResult(
+            results=results,
+            tally=tally,
+            golden_time=self.golden_time,
+            profile_time=self.profile_time,
+            median_injection_time=_median(r.wall_time for r in results),
+        )
+        if self.store is not None:
+            self.store.save_results_csv(result)
+        return result
+
+    def run_permanent(
+        self, sites: list[PermanentParams] | None = None
+    ) -> PermanentCampaignResult:
+        """One injection per executed opcode, outcomes weighted by dynamic count."""
+        if self.profile is None:
+            self.run_profile()
+        if sites is None:
+            sites = self.select_permanent()
+        total_dynamic = max(self.profile.total_count(), 1)
+
+        loaded = self._load_completed(
+            sites,
+            completed=(
+                self.store.completed_permanent_injections() if self.store else []
+            ),
+            load=lambda index: self.store.load_permanent_injection(index),
+        )
+
+        def build(output: InjectionOutput) -> PermanentResult:
+            params = sites[output.index]
+            opcode = opcode_by_id(params.opcode_id).name
+            outcome = classify(self.app, self.golden, output.artifacts)
+            return PermanentResult(
+                params=params,
+                opcode=opcode,
+                weight=self.profile.opcode_count(opcode) / total_dynamic,
+                activations=output.activations,
+                outcome=outcome,
+                wall_time=output.artifacts.wall_time,
+            )
+
+        results = self._inject(
+            sites,
+            kind="permanent",
+            loaded=loaded,
+            build=build,
+            save=(
+                (lambda index, item: self.store.save_permanent_injection(index, item))
+                if self.store
+                else None
+            ),
+        )
+        tally = OutcomeTally()
+        for item in results:
+            tally.add(item.outcome, weight=item.weight)
+        return PermanentCampaignResult(
+            results=results,
+            tally=tally,
+            golden_time=self.golden_time,
+            median_injection_time=_median(r.wall_time for r in results),
+        )
+
+    def run_intermittent(
+        self, sites: list[IntermittentParams]
+    ) -> list[PermanentResult]:
+        """Intermittent-fault runs (§V extension), through the same executor."""
+        if self.golden is None:
+            self.run_golden()
+
+        def build(output: InjectionOutput) -> PermanentResult:
+            params = sites[output.index]
+            outcome = classify(self.app, self.golden, output.artifacts)
+            return PermanentResult(
+                params=params.permanent,
+                opcode=opcode_by_id(params.permanent.opcode_id).name,
+                weight=1.0,
+                activations=output.activations,
+                outcome=outcome,
+                wall_time=output.artifacts.wall_time,
+            )
+
+        return self._inject(
+            sites, kind="intermittent", loaded={}, build=build, save=None
+        )
+
+    # -- the one injection loop -------------------------------------------------
+
+    def _inject(
+        self,
+        sites: Sequence,
+        kind: str,
+        loaded: dict[int, object],
+        build: Callable[[InjectionOutput], object],
+        save: Callable[[int, object], None] | None,
+    ) -> list:
+        """Run every site not already in ``loaded``; return results in site order.
+
+        Completed injections are handed to ``save`` the moment they finish
+        (chunk-by-chunk under the parallel executor), so an interrupted
+        campaign loses at most the in-flight chunk.
+        """
+        spec = self._injection_spec()
+        tasks = [
+            InjectionTask(index, self.app.name, kind, site, spec)
+            for index, site in enumerate(sites)
+            if index not in loaded
+        ]
+        by_index: dict[int, object] = dict(loaded)
+        self.metrics.injections_total = len(sites)
+        self.metrics.injections_loaded = len(loaded)
+        for item in loaded.values():
+            self.metrics.tally.add(item.outcome)
+        started = time.perf_counter()
+        for output in self.executor.run(tasks, app=self.app):
+            item = build(output)
+            by_index[output.index] = item
+            if save is not None:
+                save(output.index, item)
+            self.metrics.injections_done += 1
+            self.metrics.inject_seconds = time.perf_counter() - started
+            self.metrics.tally.add(item.outcome)
+            self.hooks.on_injection(
+                output.index,
+                item.outcome,
+                len(by_index),
+                len(sites),
+                self.metrics.tally,
+            )
+        self._phase("inject", time.perf_counter() - started)
+        return [by_index[index] for index in range(len(sites))]
+
+    def _load_completed(
+        self,
+        sites: Sequence,
+        completed: Iterable[int],
+        load: Callable[[int], object],
+    ) -> dict[int, object]:
+        """Resume support: pull stored results whose params match the plan."""
+        loaded: dict[int, object] = {}
+        for index in completed:
+            if index >= len(sites):
+                continue
+            stored = load(index)
+            if stored.params != sites[index]:
+                raise ReproError(
+                    f"stored injection {index} was produced by different "
+                    "campaign parameters; use a fresh study directory"
+                )
+            loaded[index] = stored
+        return loaded
+
+    # -- configuration helpers --------------------------------------------------
+
+    def device_num_sms(self) -> int:
+        """SM count of the configured device (explicit or the family's)."""
+        sandbox = self.config.sandbox
+        if sandbox.num_sms is not None:
+            return sandbox.num_sms
+        return arch_by_name(sandbox.family).num_sms
+
+    def _sandbox_config(self) -> SandboxConfig:
+        return self.config.sandbox.clone()
+
+    def _injection_config(self) -> SandboxConfig:
+        config = self._sandbox_config()
+        if self.golden is not None:
+            config.instruction_budget = hang_budget(
+                self.golden, factor=self.config.hang_budget_factor
+            )
+        return config
+
+    def _injection_spec(self) -> SandboxSpec:
+        return self._injection_config().spec()
+
+    def _active_sm_ids(self) -> list[int]:
+        """SMs that actually ran blocks in the golden run.
+
+        A permanent fault pinned to an idle SM can never activate; real
+        campaigns target populated SMs, so site selection draws from the
+        golden run's active set, falling back to every SM of the configured
+        device.
+        """
+        if self.golden is not None and self.golden.active_sms:
+            return list(self.golden.active_sms)
+        return list(range(self.device_num_sms()))
+
+    def _phase(self, name: str, seconds: float) -> None:
+        self.metrics.phase_seconds[name] = (
+            self.metrics.phase_seconds.get(name, 0.0) + seconds
+        )
+        self.hooks.on_phase(name, seconds)

@@ -59,6 +59,66 @@ class InjectionRecord:
             f"(mask 0x{self.mask:08x})"
         )
 
+    def to_text(self) -> str:
+        """Serialise every field (the human-readable line rides as a comment)."""
+        return "\n".join(
+            [
+                f"# {self.describe()}",
+                f"injected={self.injected}",
+                f"kernel_name={self.kernel_name}",
+                f"pc={self.pc}",
+                f"opcode={self.opcode}",
+                f"sm_id={self.sm_id}",
+                f"ctaid={self.ctaid[0]},{self.ctaid[1]},{self.ctaid[2]}",
+                f"thread_idx={self.thread_idx[0]},{self.thread_idx[1]},{self.thread_idx[2]}",
+                f"lane={self.lane}",
+                f"dest_kind={self.dest_kind}",
+                f"dest_index={self.dest_index}",
+                f"value_before={self.value_before}",
+                f"value_after={self.value_after}",
+                f"mask={self.mask}",
+                f"num_regs_corrupted={self.num_regs_corrupted}",
+            ]
+        ) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "InjectionRecord":
+        """Rebuild a record from :meth:`to_text` output.
+
+        Legacy stores kept only the ``describe()`` line; those fall back to
+        a record carrying nothing but the injected/not-injected bit.
+        """
+        fields: dict[str, str] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#") or "=" not in line:
+                continue
+            key, value = line.split("=", 1)
+            fields[key] = value
+        if "injected" not in fields:
+            return cls(injected=text.strip().startswith("injected"))
+
+        def dim3(value: str) -> tuple[int, int, int]:
+            x, y, z = (int(part) for part in value.split(","))
+            return (x, y, z)
+
+        return cls(
+            injected=fields["injected"] == "True",
+            kernel_name=fields.get("kernel_name", ""),
+            pc=int(fields.get("pc", -1)),
+            opcode=fields.get("opcode", ""),
+            sm_id=int(fields.get("sm_id", -1)),
+            ctaid=dim3(fields.get("ctaid", "-1,-1,-1")),
+            thread_idx=dim3(fields.get("thread_idx", "-1,-1,-1")),
+            lane=int(fields.get("lane", -1)),
+            dest_kind=fields.get("dest_kind", ""),
+            dest_index=int(fields.get("dest_index", -1)),
+            value_before=int(fields.get("value_before", 0)),
+            value_after=int(fields.get("value_after", 0)),
+            mask=int(fields.get("mask", 0)),
+            num_regs_corrupted=int(fields.get("num_regs_corrupted", 0)),
+        )
+
 
 class TransientInjectorTool(NVBitTool):
     """Injects exactly one fault into one dynamic instruction."""

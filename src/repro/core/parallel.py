@@ -2,88 +2,43 @@
 
 Real NVBitFI campaigns farm injection runs out across processes/GPUs (the
 package's ``run_injections.py -p``).  Here each injection runs on its own
-fresh simulated device, so runs are embarrassingly parallel; this module
-fans them out over a process pool.
+fresh simulated device, so runs are embarrassingly parallel.
 
-Workloads are addressed *by registry name* so that workers can rebuild the
-application without pickling live device state.
+This module is a thin facade: the loop itself lives in
+:class:`repro.core.engine.CampaignEngine`, driven by a
+:class:`repro.core.engine.ParallelExecutor` whose frozen work items carry
+the *complete* :class:`~repro.runner.sandbox.SandboxSpec` (family, SM
+count, memory size and extra environment included) to every worker —
+parallel campaigns are bit-for-bit equivalent to serial ones.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-
-from repro.core.campaign import Campaign, CampaignConfig, TransientCampaignResult, TransientResult
-from repro.core.injector import TransientInjectorTool
-from repro.core.outcomes import OutcomeRecord, classify
-from repro.core.params import TransientParams
-from repro.core.report import OutcomeTally
-from repro.runner.sandbox import SandboxConfig, run_app
-from repro.workloads import get_workload
-
-
-@dataclass(frozen=True)
-class _WorkItem:
-    workload_name: str
-    params: TransientParams
-    seed: int
-    instruction_budget: int
-
-
-def _run_one(item: _WorkItem) -> tuple[TransientParams, object, OutcomeRecord, float]:
-    """Worker: one golden-free injection run (golden compared by the parent).
-
-    The worker reruns the app with the injector attached and returns raw
-    artifacts; classification happens in the parent, which holds the golden.
-    """
-    app = get_workload(item.workload_name)
-    injector = TransientInjectorTool(item.params)
-    config = SandboxConfig(
-        seed=item.seed, instruction_budget=item.instruction_budget
-    )
-    artifacts = run_app(app, preload=[injector], config=config)
-    return item.params, injector.record, artifacts, artifacts.wall_time
+from repro.core.campaign import CampaignConfig, TransientCampaignResult
+from repro.core.engine import CampaignEngine, EngineHooks, ParallelExecutor
 
 
 def run_transient_parallel(
     workload_name: str,
     config: CampaignConfig | None = None,
     max_workers: int | None = None,
+    chunksize: int = 1,
+    store=None,
+    hooks: EngineHooks | None = None,
 ) -> TransientCampaignResult:
     """A full transient campaign with injection runs spread over processes.
 
-    Produces the same deterministic site list (and therefore, given the
-    deterministic simulator, the same outcomes) as
-    :meth:`repro.core.campaign.Campaign.run_transient`.
+    Produces the same deterministic site list — and, because the engine
+    propagates the full sandbox configuration to workers, the exact same
+    records and outcomes — as :meth:`repro.core.campaign.Campaign.run_transient`.
+    Pass a :class:`~repro.core.store.CampaignStore` as ``store`` to
+    checkpoint each injection as it completes.
     """
-    config = config or CampaignConfig()
-    campaign = Campaign(get_workload(workload_name), config)
-    campaign.run_golden()
-    campaign.run_profile()
-    sites = campaign.select_sites()
-    budget = campaign._injection_config().instruction_budget
-
-    items = [
-        _WorkItem(workload_name, site, config.sandbox.seed, budget)
-        for site in sites
-    ]
-    tally = OutcomeTally()
-    results: list[TransientResult] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for params, record, artifacts, wall_time in pool.map(_run_one, items):
-            outcome = classify(campaign.app, campaign.golden, artifacts)
-            tally.add(outcome)
-            results.append(TransientResult(params, record, outcome, wall_time))
-
-    import statistics
-
-    return TransientCampaignResult(
-        results=results,
-        tally=tally,
-        golden_time=campaign.golden_time,
-        profile_time=campaign.profile_time,
-        median_injection_time=(
-            statistics.median(r.wall_time for r in results) if results else 0.0
-        ),
+    engine = CampaignEngine(
+        workload_name,
+        config,
+        executor=ParallelExecutor(max_workers=max_workers, chunksize=chunksize),
+        store=store,
+        hooks=hooks,
     )
+    return engine.run_transient()

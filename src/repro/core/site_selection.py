@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.families import DEFAULT_FAMILY, arch_by_name
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup, require_injectable
 from repro.core.params import PermanentParams, TransientParams
@@ -67,19 +68,25 @@ def select_permanent_sites(
     rng: np.random.Generator,
     sm_ids: list[int] | None = None,
     opcodes: list[str] | None = None,
+    num_sms: int | None = None,
 ) -> list[PermanentParams]:
     """One permanent site per executed opcode (paper §IV-B).
 
     Unused opcodes are pruned via the profile; the SM, lane and single-bit
-    XOR mask are drawn uniformly per site.
+    XOR mask are drawn uniformly per site.  Without an explicit ``sm_ids``
+    list the SM is drawn from the device's actual SM count (``num_sms``,
+    defaulting to the default family's), so a selected ``sm_id`` can never
+    exceed the device that will run the injection.
     """
     names = opcodes if opcodes is not None else sorted(profile.executed_opcodes())
     if not names:
         raise ProfileError("profile contains no executed opcodes")
+    if num_sms is None:
+        num_sms = arch_by_name(DEFAULT_FAMILY).num_sms
     sites = []
     for name in names:
         info = opcode_info(name)
-        sm_id = int(rng.choice(sm_ids)) if sm_ids else int(rng.integers(0, 16))
+        sm_id = int(rng.choice(sm_ids)) if sm_ids else int(rng.integers(0, num_sms))
         sites.append(
             PermanentParams(
                 sm_id=sm_id,

@@ -10,24 +10,40 @@ be stopped, resumed, audited or re-analysed later:
       profile.txt                 the instruction profile
       injections/run_00042/
         params.txt                the 7-line Table II parameter file
-        record.txt                what the injector actually did
+        record.txt                what the injector actually did (round-trips)
         outcome.txt               the Table V classification
+      permanent/run_00003/        same layout for permanent-fault runs
       results.csv                 one row per completed injection
+
+``results.csv`` contains only deterministic fields (simulated instruction
+counts rather than host wall-clock), so serial, parallel and resumed runs
+of the same campaign produce byte-identical files.  Unrecognised entries
+under ``injections/`` are skipped with a warning instead of crashing the
+resume scan.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import re
+import warnings
 from pathlib import Path
 
-from repro.core.campaign import TransientCampaignResult, TransientResult
+from repro.core.campaign import (
+    PermanentResult,
+    TransientCampaignResult,
+    TransientResult,
+)
+from repro.core.injector import InjectionRecord
 from repro.core.outcomes import Outcome, OutcomeRecord
-from repro.core.params import TransientParams
+from repro.core.params import PermanentParams, TransientParams
 from repro.core.profile_data import ProgramProfile
 from repro.core.report import OutcomeTally
 from repro.errors import ReproError
 from repro.runner.artifacts import RunArtifacts
+
+_RUN_DIR = re.compile(r"^run_(\d+)$")
 
 
 class CampaignStore:
@@ -69,57 +85,124 @@ class CampaignStore:
             raise ReproError(f"no profile stored under {self.root}")
         return ProgramProfile.from_text(path.read_text())
 
-    # -- injections -------------------------------------------------------------
+    # -- transient injections ----------------------------------------------------
 
     def save_injection(self, index: int, result: TransientResult) -> None:
         run_dir = self.root / "injections" / f"run_{index:05d}"
         run_dir.mkdir(parents=True, exist_ok=True)
         (run_dir / "params.txt").write_text(result.params.to_text())
-        (run_dir / "record.txt").write_text(result.record.describe() + "\n")
+        (run_dir / "record.txt").write_text(result.record.to_text())
         (run_dir / "outcome.txt").write_text(
             f"{result.outcome.outcome.value}\n{result.outcome.symptom}\n"
             f"potential_due={result.outcome.potential_due}\n"
             f"wall_time={result.wall_time!r}\n"
+            f"instructions={result.instructions}\n"
         )
 
     def completed_injections(self) -> list[int]:
-        injections_dir = self.root / "injections"
-        if not injections_dir.exists():
-            return []
-        indices = []
-        for run_dir in sorted(injections_dir.iterdir()):
-            if (run_dir / "outcome.txt").exists():
-                indices.append(int(run_dir.name.split("_")[1]))
-        return indices
+        return self._scan_runs(self.root / "injections")
 
     def load_injection(self, index: int) -> TransientResult:
         run_dir = self.root / "injections" / f"run_{index:05d}"
         if not run_dir.exists():
             raise ReproError(f"injection {index} not stored under {self.root}")
         params = TransientParams.from_text((run_dir / "params.txt").read_text())
+        outcome, wall_time, instructions, _ = self._read_outcome(run_dir)
+        record = InjectionRecord.from_text((run_dir / "record.txt").read_text())
+        return TransientResult(params, record, outcome, wall_time, instructions)
+
+    # -- permanent injections ----------------------------------------------------
+
+    def save_permanent_injection(self, index: int, result: PermanentResult) -> None:
+        run_dir = self.root / "permanent" / f"run_{index:05d}"
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / "params.txt").write_text(result.params.to_text())
+        (run_dir / "outcome.txt").write_text(
+            f"{result.outcome.outcome.value}\n{result.outcome.symptom}\n"
+            f"potential_due={result.outcome.potential_due}\n"
+            f"wall_time={result.wall_time!r}\n"
+            f"opcode={result.opcode}\n"
+            f"weight={result.weight!r}\n"
+            f"activations={result.activations}\n"
+        )
+
+    def completed_permanent_injections(self) -> list[int]:
+        return self._scan_runs(self.root / "permanent")
+
+    def load_permanent_injection(self, index: int) -> PermanentResult:
+        run_dir = self.root / "permanent" / f"run_{index:05d}"
+        if not run_dir.exists():
+            raise ReproError(
+                f"permanent injection {index} not stored under {self.root}"
+            )
+        params = PermanentParams.from_text((run_dir / "params.txt").read_text())
+        outcome, wall_time, _, extras = self._read_outcome(run_dir)
+        return PermanentResult(
+            params=params,
+            opcode=extras.get("opcode", ""),
+            weight=float(extras.get("weight", "1.0")),
+            activations=int(extras.get("activations", "0")),
+            outcome=outcome,
+            wall_time=wall_time,
+        )
+
+    # -- shared run-directory plumbing -------------------------------------------
+
+    @staticmethod
+    def _scan_runs(runs_dir: Path) -> list[int]:
+        """Indices of completed runs, skipping (with a warning) stray entries."""
+        if not runs_dir.exists():
+            return []
+        indices = []
+        for run_dir in sorted(runs_dir.iterdir()):
+            match = _RUN_DIR.match(run_dir.name)
+            if match is None or not run_dir.is_dir():
+                warnings.warn(
+                    f"ignoring unrecognised entry {run_dir} in campaign store",
+                    stacklevel=3,
+                )
+                continue
+            if (run_dir / "outcome.txt").exists():
+                indices.append(int(match.group(1)))
+        return indices
+
+    @staticmethod
+    def _read_outcome(
+        run_dir: Path,
+    ) -> tuple[OutcomeRecord, float, int, dict[str, str]]:
+        """Parse ``outcome.txt``: two positional lines, then ``key=value``."""
         lines = (run_dir / "outcome.txt").read_text().splitlines()
+        if len(lines) < 2:
+            raise ReproError(f"malformed outcome record in {run_dir}")
+        extras: dict[str, str] = {}
+        for line in lines[2:]:
+            if "=" in line:
+                key, value = line.split("=", 1)
+                extras[key] = value
         outcome = OutcomeRecord(
             outcome=Outcome(lines[0]),
             symptom=lines[1],
-            potential_due=lines[2] == "potential_due=True",
+            potential_due=extras.get("potential_due") == "True",
         )
-        wall_time = float(lines[3].split("=", 1)[1])
-        from repro.core.injector import InjectionRecord
-
-        record_text = (run_dir / "record.txt").read_text().strip()
-        record = InjectionRecord(injected=record_text.startswith("injected"))
-        result = TransientResult(params, record, outcome, wall_time)
-        return result
+        wall_time = float(extras.get("wall_time", "0.0"))
+        instructions = int(extras.get("instructions", "0"))
+        return outcome, wall_time, instructions, extras
 
     # -- aggregate results ----------------------------------------------------------
 
     def save_results_csv(self, result: TransientCampaignResult) -> None:
+        """One deterministic row per injection.
+
+        Durations are reported as simulated instruction counts, not host
+        wall-clock (see DESIGN.md): the simulator is deterministic, so
+        serial, parallel and resumed campaigns write identical bytes.
+        """
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(
             ["index", "kernel", "kernel_count", "instruction_count",
              "group", "model", "outcome", "symptom", "potential_due",
-             "injected", "wall_time_s"]
+             "injected", "instructions"]
         )
         for index, item in enumerate(result.results):
             writer.writerow([
@@ -133,7 +216,7 @@ class CampaignStore:
                 item.outcome.symptom,
                 item.outcome.potential_due,
                 item.record.injected,
-                f"{item.wall_time:.4f}",
+                item.instructions,
             ])
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "results.csv").write_text(buffer.getvalue())
@@ -164,46 +247,14 @@ def run_resumable_campaign(
 ) -> TransientCampaignResult:
     """Run (or resume) a transient campaign against a study directory.
 
-    Completed injections found in the store are loaded instead of re-run —
-    a crashed or interrupted campaign continues where it stopped, exactly
-    like restarting the real package's ``run_injections.py`` over an
-    existing ``logs/`` tree.  Site selection is deterministic from the
-    campaign seed, so stored and fresh runs line up index-for-index.
+    A thin facade over :class:`~repro.core.engine.CampaignEngine`: the
+    campaign's engine is pointed at ``store``, which makes it persist each
+    injection as it completes and load completed injections instead of
+    re-running them — a crashed or interrupted campaign continues where it
+    stopped, exactly like restarting the real package's
+    ``run_injections.py`` over an existing ``logs/`` tree.  Site selection
+    is deterministic from the campaign seed, so stored and fresh runs line
+    up index-for-index; a parallel engine resumes the same way.
     """
-    import statistics
-
-    golden = campaign.run_golden()
-    profile = campaign.run_profile()
-    store.save_golden(golden)
-    store.save_profile(profile)
-
-    sites = campaign.select_sites()
-    completed = set(store.completed_injections())
-    tally = OutcomeTally()
-    results: list[TransientResult] = []
-    for index, site in enumerate(sites):
-        if index in completed:
-            stored = store.load_injection(index)
-            if stored.params != site:
-                raise ReproError(
-                    f"stored injection {index} was produced by different "
-                    "campaign parameters; use a fresh study directory"
-                )
-            item = stored
-        else:
-            item = campaign.run_transient([site]).results[0]
-            store.save_injection(index, item)
-        tally.add(item.outcome)
-        results.append(item)
-
-    result = TransientCampaignResult(
-        results=results,
-        tally=tally,
-        golden_time=campaign.golden_time,
-        profile_time=campaign.profile_time,
-        median_injection_time=(
-            statistics.median(r.wall_time for r in results) if results else 0.0
-        ),
-    )
-    store.save_results_csv(result)
-    return result
+    campaign.engine.store = store
+    return campaign.engine.run_transient()

@@ -27,11 +27,21 @@ class AppExit(Exception):
 class AppContext:
     """The 'process environment' handed to a host program."""
 
-    def __init__(self, cuda: CudaRuntime, seed: int = 0) -> None:
+    def __init__(
+        self,
+        cuda: CudaRuntime,
+        seed: int = 0,
+        env: dict[str, str] | None = None,
+    ) -> None:
         self.cuda = cuda
         self.seed = seed
+        self.env = dict(env or {})
         self._stdout: list[str] = []
         self.files: dict[str, bytes] = {}
+
+    def getenv(self, name: str, default: str | None = None) -> str | None:
+        """The program's environment (``SandboxConfig.extra_env``)."""
+        return self.env.get(name, default)
 
     def print(self, *parts: object) -> None:
         """The program's stdout."""

@@ -13,7 +13,7 @@ The sandbox plays the role of the campaign scripts' process management:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cuda.runtime import CudaRuntime
 from repro.errors import DeviceException, ReproError, WatchdogTimeout
@@ -39,6 +39,58 @@ class SandboxConfig:
     global_mem_bytes: int = 64 * 1024 * 1024
     extra_env: dict[str, str] = field(default_factory=dict)
 
+    def clone(self, **overrides) -> "SandboxConfig":
+        """An independent copy (every field, including ``extra_env``)."""
+        copy = replace(self, extra_env=dict(self.extra_env))
+        for name, value in overrides.items():
+            setattr(copy, name, value)
+        return copy
+
+    def spec(self, instruction_budget: int | None = None) -> "SandboxSpec":
+        """Freeze into a picklable :class:`SandboxSpec` for worker processes."""
+        return SandboxSpec(
+            seed=self.seed,
+            instruction_budget=(
+                self.instruction_budget
+                if instruction_budget is None
+                else instruction_budget
+            ),
+            family=self.family,
+            num_sms=self.num_sms,
+            global_mem_bytes=self.global_mem_bytes,
+            extra_env=tuple(sorted(self.extra_env.items())),
+        )
+
+
+@dataclass(frozen=True)
+class SandboxSpec:
+    """A frozen, picklable snapshot of a :class:`SandboxConfig`.
+
+    Campaign workers rebuild their sandbox from this record, so every field
+    — including ``family``, ``num_sms``, ``global_mem_bytes`` and
+    ``extra_env`` — crosses the process boundary.  (The historical parallel
+    runner rebuilt configs from ``seed`` + ``instruction_budget`` only,
+    silently running non-default sandboxes on a default device.)
+    """
+
+    seed: int = 0
+    instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET
+    family: str = "volta"
+    num_sms: int | None = None
+    global_mem_bytes: int = 64 * 1024 * 1024
+    extra_env: tuple[tuple[str, str], ...] = ()
+
+    def config(self) -> SandboxConfig:
+        """Thaw back into the mutable config the sandbox consumes."""
+        return SandboxConfig(
+            seed=self.seed,
+            instruction_budget=self.instruction_budget,
+            family=self.family,
+            num_sms=self.num_sms,
+            global_mem_bytes=self.global_mem_bytes,
+            extra_env=dict(self.extra_env),
+        )
+
 
 def run_app(
     app: Application,
@@ -55,7 +107,7 @@ def run_app(
     )
     interceptor = NVBitRuntime(preload) if preload else None
     runtime = CudaRuntime(device, interceptor=interceptor)
-    ctx = AppContext(runtime, seed=config.seed)
+    ctx = AppContext(runtime, seed=config.seed, env=config.extra_env)
     artifacts = RunArtifacts()
     started = time.perf_counter()
     try:

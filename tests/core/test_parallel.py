@@ -9,6 +9,7 @@ from repro.workloads import get_workload
 _CONFIG = dict(num_transient=6, seed=13)
 
 
+@pytest.mark.slow
 class TestParallelCampaign:
     @pytest.fixture(scope="class")
     def serial_and_parallel(self):
@@ -45,3 +46,49 @@ class TestParallelCampaign:
     def test_records_transferred(self, serial_and_parallel):
         _, parallel = serial_and_parallel
         assert all(r.record.injected for r in parallel.results)
+
+
+@pytest.mark.slow
+class TestNonDefaultSandboxPropagation:
+    """Regression: workers used to rebuild ``SandboxConfig`` from ``seed``
+    and ``instruction_budget`` only, silently dropping ``family``,
+    ``num_sms``, ``global_mem_bytes`` and ``extra_env`` — a campaign with a
+    non-default sandbox produced different outcomes in parallel than
+    sequentially."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.runner.sandbox import SandboxConfig
+
+        def config():
+            return CampaignConfig(
+                num_transient=4,
+                seed=13,
+                sandbox=SandboxConfig(
+                    num_sms=4, family="turing", extra_env={"MODE": "strict"}
+                ),
+            )
+
+        serial = Campaign(get_workload("314.omriq"), config()).run_transient()
+        parallel = run_transient_parallel("314.omriq", config(), max_workers=2)
+        return serial, parallel
+
+    def test_same_sites(self, runs):
+        serial, parallel = runs
+        assert [r.params for r in parallel.results] == [
+            r.params for r in serial.results
+        ]
+
+    def test_same_records(self, runs):
+        """Records carry SM ids; with ``num_sms=4`` dropped, the worker's
+        default Volta device (80 SMs) scheduled blocks differently."""
+        serial, parallel = runs
+        assert [r.record for r in parallel.results] == [
+            r.record for r in serial.results
+        ]
+        injected = [r.record for r in serial.results if r.record.injected]
+        assert injected and all(r.sm_id < 4 for r in injected)
+
+    def test_same_tally(self, runs):
+        serial, parallel = runs
+        assert parallel.tally.fractions() == serial.tally.fractions()

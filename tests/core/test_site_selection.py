@@ -107,6 +107,25 @@ class TestPermanentSelection:
         sites = select_permanent_sites(_profile(), rng, sm_ids=[2, 5])
         assert {site.sm_id for site in sites} <= {2, 5}
 
+    def test_sm_fallback_respects_device_sm_count(self):
+        """Regression: the fallback used to hardcode ``integers(0, 16)``, so
+        a selected sm_id could exceed a smaller device's SM count."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            sites = select_permanent_sites(_profile(), rng, num_sms=4)
+            assert all(site.sm_id < 4 for site in sites)
+
+    def test_sm_fallback_defaults_to_default_family(self):
+        from repro.arch.families import DEFAULT_FAMILY, arch_by_name
+
+        limit = arch_by_name(DEFAULT_FAMILY).num_sms
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(100):
+            seen |= {s.sm_id for s in select_permanent_sites(_profile(), rng)}
+        assert max(seen) < limit
+        assert max(seen) >= 16  # draws now cover the real device, not 0..15
+
     def test_masks_are_single_bit(self):
         rng = np.random.default_rng(0)
         for site in select_permanent_sites(_profile(), rng):

@@ -43,6 +43,27 @@ class TestRoundTrips:
         assert loaded.outcome.outcome == result.results[0].outcome.outcome
         assert loaded.outcome.symptom == result.results[0].outcome.symptom
         assert loaded.wall_time == pytest.approx(result.results[0].wall_time)
+        assert loaded.instructions == result.results[0].instructions
+
+    def test_record_roundtrip_is_lossless(self, tmp_path, campaign_result):
+        """Every InjectionRecord field survives the disk round trip (the old
+        store reconstructed records from a string prefix check)."""
+        _, result = campaign_result
+        store = CampaignStore(tmp_path)
+        for index, item in enumerate(result.results):
+            store.save_injection(index, item)
+            assert store.load_injection(index).record == item.record
+
+    def test_legacy_describe_only_record_still_loads(self, tmp_path, campaign_result):
+        _, result = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_injection(0, result.results[0])
+        run_dir = tmp_path / "injections" / "run_00000"
+        (run_dir / "record.txt").write_text(
+            result.results[0].record.describe() + "\n"
+        )
+        loaded = store.load_injection(0)
+        assert loaded.record.injected == result.results[0].record.injected
 
     def test_full_campaign_roundtrip(self, tmp_path, campaign_result):
         campaign, result = campaign_result
@@ -120,3 +141,24 @@ class TestErrors:
 
     def test_empty_store_has_no_completed(self, tmp_path):
         assert CampaignStore(tmp_path).completed_injections() == []
+
+    def test_stray_entries_skipped_with_warning(self, tmp_path, campaign_result):
+        """A stray file or oddly-named directory under ``injections/`` used
+        to crash ``completed_injections`` with ValueError."""
+        _, result = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_injection(0, result.results[0])
+        store.save_injection(2, result.results[1])
+        injections = tmp_path / "injections"
+        (injections / "notes.txt").write_text("scratch")
+        (injections / "run_latest").mkdir()
+        (injections / "backup").mkdir()
+        with pytest.warns(UserWarning, match="unrecognised"):
+            assert store.completed_injections() == [0, 2]
+
+    def test_incomplete_run_dir_not_listed(self, tmp_path, campaign_result):
+        _, result = campaign_result
+        store = CampaignStore(tmp_path)
+        store.save_injection(0, result.results[0])
+        (tmp_path / "injections" / "run_00001").mkdir()  # no outcome.txt yet
+        assert store.completed_injections() == [0]

@@ -128,6 +128,47 @@ class TestSeeding:
         assert a == b
         assert a != c
 
+    def test_extra_env_reaches_app(self):
+        class EnvApp(Application):
+            name = "env"
+
+            def run(self, ctx):
+                ctx.print(ctx.getenv("TOLERANCE", "default"))
+
+        loose = run_app(
+            EnvApp(), config=SandboxConfig(extra_env={"TOLERANCE": "loose"})
+        )
+        plain = run_app(EnvApp(), config=SandboxConfig())
+        assert loose.stdout == "loose\n"
+        assert plain.stdout == "default\n"
+
+
+class TestConfigCloning:
+    def test_clone_copies_every_field(self):
+        config = SandboxConfig(
+            seed=7, family="turing", num_sms=4,
+            global_mem_bytes=1 << 20, extra_env={"A": "1"},
+        )
+        copy = config.clone()
+        assert copy == config
+        copy.extra_env["B"] = "2"
+        assert "B" not in config.extra_env  # deep-copied env
+
+    def test_spec_round_trips_through_pickle(self):
+        import pickle
+
+        config = SandboxConfig(
+            seed=7, family="turing", num_sms=4,
+            global_mem_bytes=1 << 20, extra_env={"A": "1", "B": "2"},
+        )
+        spec = config.spec(instruction_budget=123)
+        thawed = pickle.loads(pickle.dumps(spec)).config()
+        assert thawed.family == "turing"
+        assert thawed.num_sms == 4
+        assert thawed.global_mem_bytes == 1 << 20
+        assert thawed.extra_env == {"A": "1", "B": "2"}
+        assert thawed.instruction_budget == 123
+
 
 class TestGoldenHelpers:
     def test_capture_golden_happy_path(self):

@@ -1,13 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: inject one transient fault into a SAXPY kernel.
 
-Walks the whole Figure-1 workflow by hand on a five-line application:
+Walks the whole Figure-1 workflow through the stable :mod:`repro.api`
+facade on a five-line application:
 
 1. define a target program (host code + one GPU kernel),
-2. capture the golden run,
-3. profile it (exact mode),
-4. pick a fault site uniformly from the profile,
-5. run the injection and classify the outcome.
+2. profile it (golden run + exact profiling run) — ``repro.profile``,
+3. pick a fault site uniformly from the profile — ``repro.select_sites``,
+4. run the injection and classify the outcome — ``repro.inject``.
 
 Run:  python examples/quickstart.py
 """
@@ -16,17 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import (
-    BitFlipModel,
-    InstructionGroup,
-    ProfilerTool,
-    ProfilingMode,
-    TransientInjectorTool,
-    classify,
-    select_transient_site,
-)
-from repro.runner import Application, capture_golden, run_app
-from repro.utils.rng import SeedSequenceStream
+import repro
+from repro.runner import Application
 
 SAXPY = """
 .kernel saxpy
@@ -69,39 +60,26 @@ class SaxpyApp(Application):
 def main() -> None:
     app = SaxpyApp()
 
-    # -- 1. golden run -------------------------------------------------------
-    golden = capture_golden(app)
-    print(f"golden run : {golden.summary()}")
-    print(f"golden out : {golden.stdout.strip()}")
-
-    # -- 2. profile (the LD_PRELOAD=profiler.so step) -------------------------
-    profiler = ProfilerTool(ProfilingMode.EXACT)
-    run_app(app, preload=[profiler])
-    profile = profiler.profile
-    print(f"\nprofile    : {profile.num_dynamic_kernels} dynamic kernel(s), "
+    # -- 1. profile (golden run + the LD_PRELOAD=profiler.so step) -------------
+    profile = repro.profile(app)
+    print(f"profile    : {profile.num_dynamic_kernels} dynamic kernel(s), "
           f"{profile.total_count()} dynamic instructions")
     for kernel_profile in profile.kernels:
         print(f"             {kernel_profile.to_line()}")
 
-    # -- 3. select a fault site uniformly over G_GP instructions --------------
-    rng = SeedSequenceStream(2021).child("sites").generator()
-    site = select_transient_site(
-        profile, InstructionGroup.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng
-    )
+    # -- 2. select a fault site uniformly over G_GP instructions ---------------
+    [site] = repro.select_sites(profile, count=1, seed=2021)
     print("\nfault site (the parameter file of Figure 1):")
     for line in site.to_text().splitlines():
         print(f"             {line}")
 
-    # -- 4. inject (the LD_PRELOAD=injector.so step) ---------------------------
-    injector = TransientInjectorTool(site)
-    observed = run_app(app, preload=[injector])
-    print(f"\ninjection  : {injector.record.describe()}")
-
-    # -- 5. classify against the golden run (Table V) --------------------------
-    outcome = classify(app, golden, observed)
-    print(f"outcome    : {outcome.label()}")
-    if observed.stdout != golden.stdout:
-        print(f"faulty out : {observed.stdout.strip()}")
+    # -- 3. inject (the LD_PRELOAD=injector.so step) and classify (Table V) ----
+    result = repro.inject(app, site)
+    print(f"\ninjection  : {result.record.describe()}")
+    print(f"outcome    : {result.outcome.label()}")
+    print(f"run        : {result.artifacts.summary()}")
+    if not result.masked:
+        print(f"faulty out : {result.artifacts.stdout.strip()}")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,17 @@
 #!/usr/bin/env python
 """A full transient-fault campaign on a SpecACCEL-style workload.
 
-Reproduces the paper's §IV-B methodology on one program: N uniform
-injections drawn from an instruction profile, Table V classification, and
-a report with the confidence intervals the paper discusses (100 injections
-=> 90% confidence, +-8% margins).
+Reproduces the paper's §IV-B methodology on one program through the
+stable :func:`repro.run_campaign` facade: N uniform injections drawn from
+an instruction profile, Table V classification, and a report with the
+confidence intervals the paper discusses (100 injections => 90%
+confidence, +-8% margins).
+
+Also demonstrates the observability layer: the campaign runs under a
+:class:`repro.obs.Tracer` (spans + per-injection events, buffered in
+memory here; pass a ``JsonlSink`` to write a trace file) and a
+:class:`repro.obs.MetricsRegistry`, and the per-phase time table is
+rendered straight from the recorded events.
 
 Run:  python examples/transient_campaign.py [workload] [injections]
 """
@@ -14,42 +21,30 @@ from __future__ import annotations
 import sys
 from collections import Counter
 
-from repro.core import (
-    BitFlipModel,
-    Campaign,
-    CampaignConfig,
-    InstructionGroup,
-    error_margin,
-)
-from repro.workloads import get_workload
+import repro
+from repro.core import BitFlipModel, InstructionGroup, error_margin
+from repro.core.report import render_phase_breakdown
+from repro.obs import MemorySink, MetricsRegistry, Tracer
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "303.ostencil"
     injections = int(sys.argv[2]) if len(sys.argv) > 2 else 100
 
-    config = CampaignConfig(
+    config = repro.CampaignConfig(
+        workload=workload,
         group=InstructionGroup.G_GP,
         model=BitFlipModel.FLIP_SINGLE_BIT,
         num_transient=injections,
         seed=2021,
     )
-    campaign = Campaign(get_workload(workload), config)
+    sink = MemorySink()
+    tracer = Tracer(sink=sink)
+    registry = MetricsRegistry()
 
-    print(f"== golden run of {workload} ==")
-    golden = campaign.run_golden()
-    print(golden.summary())
-
-    print("\n== profiling (exact) ==")
-    profile = campaign.run_profile()
-    print(f"{profile.num_static_kernels} static kernels, "
-          f"{profile.num_dynamic_kernels} dynamic kernels, "
-          f"{profile.total_count():,} dynamic instructions "
-          f"({profile.total_count(config.group):,} in {config.group.name})")
-    print(f"executed opcodes: {len(profile.executed_opcodes())} of 171")
-
-    print(f"\n== injecting {injections} transient faults ==")
-    result = campaign.run_transient()
+    print(f"== running {injections} transient injections on {workload} ==")
+    result = repro.run_campaign(config, tracer=tracer, metrics=registry)
+    tracer.close()
 
     print("\n== results ==")
     print(result.tally.report(confidence=0.90, samples=injections))
@@ -68,6 +63,12 @@ def main() -> None:
     print("\ninjections per kernel (uniform over dynamic instructions):")
     for kernel, count in hit_kernels.most_common(8):
         print(f"  {count:4d}  {kernel}")
+
+    print("\n== per-phase time (from the recorded trace) ==")
+    print(render_phase_breakdown(sink.events), end="")
+
+    print("\n== metrics registry ==")
+    print(registry.render_text(), end="")
 
     print(f"\ncampaign wall time: {result.total_time:.1f}s "
           f"(profiling {result.profile_time:.1f}s, "

@@ -18,17 +18,17 @@ system on a simulated GPU substrate:
 * :mod:`repro.workloads` — the 15 SpecACCEL-style evaluation programs of
   Table IV plus the AV-pipeline case study.
 
-Quickstart::
+Quickstart (the stable facade lives in :mod:`repro.api`)::
 
-    from repro.core import Campaign, CampaignConfig
-    from repro.workloads import get_workload
+    import repro
 
-    campaign = Campaign(get_workload("303.ostencil"),
-                        CampaignConfig(num_transient=100, seed=1))
-    result = campaign.run_transient()
+    result = repro.run_campaign(
+        repro.CampaignConfig(workload="303.ostencil", num_transient=100, seed=1)
+    )
     print(result.tally.report())
 """
 
+from repro.api import InjectResult, inject, profile, run_campaign, select_sites
 from repro.core import (
     BitFlipModel,
     Campaign,
@@ -58,6 +58,11 @@ from repro.workloads import all_workloads, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "profile",
+    "select_sites",
+    "inject",
+    "run_campaign",
+    "InjectResult",
     "Campaign",
     "CampaignConfig",
     "InstructionGroup",

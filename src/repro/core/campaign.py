@@ -19,6 +19,7 @@ figures (paper Figures 4 and 5) can be regenerated.
 from __future__ import annotations
 
 import statistics
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.bitflip import BitFlipModel
@@ -36,7 +37,12 @@ from repro.runner.sandbox import SandboxConfig
 
 @dataclass
 class CampaignConfig:
-    """Knobs of one campaign."""
+    """Knobs of one campaign.
+
+    ``workload`` names the registered application to run; it is optional for
+    the legacy entry points (which take the application separately) but
+    required by :func:`repro.api.run_campaign`.
+    """
 
     group: InstructionGroup = InstructionGroup.G_GP
     model: BitFlipModel = BitFlipModel.FLIP_SINGLE_BIT
@@ -45,6 +51,7 @@ class CampaignConfig:
     profiling: ProfilingMode = ProfilingMode.EXACT
     hang_budget_factor: int = 10
     sandbox: SandboxConfig = field(default_factory=SandboxConfig)
+    workload: str | None = None
 
 
 @dataclass
@@ -137,7 +144,17 @@ class Campaign:
         return self.engine.select_sites(count)
 
     def run_transient(self, sites: list[TransientParams] | None = None) -> TransientCampaignResult:
-        """The full transient campaign (Figure 1 for N faults)."""
+        """The full transient campaign (Figure 1 for N faults).
+
+        .. deprecated::
+            Use :func:`repro.api.run_campaign`, which also covers parallel
+            execution, resumable stores and observability.
+        """
+        warnings.warn(
+            "Campaign.run_transient is deprecated; use repro.api.run_campaign",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.engine.run_transient(sites)
 
     def run_permanent(

@@ -1,24 +1,30 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Mirrors the real package's convenience scripts: profile a target, select
-fault sites, run a single injection from a parameter file, or run a whole
-campaign.
+fault sites, run a single injection from a parameter file, run a whole
+campaign, or analyse a recorded campaign trace.
+
+All run-producing commands share the same sandbox flags (``--family``,
+``--num-sms``, ``--env``) and observability flags (``--trace FILE`` writes
+a JSONL span/event trace, ``--metrics {text,json}`` prints the metrics
+registry at exit); ``select`` and ``campaign`` also take
+``--format {text,json}`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.bitflip import BitFlipModel
-from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.campaign import CampaignConfig
 from repro.core.groups import InstructionGroup
-from repro.core.injector import TransientInjectorTool
-from repro.core.outcomes import classify
 from repro.core.params import TransientParams
 from repro.core.profiler import ProfilingMode
-from repro.runner.golden import capture_golden, hang_budget
-from repro.runner.sandbox import SandboxConfig, run_app
+from repro.errors import ReproError
+from repro.obs import JsonlSink, MetricsRegistry, NULL_TRACER, Tracer
+from repro.runner.sandbox import SandboxConfig
 from repro.workloads import WORKLOADS, get_workload
 
 
@@ -34,6 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser("profile", help="profile a workload")
     _add_common(profile)
+    _add_sandbox(profile)
+    _add_obs(profile)
     profile.add_argument(
         "--mode", choices=["exact", "approximate"], default="exact"
     )
@@ -44,14 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--count", type=int, default=10)
     select.add_argument("--group", type=int, default=8, help="arch state id (Table II)")
     select.add_argument("--model", type=int, default=1, help="bit-flip model (Table II)")
+    select.add_argument("--format", choices=["text", "json"], default="text")
 
     inject = sub.add_parser("inject", help="run one injection from a parameter file")
     inject.add_argument("workload")
     inject.add_argument("params_file", help="7-line transient parameter file")
     inject.add_argument("--seed", type=int, default=0)
+    _add_sandbox(inject)
+    _add_obs(inject)
 
     campaign = sub.add_parser("campaign", help="run a full transient campaign")
     _add_common(campaign)
+    _add_sandbox(campaign)
+    _add_obs(campaign)
     campaign.add_argument("--injections", type=int, default=100)
     campaign.add_argument("--group", type=int, default=8)
     campaign.add_argument("--model", type=int, default=1)
@@ -67,12 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--store",
                           help="study directory: checkpoint each injection "
                                "as it completes and resume interrupted runs")
-    campaign.add_argument("--family", default="volta",
-                          help="GPU architecture family of the sandbox device")
-    campaign.add_argument("--num-sms", type=int, default=None,
-                          help="override the device's SM count")
     campaign.add_argument("--progress", action="store_true",
                           help="print per-injection progress")
+    campaign.add_argument("--format", choices=["text", "json"], default="text")
+
+    trace = sub.add_parser(
+        "trace", help="summarise a campaign trace file (per-phase times)"
+    )
+    trace.add_argument("trace_file", help="JSONL trace written by --trace")
 
     dump = sub.add_parser(
         "dump", help="disassemble a workload's kernels (cuobjdump analogue)"
@@ -85,6 +100,54 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("workload", help="e.g. 303.ostencil (see `repro list`)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_sandbox(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="volta",
+                        help="GPU architecture family of the sandbox device")
+    parser.add_argument("--num-sms", type=int, default=None,
+                        help="override the device's SM count")
+    parser.add_argument("--env", action="append", default=[], metavar="KEY=VALUE",
+                        help="extra sandbox environment entry (repeatable)")
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a JSONL span/event trace to FILE")
+    parser.add_argument("--metrics", choices=["text", "json"], default=None,
+                        help="print the metrics registry on exit")
+
+
+def _sandbox_config(args) -> SandboxConfig:
+    extra_env = {}
+    for entry in args.env:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--env expects KEY=VALUE, got {entry!r}")
+        extra_env[key] = value
+    return SandboxConfig(
+        seed=args.seed,
+        family=args.family,
+        num_sms=args.num_sms,
+        extra_env=extra_env,
+    )
+
+
+def _make_tracer(args) -> Tracer:
+    if args.trace:
+        return Tracer(sink=JsonlSink(args.trace))
+    return NULL_TRACER
+
+
+def _finish_obs(args, tracer: Tracer, registry: MetricsRegistry) -> None:
+    """Flush the trace file and print the metrics registry if requested."""
+    if tracer is not NULL_TRACER:
+        tracer.close()
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics == "json":
+        print(registry.render_json())
+    elif args.metrics == "text":
+        print(registry.render_text(), end="")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,6 +169,12 @@ def _main(argv: list[str] | None = None) -> int:
             print(f"{name:16} {cls.description}")
         return 0
 
+    if args.command == "trace":
+        from repro.core.report import render_phase_breakdown
+
+        print(render_phase_breakdown(args.trace_file), end="")
+        return 0
+
     app = get_workload(args.workload)
 
     if args.command == "dump":
@@ -119,8 +188,17 @@ def _main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "profile":
-        campaign = Campaign(app, CampaignConfig(seed=args.seed))
-        profile = campaign.run_profile(ProfilingMode(args.mode))
+        from repro import api
+
+        tracer = _make_tracer(args)
+        registry = MetricsRegistry()
+        profile = api.profile(
+            app,
+            mode=ProfilingMode(args.mode),
+            sandbox=_sandbox_config(args),
+            tracer=tracer,
+            metrics=registry,
+        )
         text = profile.to_text()
         if args.output:
             with open(args.output, "w") as handle:
@@ -134,51 +212,69 @@ def _main(argv: list[str] | None = None) -> int:
             f"{profile.total_count()} dynamic instructions",
             file=sys.stderr,
         )
+        _finish_obs(args, tracer, registry)
         return 0
 
     if args.command == "select":
-        campaign = Campaign(app, CampaignConfig(
-            seed=args.seed,
+        from repro import api
+
+        profile = api.profile(app)
+        sites = api.select_sites(
+            profile,
+            count=args.count,
             group=InstructionGroup(args.group),
             model=BitFlipModel(args.model),
-        ))
-        for site in campaign.select_sites(args.count):
-            print(site.to_text())
-            print()
+            seed=args.seed,
+        )
+        if args.format == "json":
+            doc = [
+                {
+                    "group": site.group.value,
+                    "model": site.model.value,
+                    "kernel_name": site.kernel_name,
+                    "kernel_count": site.kernel_count,
+                    "instruction_count": site.instruction_count,
+                    "dest_reg_selector": site.dest_reg_selector,
+                    "bit_pattern_value": site.bit_pattern_value,
+                }
+                for site in sites
+            ]
+            print(json.dumps(doc, indent=2))
+        else:
+            for site in sites:
+                print(site.to_text())
+                print()
         return 0
 
     if args.command == "inject":
+        from repro import api
+
         with open(args.params_file) as handle:
             params = TransientParams.from_text(handle.read())
-        golden = capture_golden(app, SandboxConfig(seed=args.seed))
-        injector = TransientInjectorTool(params)
-        config = SandboxConfig(
-            seed=args.seed, instruction_budget=hang_budget(golden)
+        tracer = _make_tracer(args)
+        registry = MetricsRegistry()
+        result = api.inject(
+            app, params, sandbox=_sandbox_config(args), tracer=tracer,
+            metrics=registry,
         )
-        observed = run_app(app, preload=[injector], config=config)
-        outcome = classify(app, golden, observed)
-        print(injector.record.describe())
-        print(outcome.label())
-        return 0 if outcome.outcome.value == "Masked" else 1
+        print(result.record.describe())
+        print(result.outcome.label())
+        _finish_obs(args, tracer, registry)
+        return 0 if result.masked else 1
 
     if args.command == "campaign":
-        from repro.core.engine import (
-            CampaignEngine,
-            EngineHooks,
-            ParallelExecutor,
-            SerialExecutor,
-        )
+        from repro import api
+        from repro.core.engine import EngineHooks, ParallelExecutor
         from repro.core.store import CampaignStore
 
         config = CampaignConfig(
+            workload=args.workload,
             seed=args.seed,
             num_transient=args.injections,
             group=InstructionGroup(args.group),
             model=BitFlipModel(args.model),
             profiling=ProfilingMode(args.profiling),
-            sandbox=SandboxConfig(
-                seed=args.seed, family=args.family, num_sms=args.num_sms
-            ),
+            sandbox=_sandbox_config(args),
         )
 
         class _Progress(EngineHooks):
@@ -186,26 +282,64 @@ def _main(argv: list[str] | None = None) -> int:
                 print(f"  [{completed}/{total}] run {index:05d}: "
                       f"{outcome.outcome.value}", file=sys.stderr)
 
-        engine = CampaignEngine(
-            app,
+        tracer = _make_tracer(args)
+        registry = MetricsRegistry()
+        result = api.run_campaign(
             config,
             executor=(
                 ParallelExecutor(max_workers=args.workers, chunksize=args.chunksize)
                 if args.workers
-                else SerialExecutor()
+                else None
             ),
             store=CampaignStore(args.store) if args.store else None,
             hooks=_Progress() if args.progress else None,
+            tracer=tracer,
+            metrics=registry,
         )
-        result = engine.run_transient()
-        print(f"{app.name}: {len(result.results)} transient injections")
-        print(result.tally.report(samples=len(result.results)))
-        print(engine.metrics.summary(), file=sys.stderr)
+        permanent = None
         if args.permanent:
-            permanent = engine.run_permanent()
-            print(f"{app.name}: {len(permanent.results)} permanent injections "
-                  "(one per executed opcode)")
-            print(permanent.tally.report())
+            permanent = api.run_campaign(
+                config,
+                store=CampaignStore(args.store) if args.store else None,
+                tracer=tracer,
+                metrics=registry,
+                kind="permanent",
+            )
+        if args.format == "json":
+            doc = {
+                "workload": app.name,
+                "injections": len(result.results),
+                "fractions": result.tally.fractions(),
+                "potential_due_fraction": result.tally.potential_due_fraction(),
+                "golden_time": result.golden_time,
+                "profile_time": result.profile_time,
+                "total_time": result.total_time,
+            }
+            if permanent is not None:
+                doc["permanent"] = {
+                    "injections": len(permanent.results),
+                    "fractions": permanent.tally.fractions(),
+                }
+            if args.metrics:
+                doc["metrics"] = registry.snapshot()
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"{app.name}: {len(result.results)} transient injections")
+            print(result.tally.report(samples=len(result.results)))
+            if permanent is not None:
+                print(f"{app.name}: {len(permanent.results)} permanent injections "
+                      "(one per executed opcode)")
+                print(permanent.tally.report())
+        from repro.core.engine import EngineMetrics
+
+        print(EngineMetrics(registry=registry).summary(), file=sys.stderr)
+        if args.format == "json" and args.metrics:
+            # Metrics already embedded in the JSON document; just flush the trace.
+            if tracer is not NULL_TRACER:
+                tracer.close()
+                print(f"trace written to {args.trace}", file=sys.stderr)
+        else:
+            _finish_obs(args, tracer, registry)
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -10,7 +10,7 @@ classify pipeline exactly once; the legacy entry points are thin wrappers
 over it, so serial, parallel and resumed campaigns can never drift apart
 again.
 
-Three orthogonal knobs plug into the engine:
+Orthogonal knobs plug into the engine:
 
 * an **executor** — :class:`SerialExecutor` runs injections in-process;
   :class:`ParallelExecutor` fans frozen, picklable work items out over a
@@ -21,15 +21,25 @@ Three orthogonal knobs plug into the engine:
   a killed campaign — serial or parallel — resumes where it stopped;
 * **hooks** — :class:`EngineHooks` receives per-phase timings and a
   per-injection progress callback carrying the running
-  :class:`~repro.core.report.OutcomeTally`; :class:`EngineMetrics`
-  aggregates phase seconds, injections/sec and outcome counts so far.
+  :class:`~repro.core.report.OutcomeTally`;
+* a **tracer** — a :class:`repro.obs.Tracer`; every pipeline phase becomes
+  a span, every sandboxed run a nested ``run`` span (parallel workers
+  buffer theirs and ship them back with results, so the parent trace stays
+  complete), and every classified injection a point event carrying its
+  parameters, outcome and instruction count;
+* a **metrics registry** — a :class:`repro.obs.MetricsRegistry` collecting
+  phase seconds, outcome counters, per-run instruction histograms and the
+  GPU simulator's cheap counters (instructions retired, warps launched,
+  divergence-stack high-water).  :class:`EngineMetrics` remains as a thin
+  compatibility view over the registry.
+
+Prefer the stable facade in :mod:`repro.api` for programmatic use.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.arch.families import arch_by_name
@@ -50,6 +60,13 @@ from repro.core.profiler import ProfilerTool, ProfilingMode
 from repro.core.report import OutcomeTally
 from repro.core.site_selection import select_permanent_sites, select_transient_sites
 from repro.errors import ReproError
+from repro.obs import (
+    INSTRUCTION_BUCKETS,
+    NULL_TRACER,
+    MemorySink,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.runner.app import Application
 from repro.runner.artifacts import RunArtifacts
 from repro.runner.golden import capture_golden, hang_budget
@@ -59,6 +76,9 @@ from repro.utils.rng import SeedSequenceStream
 from repro.workloads import WORKLOADS, get_workload
 
 # -- work items (what crosses the process boundary) ---------------------------
+
+
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -79,21 +99,37 @@ class InjectionTask:
 
 @dataclass
 class InjectionOutput:
-    """What a worker hands back: raw artifacts, classified by the parent."""
+    """What a worker hands back: raw artifacts, classified by the parent.
+
+    ``events`` carries the worker's buffered trace events (run spans);
+    the parent tracer adopts them via :meth:`repro.obs.Tracer.ingest`, so
+    the campaign trace is complete even when runs execute in other
+    processes.
+    """
 
     index: int
     record: InjectionRecord | None
     activations: int
     artifacts: RunArtifacts
+    events: list[dict] = field(default_factory=list)
 
 
-def execute_task(task: InjectionTask, app: Application | None = None) -> InjectionOutput:
+def execute_task(
+    task: InjectionTask, app: Application | None = None, tracer: Tracer | None = None
+) -> InjectionOutput:
     """Run one injection (the worker body).
 
     Classification happens in the parent, which holds the golden run; the
     worker only reruns the app with the right injector attached, on a
-    sandbox rebuilt from the task's full :class:`SandboxSpec`.
+    sandbox rebuilt from the task's full :class:`SandboxSpec`.  With no
+    ``tracer`` (the cross-process case), run spans are buffered into the
+    output's ``events`` for the parent to ingest; with a parent tracer
+    (serial execution), spans go straight into the live trace.
     """
+    buffer = None
+    if tracer is None:
+        buffer = MemorySink()
+        tracer = Tracer(sink=buffer)
     if app is None:
         app = get_workload(task.workload)
     if task.kind == "transient":
@@ -106,12 +142,15 @@ def execute_task(task: InjectionTask, app: Application | None = None) -> Injecti
         injector = IntermittentInjectorTool(task.params)
     else:  # pragma: no cover
         raise ReproError(f"unknown injection kind {task.kind!r}")
-    artifacts = run_app(app, preload=[injector], config=task.sandbox.config())
+    artifacts = run_app(
+        app, preload=[injector], config=task.sandbox.config(), tracer=tracer
+    )
     return InjectionOutput(
         index=task.index,
         record=getattr(injector, "record", None),
         activations=getattr(injector, "activations", 0),
         artifacts=artifacts,
+        events=buffer.events if buffer is not None else [],
     )
 
 
@@ -127,10 +166,13 @@ class SerialExecutor:
     """Runs injections one after another in the calling process."""
 
     def run(
-        self, tasks: Sequence[InjectionTask], app: Application | None = None
+        self,
+        tasks: Sequence[InjectionTask],
+        app: Application | None = None,
+        tracer: Tracer | None = None,
     ) -> Iterator[InjectionOutput]:
         for task in tasks:
-            yield execute_task(task, app)
+            yield execute_task(task, app, tracer=tracer)
 
 
 class ParallelExecutor:
@@ -139,6 +181,8 @@ class ParallelExecutor:
     ``chunksize`` trades dispatch overhead against checkpoint granularity:
     results are yielded (and therefore persisted) as each chunk completes,
     so ``chunksize=1`` (the default) checkpoints every single injection.
+    Workers buffer their trace events and ship them back inside each
+    :class:`InjectionOutput` (the ``tracer`` argument is parent-side only).
     """
 
     def __init__(self, max_workers: int | None = None, chunksize: int = 1) -> None:
@@ -148,7 +192,10 @@ class ParallelExecutor:
         self.chunksize = chunksize
 
     def run(
-        self, tasks: Sequence[InjectionTask], app: Application | None = None
+        self,
+        tasks: Sequence[InjectionTask],
+        app: Application | None = None,
+        tracer: Tracer | None = None,
     ) -> Iterator[InjectionOutput]:
         tasks = list(tasks)
         if not tasks:
@@ -194,16 +241,80 @@ class EngineHooks:
         """One injection was classified (``tally`` = outcome counts so far)."""
 
 
-@dataclass
 class EngineMetrics:
-    """What the engine measured while running — feeds the report layer."""
+    """Compatibility view over the engine's :class:`~repro.obs.MetricsRegistry`.
 
-    phase_seconds: dict[str, float] = field(default_factory=dict)
-    injections_done: int = 0
-    injections_loaded: int = 0  # resumed from the store instead of re-run
-    injections_total: int = 0
-    inject_seconds: float = 0.0
-    tally: OutcomeTally = field(default_factory=OutcomeTally)
+    Historically a standalone dataclass the engine mutated; the numbers now
+    live in the shared metrics registry (``engine.*`` / ``campaign.*``
+    names), and this shim keeps the old field API — reads and writes both —
+    so existing callers and the observability layer see a single source of
+    truth.
+    """
+
+    _DONE = "engine.injections.done"
+    _LOADED = "engine.injections.loaded"
+    _TOTAL = "engine.injections.total"
+    _INJECT_SECONDS = "engine.inject.seconds"
+    _PHASE_PREFIX = "engine.phase."
+    _PHASE_SUFFIX = ".seconds"
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tally: OutcomeTally | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tally = tally if tally is not None else OutcomeTally()
+
+    # -- field compatibility (reads and writes hit the registry) --------------
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        values = self.registry.counter_values(self._PHASE_PREFIX)
+        return {
+            name[: -len(self._PHASE_SUFFIX)]: seconds
+            for name, seconds in values.items()
+            if name.endswith(self._PHASE_SUFFIX)
+        }
+
+    def add_phase_seconds(self, name: str, seconds: float) -> None:
+        self.registry.counter(
+            f"{self._PHASE_PREFIX}{name}{self._PHASE_SUFFIX}"
+        ).inc(seconds)
+
+    @property
+    def injections_done(self) -> int:
+        return int(self.registry.counter(self._DONE).value)
+
+    @injections_done.setter
+    def injections_done(self, value: int) -> None:
+        self.registry.counter(self._DONE).value = float(value)
+
+    @property
+    def injections_loaded(self) -> int:
+        return int(self.registry.counter(self._LOADED).value)
+
+    @injections_loaded.setter
+    def injections_loaded(self, value: int) -> None:
+        self.registry.counter(self._LOADED).value = float(value)
+
+    @property
+    def injections_total(self) -> int:
+        return int(self.registry.gauge(self._TOTAL).value)
+
+    @injections_total.setter
+    def injections_total(self, value: int) -> None:
+        self.registry.gauge(self._TOTAL).set(value)
+
+    @property
+    def inject_seconds(self) -> float:
+        return self.registry.gauge(self._INJECT_SECONDS).value
+
+    @inject_seconds.setter
+    def inject_seconds(self, value: float) -> None:
+        self.registry.gauge(self._INJECT_SECONDS).set(value)
+
+    # -- derived ---------------------------------------------------------------
 
     @property
     def injections_per_second(self) -> float:
@@ -236,13 +347,17 @@ class CampaignEngine:
         executor: Executor | None = None,
         store=None,  # CampaignStore | None (kept untyped to avoid an import cycle)
         hooks: EngineHooks | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.app = get_workload(app) if isinstance(app, str) else app
         self.config = config or CampaignConfig()
         self.executor = executor or SerialExecutor()
         self.store = store
         self.hooks = hooks or EngineHooks()
-        self.metrics = EngineMetrics()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = EngineMetrics(registry=self.registry)
         self._stream = SeedSequenceStream(self.config.seed, path=self.app.name)
         self.golden: RunArtifacts | None = None
         self.profile: ProgramProfile | None = None
@@ -252,8 +367,12 @@ class CampaignEngine:
     # -- pipeline phases --------------------------------------------------------
 
     def run_golden(self) -> RunArtifacts:
-        self.golden = capture_golden(self.app, self._sandbox_config())
+        with self.tracer.span("golden", workload=self.app.name):
+            self.golden = capture_golden(
+                self.app, self._sandbox_config(), tracer=self.tracer
+            )
         self.golden_time = self.golden.wall_time
+        self._record_run_metrics(self.golden)
         if self.store is not None:
             self.store.save_golden(self.golden)
         self._phase("golden", self.golden_time)
@@ -262,14 +381,23 @@ class CampaignEngine:
     def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
         if self.golden is None:
             self.run_golden()
-        profiler = ProfilerTool(mode or self.config.profiling)
-        artifacts = run_app(self.app, preload=[profiler], config=self._injection_config())
+        mode = mode or self.config.profiling
+        profiler = ProfilerTool(mode)
+        with self.tracer.span("profile", workload=self.app.name, mode=mode.value):
+            artifacts = run_app(
+                self.app,
+                preload=[profiler],
+                config=self._injection_config(),
+                tracer=self.tracer,
+            )
         if artifacts.crashed or artifacts.timed_out:
             raise RuntimeError(
                 f"profiling run failed unexpectedly: {artifacts.summary()}"
             )
         self.profile = profiler.profile
+        self.profile.workload = self.app.name
         self.profile_time = artifacts.wall_time
+        self._record_run_metrics(artifacts)
         if self.store is not None:
             self.store.save_profile(self.profile)
         self._phase("profile", self.profile_time)
@@ -278,28 +406,37 @@ class CampaignEngine:
     def select_sites(self, count: int | None = None) -> list[TransientParams]:
         if self.profile is None:
             self.run_profile()
+        count = count if count is not None else self.config.num_transient
         started = time.perf_counter()
-        rng = self._stream.child("sites").generator()
-        sites = select_transient_sites(
-            self.profile,
-            self.config.group,
-            self.config.model,
-            count if count is not None else self.config.num_transient,
-            rng,
-        )
+        with self.tracer.span(
+            "select",
+            kind="transient",
+            count=count,
+            group=self.config.group.name,
+            model=self.config.model.name,
+        ):
+            rng = self._stream.child("sites").generator()
+            sites = select_transient_sites(
+                self.profile,
+                self.config.group,
+                self.config.model,
+                count,
+                rng,
+            )
         self._phase("select", time.perf_counter() - started)
         return sites
 
     def select_permanent(self) -> list[PermanentParams]:
         if self.profile is None:
             self.run_profile()
-        rng = self._stream.child("permanent").generator()
-        return select_permanent_sites(
-            self.profile,
-            rng,
-            sm_ids=self._active_sm_ids(),
-            num_sms=self.device_num_sms(),
-        )
+        with self.tracer.span("select", kind="permanent"):
+            rng = self._stream.child("permanent").generator()
+            return select_permanent_sites(
+                self.profile,
+                rng,
+                sm_ids=self._active_sm_ids(),
+                num_sms=self.device_num_sms(),
+            )
 
     # -- campaigns --------------------------------------------------------------
 
@@ -442,7 +579,9 @@ class CampaignEngine:
 
         Completed injections are handed to ``save`` the moment they finish
         (chunk-by-chunk under the parallel executor), so an interrupted
-        campaign loses at most the in-flight chunk.
+        campaign loses at most the in-flight chunk.  Every injection —
+        resumed ones included — emits one ``injection`` trace event, so the
+        events in a trace sum to the campaign's final tally exactly.
         """
         spec = self._injection_spec()
         tasks = [
@@ -453,24 +592,34 @@ class CampaignEngine:
         by_index: dict[int, object] = dict(loaded)
         self.metrics.injections_total = len(sites)
         self.metrics.injections_loaded = len(loaded)
-        for item in loaded.values():
-            self.metrics.tally.add(item.outcome)
         started = time.perf_counter()
-        for output in self.executor.run(tasks, app=self.app):
-            item = build(output)
-            by_index[output.index] = item
-            if save is not None:
-                save(output.index, item)
-            self.metrics.injections_done += 1
-            self.metrics.inject_seconds = time.perf_counter() - started
-            self.metrics.tally.add(item.outcome)
-            self.hooks.on_injection(
-                output.index,
-                item.outcome,
-                len(by_index),
-                len(sites),
-                self.metrics.tally,
-            )
+        with self.tracer.span(
+            "inject", kind=kind, total=len(sites), fresh=len(tasks)
+        ):
+            for index in sorted(loaded):
+                item = loaded[index]
+                self.metrics.tally.add(item.outcome)
+                self._count_outcome(item)
+                self._emit_injection_event(index, item, kind, resumed=True)
+            for output in self.executor.run(tasks, app=self.app, tracer=self.tracer):
+                item = build(output)
+                by_index[output.index] = item
+                if save is not None:
+                    save(output.index, item)
+                self.tracer.ingest(output.events)
+                self._emit_injection_event(output.index, item, kind, output=output)
+                self._count_outcome(item)
+                self._record_run_metrics(output.artifacts, injection=True)
+                self.metrics.injections_done += 1
+                self.metrics.inject_seconds = time.perf_counter() - started
+                self.metrics.tally.add(item.outcome)
+                self.hooks.on_injection(
+                    output.index,
+                    item.outcome,
+                    len(by_index),
+                    len(sites),
+                    self.metrics.tally,
+                )
         self._phase("inject", time.perf_counter() - started)
         return [by_index[index] for index in range(len(sites))]
 
@@ -493,6 +642,70 @@ class CampaignEngine:
                 )
             loaded[index] = stored
         return loaded
+
+    # -- observability plumbing --------------------------------------------------
+
+    def _emit_injection_event(
+        self,
+        index: int,
+        item,
+        kind: str,
+        output: InjectionOutput | None = None,
+        resumed: bool = False,
+    ) -> None:
+        """One point event per classified injection (params + outcome + count)."""
+        if not self.tracer.enabled:
+            return
+        instructions = getattr(item, "instructions", None)
+        if instructions is None:
+            instructions = (
+                output.artifacts.instructions_executed if output is not None else 0
+            )
+        attrs = {
+            "index": index,
+            "kind": kind,
+            "resumed": resumed,
+            "outcome": item.outcome.outcome.value,
+            "symptom": item.outcome.symptom,
+            "potential_due": item.outcome.potential_due,
+            "weight": getattr(item, "weight", 1.0),
+            "instructions": instructions,
+        }
+        attrs.update(_params_attrs(getattr(item, "params", None)))
+        record = getattr(item, "record", None)
+        if record is not None:
+            attrs["injected"] = record.injected
+            if record.injected:
+                attrs["opcode"] = record.opcode
+                attrs["sm_id"] = record.sm_id
+                attrs["pc"] = record.pc
+        self.tracer.event("injection", **attrs)
+
+    def _count_outcome(self, item) -> None:
+        weight = getattr(item, "weight", 1.0)
+        self.registry.counter(
+            f"campaign.outcome.{item.outcome.outcome.value}"
+        ).inc(weight)
+        if item.outcome.potential_due:
+            self.registry.counter("campaign.outcome.potential_due").inc(weight)
+
+    def _record_run_metrics(self, artifacts: RunArtifacts, injection: bool = False) -> None:
+        """Fold one sandboxed run's device counters into the registry."""
+        reg = self.registry
+        reg.counter("sandbox.runs").inc()
+        reg.counter("gpusim.instructions_retired").inc(
+            artifacts.instructions_executed
+        )
+        reg.counter("gpusim.cycles").inc(artifacts.cycles)
+        reg.counter("gpusim.warps_launched").inc(artifacts.warps_launched)
+        reg.gauge("gpusim.divergence_depth_high_water").set_max(
+            artifacts.divergence_depth_high_water
+        )
+        if injection:
+            reg.histogram(
+                "campaign.injection.instructions", INSTRUCTION_BUCKETS
+            ).observe(artifacts.instructions_executed)
+            reg.histogram("campaign.injection.seconds").observe(artifacts.wall_time)
 
     # -- configuration helpers --------------------------------------------------
 
@@ -530,7 +743,30 @@ class CampaignEngine:
         return list(range(self.device_num_sms()))
 
     def _phase(self, name: str, seconds: float) -> None:
-        self.metrics.phase_seconds[name] = (
-            self.metrics.phase_seconds.get(name, 0.0) + seconds
-        )
+        self.metrics.add_phase_seconds(name, seconds)
         self.hooks.on_phase(name, seconds)
+
+
+def _params_attrs(params) -> dict:
+    """Flatten an injection-parameter record into JSON-friendly event attrs."""
+    if isinstance(params, TransientParams):
+        return {
+            "group": params.group.name,
+            "model": params.model.name,
+            "kernel": params.kernel_name,
+            "kernel_count": params.kernel_count,
+            "instruction_count": params.instruction_count,
+        }
+    if isinstance(params, PermanentParams):
+        return {
+            "sm_id_target": params.sm_id,
+            "lane_id": params.lane_id,
+            "bit_mask": params.bit_mask,
+            "opcode_id": params.opcode_id,
+        }
+    if isinstance(params, IntermittentParams):
+        attrs = _params_attrs(params.permanent)
+        attrs.update(process=params.process,
+                     activation_probability=params.activation_probability)
+        return attrs
+    return {}

@@ -22,6 +22,7 @@ from repro.core.dictionary import FaultDictionary
 from repro.core.groups import instruction_in_group
 from repro.core.params import TransientParams
 from repro.cuda.driver import CudaEvent, CudaFunction
+from repro.errors import ReproError
 from repro.gpusim.context import InstrSite
 from repro.nvbit.instr import IPoint
 from repro.nvbit.tool import NVBitTool
@@ -87,36 +88,53 @@ class InjectionRecord:
 
         Legacy stores kept only the ``describe()`` line; those fall back to
         a record carrying nothing but the injected/not-injected bit.
+        Malformed values raise :class:`~repro.errors.ReproError` naming the
+        offending line, so a corrupted store entry is diagnosable instead of
+        surfacing as a bare ``ValueError`` deep in the resume scan.
         """
-        fields: dict[str, str] = {}
-        for line in text.splitlines():
+        fields: dict[str, tuple[int, str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line or line.startswith("#") or "=" not in line:
                 continue
             key, value = line.split("=", 1)
-            fields[key] = value
+            fields[key] = (lineno, value)
         if "injected" not in fields:
             return cls(injected=text.strip().startswith("injected"))
 
         def dim3(value: str) -> tuple[int, int, int]:
-            x, y, z = (int(part) for part in value.split(","))
+            parts = value.split(",")
+            if len(parts) != 3:
+                raise ValueError(f"expected 3 comma-separated ints, got {value!r}")
+            x, y, z = (int(part) for part in parts)
             return (x, y, z)
 
+        def get(key: str, conv, default):
+            if key not in fields:
+                return default
+            lineno, value = fields[key]
+            try:
+                return conv(value)
+            except ValueError as exc:
+                raise ReproError(
+                    f"injection record line {lineno}: bad {key}={value!r}: {exc}"
+                ) from None
+
         return cls(
-            injected=fields["injected"] == "True",
-            kernel_name=fields.get("kernel_name", ""),
-            pc=int(fields.get("pc", -1)),
-            opcode=fields.get("opcode", ""),
-            sm_id=int(fields.get("sm_id", -1)),
-            ctaid=dim3(fields.get("ctaid", "-1,-1,-1")),
-            thread_idx=dim3(fields.get("thread_idx", "-1,-1,-1")),
-            lane=int(fields.get("lane", -1)),
-            dest_kind=fields.get("dest_kind", ""),
-            dest_index=int(fields.get("dest_index", -1)),
-            value_before=int(fields.get("value_before", 0)),
-            value_after=int(fields.get("value_after", 0)),
-            mask=int(fields.get("mask", 0)),
-            num_regs_corrupted=int(fields.get("num_regs_corrupted", 0)),
+            injected=get("injected", lambda v: v == "True", False),
+            kernel_name=get("kernel_name", str, ""),
+            pc=get("pc", int, -1),
+            opcode=get("opcode", str, ""),
+            sm_id=get("sm_id", int, -1),
+            ctaid=get("ctaid", dim3, (-1, -1, -1)),
+            thread_idx=get("thread_idx", dim3, (-1, -1, -1)),
+            lane=get("lane", int, -1),
+            dest_kind=get("dest_kind", str, ""),
+            dest_index=get("dest_index", int, -1),
+            value_before=get("value_before", int, 0),
+            value_after=get("value_after", int, 0),
+            mask=get("mask", int, 0),
+            num_regs_corrupted=get("num_regs_corrupted", int, 0),
         )
 
 

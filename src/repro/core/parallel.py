@@ -14,6 +14,8 @@ parallel campaigns are bit-for-bit equivalent to serial ones.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.campaign import CampaignConfig, TransientCampaignResult
 from repro.core.engine import CampaignEngine, EngineHooks, ParallelExecutor
 
@@ -33,7 +35,17 @@ def run_transient_parallel(
     records and outcomes — as :meth:`repro.core.campaign.Campaign.run_transient`.
     Pass a :class:`~repro.core.store.CampaignStore` as ``store`` to
     checkpoint each injection as it completes.
+
+    .. deprecated::
+        Use :func:`repro.api.run_campaign` with
+        ``executor=ParallelExecutor(...)``.
     """
+    warnings.warn(
+        "run_transient_parallel is deprecated; use repro.api.run_campaign "
+        "with executor=ParallelExecutor(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     engine = CampaignEngine(
         workload_name,
         config,

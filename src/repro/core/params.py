@@ -7,7 +7,7 @@ to the next run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup, require_injectable
@@ -58,19 +58,27 @@ class TransientParams:
 
     @classmethod
     def from_text(cls, text: str) -> "TransientParams":
-        values = _bare_lines(text)
+        values = _numbered_lines(text)
         if len(values) != 7:
             raise ParamError(
                 f"transient parameter file needs 7 lines, found {len(values)}"
             )
         return cls(
-            group=InstructionGroup(int(values[0])),
-            model=BitFlipModel(int(values[1])),
-            kernel_name=values[2],
-            kernel_count=int(values[3]),
-            instruction_count=int(values[4]),
-            dest_reg_selector=float(values[5]),
-            bit_pattern_value=float(values[6]),
+            group=_convert(
+                values[0],
+                lambda v: InstructionGroup(int(v)),
+                "arch state id (Table II group)",
+            ),
+            model=_convert(
+                values[1], lambda v: BitFlipModel(int(v)), "bit-flip model"
+            ),
+            kernel_name=values[2][1],
+            kernel_count=_convert(values[3], int, "kernel count"),
+            instruction_count=_convert(values[4], int, "instruction count"),
+            dest_reg_selector=_convert(
+                values[5], float, "destination-register selector"
+            ),
+            bit_pattern_value=_convert(values[6], float, "bit-pattern value"),
         )
 
 
@@ -107,16 +115,16 @@ class PermanentParams:
 
     @classmethod
     def from_text(cls, text: str) -> "PermanentParams":
-        values = _bare_lines(text)
+        values = _numbered_lines(text)
         if len(values) != 4:
             raise ParamError(
                 f"permanent parameter file needs 4 lines, found {len(values)}"
             )
         return cls(
-            sm_id=int(values[0]),
-            lane_id=int(values[1]),
-            bit_mask=int(values[2], 0),
-            opcode_id=int(values[3]),
+            sm_id=_convert(values[0], int, "SM id"),
+            lane_id=_convert(values[1], int, "lane id"),
+            bit_mask=_convert(values[2], lambda v: int(v, 0), "XOR bit mask"),
+            opcode_id=_convert(values[3], int, "opcode id"),
         )
 
 
@@ -144,11 +152,20 @@ class IntermittentParams:
             raise ParamError("mean burst length must be >= 1")
 
 
-def _bare_lines(text: str) -> list[str]:
-    """Strip comments and blanks from a parameter file."""
+def _numbered_lines(text: str) -> list[tuple[int, str]]:
+    """Strip comments and blanks; keep 1-based line numbers for errors."""
     values = []
-    for line in text.splitlines():
+    for lineno, line in enumerate(text.splitlines(), start=1):
         bare = line.split("#", 1)[0].strip()
         if bare:
-            values.append(bare)
+            values.append((lineno, bare))
     return values
+
+
+def _convert(numbered: tuple[int, str], conv, what: str):
+    """Apply ``conv`` to one parameter-file value, blaming its line on error."""
+    lineno, value = numbered
+    try:
+        return conv(value)
+    except ValueError as exc:
+        raise ParamError(f"line {lineno}: bad {what} {value!r}: {exc}") from None

@@ -69,9 +69,16 @@ class KernelProfile:
 
 @dataclass
 class ProgramProfile:
-    """All dynamic kernels of one program run, in launch order."""
+    """All dynamic kernels of one program run, in launch order.
+
+    ``workload`` records which registered workload produced the profile so
+    downstream consumers (notably :func:`repro.api.select_sites`) can
+    reproduce the engine's per-workload RNG stream.  It is excluded from
+    equality: a profile's identity is its kernel histograms.
+    """
 
     kernels: list[KernelProfile] = field(default_factory=list)
+    workload: str = field(default="", compare=False)
 
     def append(self, kernel_profile: KernelProfile) -> None:
         self.kernels.append(kernel_profile)
@@ -100,12 +107,20 @@ class ProgramProfile:
         return len({kp.kernel_name for kp in self.kernels})
 
     def to_text(self) -> str:
-        return "\n".join(kp.to_line() for kp in self.kernels) + "\n"
+        header = f"# workload: {self.workload}\n" if self.workload else ""
+        return header + "\n".join(kp.to_line() for kp in self.kernels) + "\n"
 
     @classmethod
     def from_text(cls, text: str) -> "ProgramProfile":
         profile = cls()
         for line in text.splitlines():
-            if line.strip():
-                profile.append(KernelProfile.from_line(line))
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("#"):
+                _, _, value = stripped.partition("workload:")
+                if value.strip():
+                    profile.workload = value.strip()
+                continue
+            profile.append(KernelProfile.from_line(line))
         return profile

@@ -4,6 +4,12 @@ The paper (§IV-B, citing [24], [25]) notes that 100 injections give 90%
 confidence with ±8% error margins and 1000 injections give 95% with ±3%;
 :func:`confidence_interval` reproduces those margins (normal approximation
 at worst-case p = 0.5).
+
+This module also reads campaign traces (the JSONL files written by
+``--trace``): :func:`phase_breakdown` and :func:`render_phase_breakdown`
+turn phase spans into a per-phase time table, and :func:`tally_from_trace`
+rebuilds the campaign's :class:`OutcomeTally` from its per-injection
+events — the two views are defined to agree exactly.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.outcomes import Outcome, OutcomeRecord
+from repro.obs import injection_events, load_trace, phase_durations
 
 # Two-sided z values.
 _Z = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -97,3 +104,56 @@ class OutcomeTally:
         if self.potential_due:
             parts.append(f"potentialDUE={self.potential_due_fraction() * 100:.1f}%")
         return "  ".join(parts)
+
+
+# -- trace-file analysis (the JSONL files written by ``--trace``) -------------
+
+
+def phase_breakdown(trace) -> dict[str, float]:
+    """Per-phase wall seconds from a trace (path, or loaded event list).
+
+    Sums every span of each pipeline phase name, so resumed campaigns (two
+    ``inject`` spans across two trace files concatenated) aggregate
+    naturally.  Phases appear in pipeline order.
+    """
+    return phase_durations(load_trace(trace))
+
+
+def tally_from_trace(trace) -> OutcomeTally:
+    """Rebuild the campaign's :class:`OutcomeTally` from its trace.
+
+    Every classified injection — including ones resumed from a store —
+    emits exactly one ``injection`` event carrying its outcome and weight,
+    so this reconstruction matches the campaign result's tally exactly.
+    """
+    tally = OutcomeTally()
+    for event in injection_events(load_trace(trace)):
+        attrs = event.get("attrs", {})
+        record = OutcomeRecord(
+            outcome=Outcome(attrs["outcome"]),
+            symptom=attrs.get("symptom", ""),
+            potential_due=bool(attrs.get("potential_due", False)),
+        )
+        tally.add(record, weight=float(attrs.get("weight", 1.0)))
+    return tally
+
+
+def render_phase_breakdown(trace) -> str:
+    """Human-readable per-phase time table for a trace file."""
+    events = load_trace(trace)
+    phases = phase_breakdown(events)
+    if not phases:
+        return "no phase spans in trace\n"
+    total = sum(phases.values())
+    width = max(len(name) for name in phases)
+    lines = [f"{'phase':<{width}}  {'seconds':>9}  {'share':>6}"]
+    for name, seconds in phases.items():
+        share = seconds / total if total else 0.0
+        lines.append(f"{name:<{width}}  {seconds:>9.3f}  {share:>5.1%}")
+    lines.append(f"{'total':<{width}}  {total:>9.3f}  {'':>6}")
+    injections = injection_events(events)
+    if injections:
+        tally = tally_from_trace(events)
+        lines.append("")
+        lines.append(f"{len(injections)} injection event(s): {tally.report()}")
+    return "\n".join(lines) + "\n"

@@ -255,6 +255,15 @@ def run_resumable_campaign(
     ``run_injections.py`` over an existing ``logs/`` tree.  Site selection
     is deterministic from the campaign seed, so stored and fresh runs line
     up index-for-index; a parallel engine resumes the same way.
+
+    .. deprecated::
+        Use :func:`repro.api.run_campaign` with ``store=...``.
     """
+    warnings.warn(
+        "run_resumable_campaign is deprecated; use repro.api.run_campaign "
+        "with store=CampaignStore(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     campaign.engine.store = store
     return campaign.engine.run_transient()

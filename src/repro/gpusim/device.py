@@ -67,6 +67,11 @@ class Device:
         self.launch_count = 0
         self.active_sms: set[int] = set()
         self.cycles = 0  # simulated GPU time (includes instrumentation cost)
+        # Cheap observability counters (flow into repro.obs MetricsRegistry
+        # via RunArtifacts): warps ever launched and the deepest SIMT
+        # divergence stack seen on any warp.
+        self.warps_launched = 0
+        self.divergence_depth_high_water = 0
 
     # -- watchdog ----------------------------------------------------------
 

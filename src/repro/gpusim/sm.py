@@ -37,6 +37,7 @@ class SM:
     ) -> None:
         """Execute one thread block to completion."""
         warps = _build_warps(kernel, ctx)
+        self.device.warps_launched += len(warps)
         instrs = kernel.instructions
         while True:
             progressed = False
@@ -114,6 +115,11 @@ class SM:
             warp.pc += 1
         else:  # pragma: no cover - CONTROL_OPCODES is exhaustive
             raise DeviceTrap(f"unhandled control opcode {opcode}")
+        # Divergence-stack high-water mark: only control ops grow the stack,
+        # so sampling here is exact and stays off the arithmetic hot path.
+        depth = len(warp.stack)
+        if depth > self.device.divergence_depth_high_water:
+            self.device.divergence_depth_high_water = depth
 
 
 def _build_warps(kernel: Kernel, ctx: ExecContext) -> list[Warp]:

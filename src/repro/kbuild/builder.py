@@ -19,7 +19,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import AssemblyError
 from repro.kbuild.regalloc import Interval, allocate

@@ -1,0 +1,58 @@
+"""repro.obs — campaign observability: span tracing + metrics + JSONL events.
+
+A self-contained leaf layer (no :mod:`repro.core` imports) providing:
+
+* :class:`Tracer` / :class:`NullTracer` — nested spans with monotonic
+  timestamps, point events, and cross-process event adoption (``ingest``);
+* sinks — :class:`JsonlSink` (one JSON object per line), :class:`MemorySink`
+  (buffering; the worker transport), :class:`NullSink`;
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket histograms
+  with ``snapshot()`` plus text/JSON renderers;
+* trace analysis — :func:`load_trace`, :func:`phase_durations`,
+  :func:`injection_events`.
+
+The campaign engine, sandbox and GPU simulator are instrumented against
+this layer; see ``docs/observability.md`` for the end-to-end picture.
+"""
+
+from repro.obs.events import (
+    INJECTION_EVENT,
+    PHASE_SPANS,
+    injection_events,
+    load_trace,
+    phase_durations,
+    spans,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    INSTRUCTION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sink import JsonlSink, MemorySink, NullSink, load_jsonl
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "load_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "INSTRUCTION_BUCKETS",
+    "load_trace",
+    "spans",
+    "phase_durations",
+    "injection_events",
+    "PHASE_SPANS",
+    "INJECTION_EVENT",
+]

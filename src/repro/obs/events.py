@@ -1,0 +1,56 @@
+"""Trace analysis: pure-dict helpers over recorded span/event streams.
+
+These work on the tracer's wire format only (lists of dicts, or a JSONL
+file path) and deliberately import nothing from :mod:`repro.core`, so the
+obs layer stays a leaf the rest of the stack can depend on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.sink import load_jsonl
+
+# The engine's pipeline phases, in execution order.
+PHASE_SPANS = ("golden", "profile", "select", "inject")
+
+# The per-injection point event emitted by the engine.
+INJECTION_EVENT = "injection"
+
+
+def load_trace(source) -> list[dict]:
+    """Accept a JSONL path or an already-loaded event list."""
+    if isinstance(source, (str, Path)):
+        return load_jsonl(source)
+    return list(source)
+
+
+def spans(events: Iterable[dict], name: str | None = None) -> list[dict]:
+    return [
+        e
+        for e in load_trace(events)
+        if e.get("type") == "span" and (name is None or e.get("name") == name)
+    ]
+
+
+def phase_durations(events) -> dict[str, float]:
+    """Total seconds per engine phase, in pipeline order."""
+    totals: dict[str, float] = {}
+    for event in spans(events):
+        if event.get("name") in PHASE_SPANS:
+            totals[event["name"]] = (
+                totals.get(event["name"], 0.0) + (event.get("duration") or 0.0)
+            )
+    return {
+        name: totals[name] for name in PHASE_SPANS if name in totals
+    }
+
+
+def injection_events(events) -> list[dict]:
+    """Per-injection events (one per classified injection, resumed included)."""
+    return [
+        e
+        for e in load_trace(events)
+        if e.get("type") == "event" and e.get("name") == INJECTION_EVENT
+    ]

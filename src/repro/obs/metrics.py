@@ -1,0 +1,160 @@
+"""A metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the campaign's numeric dashboard — the engine, the sandbox
+and the GPU simulator all write into one :class:`MetricsRegistry`, and
+``snapshot()`` / ``render_text()`` / ``render_json()`` read it back out.
+Histograms use fixed upper-bound buckets with cumulative counts (the
+Prometheus convention), so snapshots from different runs are mergeable by
+plain addition.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+# Default histogram buckets: wall-clock-ish seconds.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+# Decade buckets for dynamic instruction counts per run.
+INSTRUCTION_BUCKETS = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; ``set_max`` keeps a high-water mark."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        if float(value) > self.value:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram; buckets are sorted upper bounds plus +Inf."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} buckets must be sorted, unique upper bounds"
+            )
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def snapshot(self) -> dict:
+        cumulative = 0
+        buckets = {}
+        for bound, count in zip(self.buckets + (None,), self.counts):
+            cumulative += count
+            buckets["+Inf" if bound is None else str(bound)] = cumulative
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Creates-or-returns named metrics; one namespace across all kinds."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_kind(self, name: str, kind: dict) -> None:
+        for registered in (self._counters, self._gauges, self._histograms):
+            if registered is not kind and name in registered:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        self._check_kind(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_kind(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        self._check_kind(name, self._histograms)
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(
+                name, DEFAULT_BUCKETS if buckets is None else buckets
+            )
+        return self._histograms[name]
+
+    def counter_values(self, prefix: str = "") -> dict[str, float]:
+        """Counter values whose names start with ``prefix`` (prefix stripped)."""
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- output -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything, as one JSON-serialisable dict (insertion order kept)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.snapshot() for n, h in self._histograms.items()},
+        }
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_text(self) -> str:
+        """Prometheus-exposition-style text, one value per line."""
+        lines = []
+        for name, counter in self._counters.items():
+            lines.append(f"{name} {_fmt(counter.value)}")
+        for name, gauge in self._gauges.items():
+            lines.append(f"{name} {_fmt(gauge.value)}")
+        for name, histogram in self._histograms.items():
+            snap = histogram.snapshot()
+            for le, count in snap["buckets"].items():
+                lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+            lines.append(f"{name}_sum {_fmt(snap['sum'])}")
+            lines.append(f"{name}_count {snap['count']}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.6g}"

@@ -1,0 +1,69 @@
+"""Event sinks: where trace spans and events go, one JSON object per line.
+
+A sink consumes plain dicts (the tracer's wire format) and never interprets
+them — :class:`JsonlSink` appends each to a file as one JSON line,
+:class:`MemorySink` buffers them (the parallel-worker transport and the
+test double), :class:`NullSink` drops them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class NullSink:
+    """Discards every event (the disabled-tracing sink)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Buffers events in order; workers ship ``.events`` back to the parent."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Writes one JSON object per line to ``path`` (created eagerly)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        # default=str keeps exotic attr values (enums, paths) from killing
+        # the whole trace; numbers and strings pass through untouched.
+        self._handle.write(json.dumps(event, default=str) + "\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_jsonl(path: str | Path) -> list[dict]:
+    """Read a JSONL trace file back into a list of event dicts."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            events.append(json.loads(line))
+    return events

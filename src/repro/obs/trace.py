@@ -1,0 +1,211 @@
+"""A lightweight span tracer: nested spans and point events over one clock.
+
+The tracer keeps a stack of open spans, so ``span()`` context managers nest
+naturally — a span opened inside another records the outer span as its
+parent, and point events attach to whatever span is innermost.  Timestamps
+come from a monotonic clock (``time.perf_counter``) rebased to the tracer's
+creation, so a trace reads as seconds since campaign start.
+
+Two details matter for campaigns:
+
+* :class:`NullTracer` is the disabled path — ``span()`` hands out a shared
+  no-op context manager and ``event()`` returns immediately, so an engine
+  built without a tracer pays essentially nothing;
+* :meth:`Tracer.ingest` adopts events recorded by *another* tracer (a
+  campaign worker in a different process, with its own clock and id space):
+  span ids are remapped into the parent's id space, orphan parents are
+  re-pointed at the current span, and timestamps are shifted so the batch
+  ends at the moment of ingestion — the parent trace stays complete and
+  self-consistent even when runs execute elsewhere.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.obs.sink import MemorySink, NullSink
+
+
+@dataclass
+class Span:
+    """One named interval; emitted to the sink when it finishes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    attrs: dict = field(default_factory=dict)
+    end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def to_event(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Records nested spans and events into a sink (default: in-memory)."""
+
+    enabled = True
+
+    def __init__(
+        self, sink=None, clock: Callable[[], float] = time.perf_counter
+    ) -> None:
+        self.sink = MemorySink() if sink is None else sink
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- clock and stack ----------------------------------------------------
+
+    def now(self) -> float:
+        """Monotonic seconds since this tracer was created."""
+        return self._clock() - self._epoch
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> int | None:
+        span = self.current_span
+        return None if span is None else span.span_id
+
+    # -- spans ---------------------------------------------------------------
+
+    def start_span(self, name: str, **attrs) -> Span:
+        """Open a span explicitly (prefer the ``span()`` context manager)."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self.current_span_id,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish_span(self, span: Span) -> None:
+        span.end = self.now()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # out-of-order finish; tolerate it
+            self._stack.remove(span)
+        self.sink.emit(span.to_event())
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """``with tracer.span("golden", workload=...) as span: ...``
+
+        Attributes added to ``span.attrs`` inside the block are included in
+        the emitted event (spans are written when they *finish*).
+        """
+        span = self.start_span(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish_span(span)
+
+    # -- point events --------------------------------------------------------
+
+    def event(self, name: str, **attrs) -> dict | None:
+        """Emit a point event attached to the innermost open span."""
+        event = {
+            "type": "event",
+            "name": name,
+            "ts": self.now(),
+            "parent_id": self.current_span_id,
+            "attrs": attrs,
+        }
+        self.sink.emit(event)
+        return event
+
+    # -- foreign events (parallel workers) ------------------------------------
+
+    def ingest(self, events: Iterable[dict], parent_id: int | None = None) -> None:
+        """Adopt events recorded by a worker-process tracer.
+
+        Worker tracers run on their own clock and id space; this remaps span
+        ids into ours, re-parents root-level entries onto ``parent_id``
+        (default: the current span), and shifts timestamps so the batch ends
+        at our "now" — the earliest faithful placement given that the worker
+        clock's offset from ours is unknowable.
+        """
+        events = [dict(e) for e in events or () if isinstance(e, dict)]
+        if not events:
+            return
+        if parent_id is None:
+            parent_id = self.current_span_id
+        latest = max(
+            (e.get("end") if e.get("end") is not None else e.get("ts", 0.0)) or 0.0
+            for e in events
+        )
+        offset = self.now() - latest
+        mapping: dict[int, int] = {}
+        for event in events:
+            old_id = event.get("span_id")
+            if old_id is not None:
+                mapping[old_id] = self._next_id
+                self._next_id += 1
+        for event in events:
+            if event.get("span_id") in mapping:
+                event["span_id"] = mapping[event["span_id"]]
+            event["parent_id"] = mapping.get(event.get("parent_id"), parent_id)
+            for key in ("start", "end", "ts"):
+                if event.get(key) is not None:
+                    event[key] = event[key] + offset
+            self.sink.emit(event)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+_NULL_CONTEXT = nullcontext()
+
+
+class NullTracer(Tracer):
+    """Tracing disabled: every operation is a no-op.
+
+    ``span()`` yields ``None`` (callers that set attributes must guard), and
+    a single shared instance — :data:`NULL_TRACER` — serves every untraced
+    engine, so disabling tracing costs one attribute check per call site.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sink=NullSink())
+
+    def span(self, name: str, **attrs):
+        return _NULL_CONTEXT
+
+    def start_span(self, name: str, **attrs) -> Span:
+        return Span(name=name, span_id=0, parent_id=None, start=0.0)
+
+    def finish_span(self, span: Span) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def ingest(self, events, parent_id=None) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()

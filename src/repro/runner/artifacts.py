@@ -21,6 +21,8 @@ class RunArtifacts:
     instructions_executed: int = 0
     cycles: int = 0  # simulated GPU time, incl. instrumentation cost
     active_sms: list[int] = field(default_factory=list)
+    warps_launched: int = 0
+    divergence_depth_high_water: int = 0  # deepest SIMT stack seen
 
     @property
     def anomalies(self) -> list[str]:

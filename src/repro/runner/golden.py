@@ -13,10 +13,10 @@ class GoldenError(ReproError):
 
 
 def capture_golden(
-    app: Application, config: SandboxConfig | None = None
+    app: Application, config: SandboxConfig | None = None, tracer=None
 ) -> RunArtifacts:
     """Run the application fault-free and validate the reference artifacts."""
-    golden = run_app(app, preload=None, config=config)
+    golden = run_app(app, preload=None, config=config, tracer=tracer)
     if golden.timed_out:
         raise GoldenError(
             f"golden run of {app.name!r} exhausted its instruction budget; "

@@ -96,49 +96,76 @@ def run_app(
     app: Application,
     preload: list[NVBitTool] | None = None,
     config: SandboxConfig | None = None,
+    tracer=None,  # repro.obs.Tracer | None (kept untyped: obs is optional here)
 ) -> RunArtifacts:
-    """Run ``app`` to completion (or failure) and collect its artifacts."""
+    """Run ``app`` to completion (or failure) and collect its artifacts.
+
+    When a :class:`repro.obs.Tracer` is supplied, the whole run is recorded
+    as one ``run`` span carrying the attached tools and the run's outcome
+    (exit status, instruction/cycle counts, warps launched, ...).
+    """
+    if tracer is None:
+        from repro.obs import NULL_TRACER
+
+        tracer = NULL_TRACER
     config = config or SandboxConfig()
-    device = Device(
-        family=config.family,
-        global_mem_bytes=config.global_mem_bytes,
-        num_sms=config.num_sms,
-        instruction_budget=config.instruction_budget,
-    )
-    interceptor = NVBitRuntime(preload) if preload else None
-    runtime = CudaRuntime(device, interceptor=interceptor)
-    ctx = AppContext(runtime, seed=config.seed, env=config.extra_env)
-    artifacts = RunArtifacts()
-    started = time.perf_counter()
-    try:
-        app.run(ctx)
-        artifacts.exit_status = 0
-    except AppExit as exc:
-        artifacts.exit_status = exc.code
-    except WatchdogTimeout:
-        artifacts.timed_out = True
-        artifacts.exit_status = EXIT_TIMEOUT
-    except DeviceException as exc:
-        # A device fault escaping the driver means the host had no chance to
-        # handle it: treat as a crash of the process.
-        artifacts.crashed = True
-        artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
-        artifacts.exit_status = EXIT_CRASH
-    except (ReproError, ArithmeticError, LookupError, ValueError, TypeError) as exc:
-        artifacts.crashed = True
-        artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
-        artifacts.exit_status = EXIT_CRASH
-    finally:
-        artifacts.wall_time = time.perf_counter() - started
-        if interceptor is not None:
-            interceptor.terminate()
-    artifacts.stdout = ctx.stdout
-    artifacts.files = dict(ctx.files)
-    artifacts.cuda_errors = [
-        f"{code.name}: {detail}" for code, detail in runtime.driver.error_log
-    ]
-    artifacts.dmesg = list(device.dmesg)
-    artifacts.instructions_executed = device.instructions_executed
-    artifacts.cycles = device.cycles
-    artifacts.active_sms = sorted(device.active_sms)
+    with tracer.span(
+        "run",
+        workload=app.name,
+        tools=[tool.name for tool in preload] if preload else [],
+    ) as span:
+        device = Device(
+            family=config.family,
+            global_mem_bytes=config.global_mem_bytes,
+            num_sms=config.num_sms,
+            instruction_budget=config.instruction_budget,
+        )
+        interceptor = NVBitRuntime(preload) if preload else None
+        runtime = CudaRuntime(device, interceptor=interceptor)
+        ctx = AppContext(runtime, seed=config.seed, env=config.extra_env)
+        artifacts = RunArtifacts()
+        started = time.perf_counter()
+        try:
+            app.run(ctx)
+            artifacts.exit_status = 0
+        except AppExit as exc:
+            artifacts.exit_status = exc.code
+        except WatchdogTimeout:
+            artifacts.timed_out = True
+            artifacts.exit_status = EXIT_TIMEOUT
+        except DeviceException as exc:
+            # A device fault escaping the driver means the host had no chance
+            # to handle it: treat as a crash of the process.
+            artifacts.crashed = True
+            artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
+            artifacts.exit_status = EXIT_CRASH
+        except (ReproError, ArithmeticError, LookupError, ValueError, TypeError) as exc:
+            artifacts.crashed = True
+            artifacts.crash_reason = f"{type(exc).__name__}: {exc}"
+            artifacts.exit_status = EXIT_CRASH
+        finally:
+            artifacts.wall_time = time.perf_counter() - started
+            if interceptor is not None:
+                interceptor.terminate()
+        artifacts.stdout = ctx.stdout
+        artifacts.files = dict(ctx.files)
+        artifacts.cuda_errors = [
+            f"{code.name}: {detail}" for code, detail in runtime.driver.error_log
+        ]
+        artifacts.dmesg = list(device.dmesg)
+        artifacts.instructions_executed = device.instructions_executed
+        artifacts.cycles = device.cycles
+        artifacts.active_sms = sorted(device.active_sms)
+        artifacts.warps_launched = device.warps_launched
+        artifacts.divergence_depth_high_water = device.divergence_depth_high_water
+        if span is not None:  # NullTracer yields None
+            span.attrs.update(
+                exit_status=artifacts.exit_status,
+                crashed=artifacts.crashed,
+                timed_out=artifacts.timed_out,
+                instructions=artifacts.instructions_executed,
+                cycles=artifacts.cycles,
+                warps_launched=artifacts.warps_launched,
+                divergence_depth_high_water=artifacts.divergence_depth_high_water,
+            )
     return artifacts

@@ -13,7 +13,6 @@ import numpy as np
 from repro.cuda.errorcodes import CudaError
 from repro.kbuild.builder import KernelBuilder
 from repro.runner.app import AppContext
-from repro.workloads import kernels as kf
 from repro.workloads.base import WorkloadApp, ceil_div
 
 _PARTICLES = 96

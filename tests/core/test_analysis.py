@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.analysis import (
-    AvfEstimate,
     estimate_avf,
     format_avf_report,
     per_group_breakdown,

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.bitflip import BitFlipModel
 from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.groups import InstructionGroup
 from repro.core.outcomes import Outcome
 from repro.core.params import IntermittentParams, PermanentParams
 from repro.runner.golden import GoldenError

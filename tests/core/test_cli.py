@@ -1,5 +1,7 @@
 """CLI tests (`python -m repro ...`)."""
 
+import json
+
 import pytest
 
 from repro.core.cli import main
@@ -53,6 +55,101 @@ class TestInject:
         out = capsys.readouterr().out
         assert "injected" in out
         assert code in (0, 1)
+
+
+class TestInjectSandboxFlags:
+    def _params_file(self, tmp_path):
+        params = TransientParams(
+            group=8, model=1, kernel_name="ilbdc_lattice", kernel_count=0,
+            instruction_count=100, dest_reg_selector=0.3, bit_pattern_value=0.6,
+        )
+        path = tmp_path / "params.txt"
+        path.write_text(params.to_text())
+        return str(path)
+
+    def test_inject_accepts_sandbox_flags(self, tmp_path, capsys):
+        code = main([
+            "inject", "360.ilbdc", self._params_file(tmp_path),
+            "--family", "volta", "--num-sms", "4", "--env", "DEBUG=1",
+        ])
+        assert code in (0, 1)
+        assert "injected" in capsys.readouterr().out
+
+    def test_inject_matches_api_result(self, tmp_path, capsys):
+        """The CLI routes through repro.api.inject: same record, same outcome."""
+        from repro import api
+
+        params_path = self._params_file(tmp_path)
+        code = main(["inject", "360.ilbdc", params_path])
+        out = capsys.readouterr().out
+
+        params = TransientParams.from_text(
+            (tmp_path / "params.txt").read_text()
+        )
+        expected = api.inject("360.ilbdc", params)
+        assert expected.record.describe() in out
+        assert expected.outcome.label() in out
+        assert code == (0 if expected.masked else 1)
+
+    def test_bad_env_flag_rejected(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="KEY=VALUE"):
+            main([
+                "inject", "360.ilbdc", self._params_file(tmp_path),
+                "--env", "NOEQUALS",
+            ])
+
+
+class TestObservabilityFlags:
+    def test_campaign_trace_and_metrics_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "campaign", "360.ilbdc", "--injections", "3", "--seed", "2",
+            "--trace", str(trace_path), "--metrics", "json", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["injections"] == 3
+        assert doc["metrics"]["counters"]["engine.injections.done"] == 3
+
+        from repro.core.report import phase_breakdown, tally_from_trace
+
+        durations = phase_breakdown(str(trace_path))
+        assert {"golden", "profile", "select", "inject"} <= set(durations)
+        tally = tally_from_trace(str(trace_path))
+        assert tally.total == 3
+        assert tally.fractions() == doc["fractions"]
+
+    def test_campaign_metrics_text(self, capsys):
+        assert main([
+            "campaign", "360.ilbdc", "--injections", "2", "--seed", "2",
+            "--metrics", "text",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine.injections.done 2" in out
+
+    def test_trace_subcommand_renders_breakdown(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        main([
+            "campaign", "360.ilbdc", "--injections", "2", "--seed", "2",
+            "--trace", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "inject" in out
+        assert "2 injection event(s)" in out
+
+    def test_select_format_json(self, capsys):
+        assert main([
+            "select", "360.ilbdc", "--count", "2", "--seed", "9",
+            "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc) == 2
+        for site in doc:
+            TransientParams(**site)  # must reconstruct
 
 
 class TestCampaignCommand:

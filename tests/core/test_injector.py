@@ -267,3 +267,48 @@ class TestSelectiveInstrumentation:
         # Hooks fired only during the single 'chain' launch: 5 GP
         # instructions, one call per warp-instruction = 5 calls.
         assert len(calls) == 5
+
+
+class TestInjectionRecordParsing:
+    def _record(self):
+        from repro.core.injector import InjectionRecord
+
+        return InjectionRecord(
+            injected=True, kernel_name="k", pc=7, opcode="FFMA", sm_id=2,
+            ctaid=(1, 0, 0), thread_idx=(3, 0, 0), lane=3, dest_kind="reg",
+            dest_index=10, value_before=1, value_after=5, mask=4,
+            num_regs_corrupted=1,
+        )
+
+    def test_roundtrip(self):
+        from repro.core.injector import InjectionRecord
+
+        record = self._record()
+        assert InjectionRecord.from_text(record.to_text()) == record
+
+    def test_malformed_int_blames_its_line(self):
+        from repro.core.injector import InjectionRecord
+        from repro.errors import ReproError
+
+        text = self._record().to_text().replace("pc=7", "pc=seven")
+        lineno = next(
+            i for i, line in enumerate(text.splitlines(), start=1)
+            if line.startswith("pc=")
+        )
+        with pytest.raises(ReproError, match=f"line {lineno}.*pc='seven'"):
+            InjectionRecord.from_text(text)
+
+    def test_malformed_dim3_blames_its_line(self):
+        from repro.core.injector import InjectionRecord
+        from repro.errors import ReproError
+
+        text = self._record().to_text().replace("ctaid=1,0,0", "ctaid=1,0")
+        with pytest.raises(ReproError, match="ctaid='1,0'.*expected 3"):
+            InjectionRecord.from_text(text)
+
+    def test_legacy_describe_only_text_still_parses(self):
+        from repro.core.injector import InjectionRecord
+
+        record = InjectionRecord.from_text("injected FFMA pc=4 ...")
+        assert record.injected
+        assert not InjectionRecord.from_text("no injection performed").injected

@@ -6,7 +6,6 @@ high 32-bit halves.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup

@@ -1,6 +1,5 @@
 """Outcome-classification tests: the full Table V matrix."""
 
-import pytest
 
 from repro.core.outcomes import Outcome, classify
 from repro.runner.app import Application

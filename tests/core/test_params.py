@@ -46,6 +46,23 @@ class TestTransientParams:
         with pytest.raises(ParamError, match="7 lines"):
             TransientParams.from_text("1\n2\n3\n")
 
+    def test_malformed_value_blames_its_line(self):
+        # line 5 (instruction count) carries a non-integer
+        text = "\n".join(["8", "1", "kern", "0", "fifty", "0.1", "0.2"])
+        with pytest.raises(ParamError, match="line 5.*instruction count.*fifty"):
+            TransientParams.from_text(text)
+
+    def test_line_numbers_skip_comments_and_blanks(self):
+        # comments/blanks shift the bad kernel count to physical line 6
+        text = "# header\n8\n\n1 # model\nkern\nbad\n5\n0.1\n0.2"
+        with pytest.raises(ParamError, match="line 6.*kernel count.*'bad'"):
+            TransientParams.from_text(text)
+
+    def test_malformed_enum_blames_line_one(self):
+        text = "\n".join(["banana", "1", "kern", "0", "5", "0.1", "0.2"])
+        with pytest.raises(ParamError, match="line 1.*arch state id"):
+            TransientParams.from_text(text)
+
     def test_nodest_group_rejected(self):
         with pytest.raises(ParamError, match="no destination"):
             _transient(group=InstructionGroup.G_NODEST)
@@ -69,6 +86,10 @@ class TestPermanentParams:
 
     def test_hex_mask_in_text(self):
         assert "0x00000040" in PermanentParams(0, 0, 0x40, 0).to_text()
+
+    def test_malformed_mask_blames_its_line(self):
+        with pytest.raises(ParamError, match="line 3.*XOR bit mask.*'0xZZ'"):
+            PermanentParams.from_text("0\n0\n0xZZ\n1\n")
 
     @pytest.mark.parametrize("kwargs", [
         dict(sm_id=-1, lane_id=0, bit_mask=1, opcode_id=0),

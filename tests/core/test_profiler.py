@@ -1,6 +1,5 @@
 """Profiler tests: exact vs approximate modes, predication exclusion."""
 
-import numpy as np
 
 from repro.core.profiler import ProfilerTool, ProfilingMode
 from repro.runner.app import AppContext, Application

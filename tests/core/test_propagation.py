@@ -1,7 +1,6 @@
 """Error-propagation tracking tests."""
 
 import numpy as np
-import pytest
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup

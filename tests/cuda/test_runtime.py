@@ -7,7 +7,6 @@ from repro.cuda.errorcodes import CudaError
 from repro.cuda.module_loader import LibraryRegistry
 from repro.cuda.runtime import CudaRuntime
 from repro.gpusim import Device
-from repro.utils.bits import f32_to_bits
 
 _SAXPY = """
 .kernel saxpy

@@ -1,6 +1,5 @@
 """Simulated-time model tests: the cycle accounting behind Figures 4/5."""
 
-import numpy as np
 
 from repro.cuda.driver import CudaEvent
 from repro.cuda.runtime import CudaRuntime

@@ -6,7 +6,6 @@ behave identically across the simulated Kepler..Ampere families (modulo SM
 counts, which change block placement but not single-block programs).
 """
 
-import pytest
 
 from repro.arch.families import ARCH_FAMILIES
 from repro.core.bitflip import BitFlipModel

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the full Figure 1 pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.campaign import Campaign, CampaignConfig

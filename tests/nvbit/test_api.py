@@ -1,7 +1,6 @@
 """NVBit runtime tests: inspection, insertion, selective enable, JIT cache."""
 
 import numpy as np
-import pytest
 
 from repro.cuda.driver import CudaEvent
 from repro.cuda.runtime import CudaRuntime

@@ -1,0 +1,112 @@
+"""Metrics-registry tests: counters, gauges, histogram bucketing, renderers."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("runs")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_set_max_keeps_high_water(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        gauge.set_max(7)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative_upper_bound(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 99.0, 1000.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"1.0": 2, "10.0": 3, "100.0": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(1105.5)
+
+    def test_value_on_bucket_boundary_counts_into_that_bucket(self):
+        hist = Histogram("h", buckets=(10.0,))
+        hist.observe(10.0)
+        assert hist.snapshot()["buckets"]["10.0"] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_seconds_scale(self):
+        hist = MetricsRegistry().histogram("seconds")
+        assert tuple(hist.buckets) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_name_collision_across_kinds_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_counter_values_strips_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.phase.golden.seconds").inc(1.5)
+        reg.counter("engine.phase.inject.seconds").inc(2.5)
+        reg.counter("other").inc()
+        values = reg.counter_values("engine.phase.")
+        assert values == {"golden.seconds": 1.5, "inject.seconds": 2.5}
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_json_is_valid_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        doc = json.loads(reg.render_json())
+        assert doc["counters"]["c"] == 1.0
+
+    def test_render_text_is_prometheus_style(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = reg.render_text()
+        assert "runs 3\n" in text
+        assert "depth 2\n" in text
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text

@@ -1,0 +1,191 @@
+"""Tracer tests: span nesting, JSONL round-trip, cross-process ingestion."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    Tracer,
+    load_jsonl,
+    load_trace,
+    phase_durations,
+    spans,
+)
+
+
+class TestSpans:
+    def test_span_records_name_and_duration(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("work", tag="x"):
+            pass
+        [event] = sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "work"
+        assert event["attrs"] == {"tag": "x"}
+        assert event["end"] >= event["start"]
+        assert event["duration"] == pytest.approx(event["end"] - event["start"])
+
+    def test_nesting_sets_parent_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {e["name"]: e for e in sink.events}
+        outer = by_name["outer"]
+        assert outer["parent_id"] is None
+        assert by_name["inner"]["parent_id"] == outer["span_id"]
+        assert by_name["sibling"]["parent_id"] == outer["span_id"]
+        # children finish (and are emitted) before their parent
+        names = [e["name"] for e in sink.events]
+        assert names.index("inner") < names.index("outer")
+
+    def test_timestamps_are_monotonic_from_tracer_epoch(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = sink.events
+        assert 0 <= a["start"] <= a["end"] <= b["start"] <= b["end"]
+
+    def test_events_attach_to_innermost_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("ping", n=1)
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["ping"]["type"] == "event"
+        assert by_name["ping"]["parent_id"] == by_name["inner"]["span_id"]
+        assert by_name["ping"]["attrs"] == {"n": 1}
+
+    def test_exception_still_finishes_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [e["name"] for e in sink.events] == ["doomed"]
+        assert tracer.current_span is None
+
+
+class TestJsonlRoundTrip:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        with tracer.span("phase", k=2):
+            tracer.event("hit", index=0)
+        tracer.close()
+        events = load_jsonl(path)
+        assert [e["type"] for e in events] == ["event", "span"]
+        # every line is standalone JSON
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_load_trace_accepts_path_and_list(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(sink=JsonlSink(path))
+        with tracer.span("golden"):
+            pass
+        tracer.close()
+        from_path = load_trace(path)
+        assert load_trace(from_path) == from_path
+        assert phase_durations(from_path)["golden"] > 0
+
+
+class TestIngest:
+    def _worker_events(self, n=1):
+        """Simulate a worker producing a buffered trace."""
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        for _ in range(n):
+            with tracer.span("run"):
+                tracer.event("tick")
+        return sink.events
+
+    def test_ingest_remaps_ids_and_reparents(self):
+        sink = MemorySink()
+        parent = Tracer(sink=sink)
+        with parent.span("inject"):
+            parent_id = parent.current_span_id
+            parent.ingest(self._worker_events())
+        by_name = {e["name"]: e for e in sink.events}
+        run = by_name["run"]
+        inject = by_name["inject"]
+        assert run["parent_id"] == parent_id == inject["span_id"]
+        assert by_name["tick"]["parent_id"] == run["span_id"]
+        assert run["span_id"] != inject["span_id"]
+
+    def test_ingest_keeps_ids_unique_across_batches(self):
+        sink = MemorySink()
+        parent = Tracer(sink=sink)
+        with parent.span("inject"):
+            parent.ingest(self._worker_events())
+            parent.ingest(self._worker_events())
+        span_ids = [e["span_id"] for e in sink.events if e["type"] == "span"]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_ingested_timestamps_fit_the_parent_timeline(self):
+        sink = MemorySink()
+        parent = Tracer(sink=sink)
+        with parent.span("inject"):
+            parent.ingest(self._worker_events())
+        by_name = {e["name"]: e for e in sink.events}
+        assert by_name["run"]["end"] <= by_name["inject"]["end"]
+        assert by_name["run"]["start"] >= 0
+
+    def test_ingest_empty_is_noop(self):
+        sink = MemorySink()
+        parent = Tracer(sink=sink)
+        parent.ingest([])
+        assert sink.events == []
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", x=1) as span:
+            NULL_TRACER.event("ignored")
+        assert span is None
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_is_reusable_and_nestable(self):
+        tracer = NullTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+
+
+class TestSpanHelpers:
+    def test_spans_filters_by_name(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("golden"):
+            pass
+        with tracer.span("inject"):
+            tracer.event("injection")
+        assert [s["name"] for s in spans(sink.events)] == ["golden", "inject"]
+        assert len(spans(sink.events, "inject")) == 1
+
+    def test_phase_durations_sums_repeated_spans(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        for _ in range(3):
+            with tracer.span("inject"):
+                pass
+        durations = phase_durations(sink.events)
+        assert set(durations) == {"inject"}
+        total = sum(s["duration"] for s in spans(sink.events, "inject"))
+        assert durations["inject"] == pytest.approx(total)

@@ -1,6 +1,6 @@
 """Property tests: bit helpers and Table II mask invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.bitflip import BitFlipModel, apply_mask, compute_mask

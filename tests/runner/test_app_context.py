@@ -1,6 +1,5 @@
 """AppContext (process environment) behaviour tests."""
 
-import numpy as np
 import pytest
 
 from repro.cuda.runtime import CudaRuntime

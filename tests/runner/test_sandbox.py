@@ -1,6 +1,5 @@
 """Sandbox tests: artifact capture for every Table V signal."""
 
-import numpy as np
 import pytest
 
 from repro.runner.app import AppContext, Application

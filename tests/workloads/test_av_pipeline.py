@@ -5,7 +5,6 @@ runtime-loaded libraries the host program was never compiled against, yet
 NVBitFI profiles and injects into them transparently.
 """
 
-import pytest
 
 from repro.core.bitflip import BitFlipModel
 from repro.core.campaign import Campaign, CampaignConfig

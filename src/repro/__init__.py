@@ -43,6 +43,7 @@ from repro.core import (
     ProfilerTool,
     ProfilingMode,
     ProgramProfile,
+    RetryPolicy,
     TransientInjectorTool,
     TransientParams,
     classify,
@@ -79,6 +80,7 @@ __all__ = [
     "FaultDictionary",
     "Outcome",
     "classify",
+    "RetryPolicy",
     "Device",
     "CudaRuntime",
     "NVBitRuntime",

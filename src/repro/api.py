@@ -51,6 +51,7 @@ from repro.core.outcomes import OutcomeRecord, classify
 from repro.core.params import IntermittentParams, PermanentParams, TransientParams
 from repro.core.profile_data import ProgramProfile
 from repro.core.profiler import ProfilingMode
+from repro.core.resilience import RetryPolicy
 from repro.core.site_selection import select_transient_sites
 from repro.errors import ReproError
 from repro.obs import MetricsRegistry, Tracer
@@ -159,6 +160,7 @@ def run_campaign(
     hooks: EngineHooks | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    retry: RetryPolicy | None = None,
     kind: str = "transient",
 ) -> TransientCampaignResult | PermanentCampaignResult:
     """Run (or resume) a full campaign described by ``config``.
@@ -168,12 +170,20 @@ def run_campaign(
     :class:`~repro.core.store.CampaignStore` for checkpoint/resume, and a
     :class:`~repro.obs.Tracer` / :class:`~repro.obs.MetricsRegistry` for
     observability.
+
+    ``retry`` overrides ``config.retry``: the
+    :class:`~repro.core.resilience.RetryPolicy` deciding how injection
+    tasks whose worker raises, dies or hangs are re-attempted, and whether
+    exhausted tasks are quarantined as synthesized DUE outcomes (the
+    default) or abort the campaign (``on_failure="raise"``).
     """
     if not config.workload:
         raise ReproError(
             "run_campaign needs CampaignConfig.workload to name a "
             "registered workload"
         )
+    if retry is not None:
+        config = replace(config, retry=retry)
     engine = CampaignEngine(
         config.workload,
         config,

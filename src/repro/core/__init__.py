@@ -35,6 +35,13 @@ from repro.core.propagation import (
     compare_traces,
     trace_propagation,
 )
+from repro.core.resilience import (
+    HARNESS_FAILURE_SYMPTOM,
+    CampaignInterrupted,
+    RetryPolicy,
+    TaskFailure,
+    quarantine_outcome,
+)
 from repro.core.store import CampaignStore, run_resumable_campaign
 from repro.core.thread_target import ThreadTarget, ThreadTargetedInjectorTool
 from repro.core.outcomes import Outcome, OutcomeRecord, classify
@@ -89,6 +96,11 @@ __all__ = [
     "TransientResult",
     "PermanentCampaignResult",
     "PermanentResult",
+    "RetryPolicy",
+    "TaskFailure",
+    "CampaignInterrupted",
+    "HARNESS_FAILURE_SYMPTOM",
+    "quarantine_outcome",
     "CampaignStore",
     "run_resumable_campaign",
     "run_transient_parallel",

@@ -30,6 +30,7 @@ from repro.core.params import IntermittentParams, PermanentParams, TransientPara
 from repro.core.profile_data import ProgramProfile
 from repro.core.profiler import ProfilingMode
 from repro.core.report import OutcomeTally
+from repro.core.resilience import RetryPolicy
 from repro.runner.app import Application
 from repro.runner.artifacts import RunArtifacts
 from repro.runner.sandbox import SandboxConfig
@@ -42,6 +43,11 @@ class CampaignConfig:
     ``workload`` names the registered application to run; it is optional for
     the legacy entry points (which take the application separately) but
     required by :func:`repro.api.run_campaign`.
+
+    ``retry`` governs harness resilience: how often a misbehaving injection
+    task (worker raised, died or hung) is re-attempted, and whether
+    exhausted tasks are quarantined as synthesized DUEs or abort the
+    campaign.  See :class:`~repro.core.resilience.RetryPolicy`.
     """
 
     group: InstructionGroup = InstructionGroup.G_GP
@@ -52,6 +58,7 @@ class CampaignConfig:
     hang_budget_factor: int = 10
     sandbox: SandboxConfig = field(default_factory=SandboxConfig)
     workload: str | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass

@@ -83,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--progress", action="store_true",
                           help="print per-injection progress")
     campaign.add_argument("--format", choices=["text", "json"], default="text")
+    campaign.add_argument("--max-attempts", type=int, default=3,
+                          help="attempts per injection task before it is "
+                               "quarantined (1 = no retries)")
+    campaign.add_argument("--task-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="parent-side wall-clock deadline per task "
+                               "(parallel executor); hung workers are killed "
+                               "and the task retried or quarantined")
+    campaign.add_argument("--on-failure", choices=["quarantine", "raise"],
+                          default="quarantine",
+                          help="after the final failed attempt: synthesize a "
+                               "DUE and continue (quarantine) or abort (raise)")
 
     trace = sub.add_parser(
         "trace", help="summarise a campaign trace file (per-phase times)"
@@ -265,6 +277,7 @@ def _main(argv: list[str] | None = None) -> int:
     if args.command == "campaign":
         from repro import api
         from repro.core.engine import EngineHooks, ParallelExecutor
+        from repro.core.resilience import RetryPolicy
         from repro.core.store import CampaignStore
 
         config = CampaignConfig(
@@ -275,6 +288,12 @@ def _main(argv: list[str] | None = None) -> int:
             model=BitFlipModel(args.model),
             profiling=ProfilingMode(args.profiling),
             sandbox=_sandbox_config(args),
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                task_timeout=args.task_timeout,
+                on_failure=args.on_failure,
+                seed=args.seed,
+            ),
         )
 
         class _Progress(EngineHooks):
@@ -284,27 +303,43 @@ def _main(argv: list[str] | None = None) -> int:
 
         tracer = _make_tracer(args)
         registry = MetricsRegistry()
-        result = api.run_campaign(
-            config,
-            executor=(
-                ParallelExecutor(max_workers=args.workers, chunksize=args.chunksize)
-                if args.workers
-                else None
-            ),
-            store=CampaignStore(args.store) if args.store else None,
-            hooks=_Progress() if args.progress else None,
-            tracer=tracer,
-            metrics=registry,
-        )
-        permanent = None
-        if args.permanent:
-            permanent = api.run_campaign(
+        try:
+            result = api.run_campaign(
                 config,
+                executor=(
+                    ParallelExecutor(max_workers=args.workers, chunksize=args.chunksize)
+                    if args.workers
+                    else None
+                ),
                 store=CampaignStore(args.store) if args.store else None,
+                hooks=_Progress() if args.progress else None,
                 tracer=tracer,
                 metrics=registry,
-                kind="permanent",
             )
+            permanent = None
+            if args.permanent:
+                permanent = api.run_campaign(
+                    config,
+                    store=CampaignStore(args.store) if args.store else None,
+                    tracer=tracer,
+                    metrics=registry,
+                    kind="permanent",
+                )
+        except KeyboardInterrupt:
+            # Completed injections are already checkpointed (and, with
+            # --store, a partial results.csv written); exit like `timeout`-
+            # style tooling does on SIGINT.
+            if args.store:
+                print(
+                    f"interrupted; completed injections checkpointed under "
+                    f"{args.store} (rerun the same command to resume)",
+                    file=sys.stderr,
+                )
+            else:
+                print("interrupted; rerun with --store to make campaigns "
+                      "resumable", file=sys.stderr)
+            _finish_obs(args, tracer, registry)
+            return 130
         if args.format == "json":
             doc = {
                 "workload": app.name,

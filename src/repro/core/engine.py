@@ -31,7 +31,13 @@ Orthogonal knobs plug into the engine:
   phase seconds, outcome counters, per-run instruction histograms and the
   GPU simulator's cheap counters (instructions retired, warps launched,
   divergence-stack high-water).  :class:`EngineMetrics` remains as a thin
-  compatibility view over the registry.
+  compatibility view over the registry;
+* a **retry policy** — a :class:`~repro.core.resilience.RetryPolicy`
+  (``CampaignConfig.retry``); a task whose worker raises, dies or hangs is
+  retried with deterministic backoff and, once attempts are exhausted,
+  *quarantined* as a synthesized Table V DUE ("Monitor detection") instead
+  of aborting the campaign — K misbehaving tasks out of N still produce N
+  results, in every executor.
 
 Prefer the stable facade in :mod:`repro.api` for programmatic use.
 """
@@ -39,7 +45,9 @@ Prefer the stable facade in :mod:`repro.api` for programmatic use.
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.arch.families import arch_by_name
@@ -58,6 +66,13 @@ from repro.core.pf_injector import IntermittentInjectorTool, PermanentInjectorTo
 from repro.core.profile_data import ProgramProfile
 from repro.core.profiler import ProfilerTool, ProfilingMode
 from repro.core.report import OutcomeTally
+from repro.core.resilience import (
+    CampaignInterrupted,
+    RetryPolicy,
+    TaskFailure,
+    format_error,
+    quarantine_outcome,
+)
 from repro.core.site_selection import select_permanent_sites, select_transient_sites
 from repro.errors import ReproError
 from repro.obs import (
@@ -161,18 +176,90 @@ def _execute_chunk(tasks: list[InjectionTask]) -> list[InjectionOutput]:
 
 # -- executors ----------------------------------------------------------------
 
+# What executors yield: a completed injection, or a task that exhausted its
+# retry budget (the engine quarantines or raises, per the policy).
+ExecutorItem = "InjectionOutput | TaskFailure"
+
+# A retry notification: (failure so far, backoff seconds before the re-run).
+OnRetry = Callable[[TaskFailure, float], None]
+
+
+def _noop_retry(failure: TaskFailure, delay: float) -> None:
+    return None
+
 
 class SerialExecutor:
-    """Runs injections one after another in the calling process."""
+    """Runs injections one after another in the calling process.
+
+    Failures follow the same retry/quarantine path as the parallel
+    executor: a task that raises is re-attempted under the
+    :class:`~repro.core.resilience.RetryPolicy` and yielded as a
+    :class:`~repro.core.resilience.TaskFailure` once attempts are
+    exhausted.  (``task_timeout`` cannot preempt an in-process run; the
+    in-sim instruction budget is the hang detector here.)
+    """
+
+    def __init__(self, retry: RetryPolicy | None = None) -> None:
+        self.retry = retry
 
     def run(
         self,
         tasks: Sequence[InjectionTask],
         app: Application | None = None,
         tracer: Tracer | None = None,
-    ) -> Iterator[InjectionOutput]:
+        retry: RetryPolicy | None = None,
+        on_retry: OnRetry | None = None,
+    ) -> Iterator[InjectionOutput | TaskFailure]:
+        policy = self.retry if self.retry is not None else (retry or RetryPolicy())
+        notify = on_retry or _noop_retry
         for task in tasks:
-            yield execute_task(task, app, tracer=tracer)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    output = execute_task(task, app, tracer=tracer)
+                except Exception as exc:
+                    failure = TaskFailure(task.index, attempt, format_error(exc))
+                    if policy.should_retry(attempt):
+                        delay = policy.delay(attempt, key=task.index)
+                        notify(failure, delay)
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    yield failure
+                    break
+                else:
+                    yield output
+                    break
+
+
+class _Flight:
+    """One chunk in the air: which chunk, its deadline, and whether it flew
+    alone (solo flights give exact blame when the pool breaks)."""
+
+    __slots__ = ("chunk_id", "deadline", "solo")
+
+    def __init__(self, chunk_id: int, deadline: float | None, solo: bool) -> None:
+        self.chunk_id = chunk_id
+        self.deadline = deadline
+        self.solo = solo
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers (hung-task recovery).
+
+    ``ProcessPoolExecutor`` has no public kill switch — ``shutdown`` waits
+    for running tasks, which is exactly what a hung worker never finishes.
+    Killing the processes flips the pool into its broken state, failing
+    every in-flight future with ``BrokenProcessPool``, which the run loop
+    then classifies via its deadline bookkeeping.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # racing a worker that already exited
+            pass
 
 
 class ParallelExecutor:
@@ -183,20 +270,48 @@ class ParallelExecutor:
     so ``chunksize=1`` (the default) checkpoints every single injection.
     Workers buffer their trace events and ship them back inside each
     :class:`InjectionOutput` (the ``tracer`` argument is parent-side only).
+
+    Failure handling (the campaign-monitor role of the paper's scripts):
+
+    * a chunk whose worker **raises** fails only itself; it is retried with
+      deterministic backoff and yielded as
+      :class:`~repro.core.resilience.TaskFailure` records once the
+      :class:`~repro.core.resilience.RetryPolicy` is exhausted;
+    * a worker **death** breaks the whole pool (every in-flight future gets
+      ``BrokenProcessPool``); the pool is respawned and the victims are
+      re-flown *one at a time*, so blame lands exactly on the chunk that
+      kills its worker — innocent co-flights are re-run without being
+      charged an attempt;
+    * a chunk that exceeds the policy's parent-side **wall-clock deadline**
+      (``task_timeout`` seconds per task) has its workers killed and is
+      charged a ``"timeout"`` failure — the process-level complement of the
+      in-sim instruction budget.  The charge lands only once the chunk has
+      hung *solo*: a chunk merely queued behind a stalled neighbour shares
+      its wall-clock and is re-flown alone, uncharged.
     """
 
-    def __init__(self, max_workers: int | None = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunksize: int = 1,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.retry = retry
 
     def run(
         self,
         tasks: Sequence[InjectionTask],
         app: Application | None = None,
         tracer: Tracer | None = None,
-    ) -> Iterator[InjectionOutput]:
+        retry: RetryPolicy | None = None,
+        on_retry: OnRetry | None = None,
+    ) -> Iterator[InjectionOutput | TaskFailure]:
+        policy = self.retry if self.retry is not None else (retry or RetryPolicy())
+        notify = on_retry or _noop_retry
         tasks = list(tasks)
         if not tasks:
             return
@@ -210,12 +325,156 @@ class ParallelExecutor:
             tasks[start : start + self.chunksize]
             for start in range(0, len(tasks), self.chunksize)
         ]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            pending = {pool.submit(_execute_chunk, chunk) for chunk in chunks}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+
+        queue: deque[int] = deque(range(len(chunks)))  # awaiting first/clean flight
+        suspects: deque[int] = deque()  # re-flown solo after a pool break
+        delayed: list[tuple[float, int]] = []  # (ready time, chunk) backoff retries
+        failures: dict[int, int] = {cid: 0 for cid in range(len(chunks))}
+        expired: set[int] = set()  # chunks whose deadline we killed the pool for
+        flights: dict = {}  # Future -> _Flight
+        respawns = 0
+        # A poison chunk costs at most ~2 respawns per attempt (one mass
+        # break + one solo break); anything past this bound is a harness bug.
+        respawn_cap = 2 * policy.max_attempts * len(chunks) + 4
+
+        def deadline_for(cid: int) -> float | None:
+            if not policy.task_timeout:
+                return None
+            return time.monotonic() + policy.task_timeout * len(chunks[cid])
+
+        def charge(cid: int, reason: str, error: str) -> Iterator[TaskFailure]:
+            """Count one failed attempt; schedule a retry or yield failures."""
+            failures[cid] += 1
+            attempt = failures[cid]
+            if policy.should_retry(attempt):
+                delay = policy.delay(attempt, key=chunks[cid][0].index)
+                for task in chunks[cid]:
+                    notify(TaskFailure(task.index, attempt, error, reason), delay)
+                delayed.append((time.monotonic() + delay, cid))
+            else:
+                for task in chunks[cid]:
+                    yield TaskFailure(task.index, attempt, error, reason)
+
+        def respawn_pool() -> ProcessPoolExecutor:
+            nonlocal respawns
+            respawns += 1
+            if respawns > respawn_cap:
+                raise ReproError(
+                    f"worker pool broke {respawns} times; giving up "
+                    "(harness failure, not a target failure)"
+                )
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+
+        def settle_broken_pool(extra_victim: int | None = None) -> Iterator[TaskFailure]:
+            """The pool died: blame what can be blamed, re-fly the rest solo."""
+            victims = sorted(flights.values(), key=lambda f: f.chunk_id)
+            flights.clear()
+            if extra_victim is not None:
+                queue.appendleft(extra_victim)
+            for flight in victims:
+                cid = flight.chunk_id
+                if flight.solo and cid in expired:
+                    expired.discard(cid)
+                    yield from charge(
+                        cid,
+                        "timeout",
+                        "worker exceeded the wall-clock deadline "
+                        f"({policy.task_timeout}s per task)",
+                    )
+                elif flight.solo:
+                    # Flying alone: this chunk killed its worker, full stop.
+                    yield from charge(
+                        cid, "worker-death",
+                        "worker process died before finishing (broken pool)",
+                    )
+                else:
+                    # A shared flight proves nothing — a chunk queued behind
+                    # a hung or dying neighbour shares its wall-clock.  Only
+                    # a *solo* expiry or death is charged; everyone else is
+                    # re-flown alone, uncharged.
+                    expired.discard(cid)
+                    suspects.append(cid)
+
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
+            while queue or suspects or delayed or flights:
+                now = time.monotonic()
+                if delayed:
+                    due = [entry for entry in delayed if entry[0] <= now]
+                    for entry in due:
+                        delayed.remove(entry)
+                        queue.append(entry[1])
+                # Submission: while suspects exist, fly exactly one chunk at
+                # a time (exact blame); otherwise fan the queue out.
+                broken_on_submit: int | None = None
+                try:
+                    if suspects:
+                        if not flights:
+                            cid = suspects.popleft()
+                            flights[pool.submit(_execute_chunk, chunks[cid])] = (
+                                _Flight(cid, deadline_for(cid), solo=True)
+                            )
+                    elif queue:
+                        while queue:
+                            cid = queue.popleft()
+                            flights[pool.submit(_execute_chunk, chunks[cid])] = (
+                                _Flight(cid, deadline_for(cid), solo=False)
+                            )
+                except BrokenProcessPool:
+                    broken_on_submit = cid
+                if broken_on_submit is not None:
+                    yield from settle_broken_pool(extra_victim=broken_on_submit)
+                    pool = respawn_pool()
+                    continue
+                if not flights:
+                    if delayed:  # everything left is backing off; sleep it out
+                        time.sleep(
+                            max(0.0, min(r for r, _ in delayed) - time.monotonic())
+                        )
+                    continue
+                timeout = None
+                wakeups = [f.deadline for f in flights.values() if f.deadline]
+                wakeups += [ready for ready, _ in delayed]
+                if wakeups:
+                    timeout = max(0.01, min(wakeups) - time.monotonic())
+                done, _ = wait(
+                    list(flights), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken = False
                 for future in done:
-                    yield from future.result()
+                    flight = flights.pop(future)
+                    try:
+                        outputs = future.result()
+                    except BrokenProcessPool:
+                        flights[future] = flight  # hand back for settlement
+                        broken = True
+                        # Keep draining ``done``: a sibling that *completed*
+                        # in the same batch must be yielded, not re-flown.
+                        continue
+                    except Exception as exc:  # the chunk raised in its worker
+                        yield from charge(
+                            flight.chunk_id, "exception", format_error(exc)
+                        )
+                    else:
+                        expired.discard(flight.chunk_id)
+                        yield from outputs
+                if broken:
+                    yield from settle_broken_pool()
+                    pool = respawn_pool()
+                    continue
+                # Watchdog: kill the pool under chunks that blew their
+                # wall-clock deadline; the break is settled next iteration.
+                now = time.monotonic()
+                hung = [
+                    f for f in flights.values() if f.deadline and f.deadline <= now
+                ]
+                if hung:
+                    for flight in hung:
+                        expired.add(flight.chunk_id)
+                    _kill_pool_processes(pool)
+        finally:
+            # Never block on a wedged worker during unwind (SIGINT included).
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 Executor = SerialExecutor | ParallelExecutor
@@ -254,6 +513,8 @@ class EngineMetrics:
     _DONE = "engine.injections.done"
     _LOADED = "engine.injections.loaded"
     _TOTAL = "engine.injections.total"
+    _RETRIES = "engine.retries"
+    _QUARANTINED = "engine.quarantined"
     _INJECT_SECONDS = "engine.inject.seconds"
     _PHASE_PREFIX = "engine.phase."
     _PHASE_SUFFIX = ".seconds"
@@ -307,6 +568,16 @@ class EngineMetrics:
         self.registry.gauge(self._TOTAL).set(value)
 
     @property
+    def retries(self) -> int:
+        """Failed attempts that were re-run under the retry policy."""
+        return int(self.registry.counter(self._RETRIES).value)
+
+    @property
+    def quarantined(self) -> int:
+        """Tasks that exhausted every attempt and became harness DUEs."""
+        return int(self.registry.counter(self._QUARANTINED).value)
+
+    @property
     def inject_seconds(self) -> float:
         return self.registry.gauge(self._INJECT_SECONDS).value
 
@@ -326,11 +597,17 @@ class EngineMetrics:
         phases = "  ".join(
             f"{name}={seconds:.2f}s" for name, seconds in self.phase_seconds.items()
         )
+        resilience = ""
+        if self.retries or self.quarantined:
+            resilience = (
+                f"  retries={self.retries} quarantined={self.quarantined}"
+            )
         return (
             f"{phases}  "
             f"ran={self.injections_done}/{self.injections_total} "
             f"(resumed {self.injections_loaded})  "
             f"{self.injections_per_second:.1f} inj/s"
+            f"{resilience}"
         )
 
 
@@ -465,17 +742,35 @@ class CampaignEngine:
                 instructions=output.artifacts.instructions_executed,
             )
 
-        results = self._inject(
-            sites,
-            kind="transient",
-            loaded=loaded,
-            build=build,
-            save=(
-                (lambda index, item: self.store.save_injection(index, item))
-                if self.store
-                else None
-            ),
-        )
+        def build_failure(failure: TaskFailure) -> TransientResult:
+            # Quarantined runs carry only deterministic fields, so campaigns
+            # containing failures still produce byte-identical results.csv
+            # files across serial, parallel and resumed execution.
+            return TransientResult(
+                params=sites[failure.index],
+                record=InjectionRecord(injected=False),
+                outcome=quarantine_outcome(failure),
+                wall_time=0.0,
+                instructions=0,
+            )
+
+        try:
+            results = self._inject(
+                sites,
+                kind="transient",
+                loaded=loaded,
+                build=build,
+                save=(
+                    (lambda index, item: self.store.save_injection(index, item))
+                    if self.store
+                    else None
+                ),
+                build_failure=build_failure,
+            )
+        except CampaignInterrupted as interrupt:
+            if self.store is not None:
+                self.store.save_partial_results_csv(interrupt.completed)
+            raise KeyboardInterrupt from None
         tally = OutcomeTally()
         for item in results:
             tally.add(item.outcome)
@@ -521,17 +816,34 @@ class CampaignEngine:
                 wall_time=output.artifacts.wall_time,
             )
 
-        results = self._inject(
-            sites,
-            kind="permanent",
-            loaded=loaded,
-            build=build,
-            save=(
-                (lambda index, item: self.store.save_permanent_injection(index, item))
-                if self.store
-                else None
-            ),
-        )
+        def build_failure(failure: TaskFailure) -> PermanentResult:
+            params = sites[failure.index]
+            opcode = opcode_by_id(params.opcode_id).name
+            return PermanentResult(
+                params=params,
+                opcode=opcode,
+                weight=self.profile.opcode_count(opcode) / total_dynamic,
+                activations=0,
+                outcome=quarantine_outcome(failure),
+                wall_time=0.0,
+            )
+
+        try:
+            results = self._inject(
+                sites,
+                kind="permanent",
+                loaded=loaded,
+                build=build,
+                save=(
+                    (lambda index, item: self.store.save_permanent_injection(index, item))
+                    if self.store
+                    else None
+                ),
+                build_failure=build_failure,
+            )
+        except CampaignInterrupted:
+            # Per-injection checkpoints are already on disk; exit cleanly.
+            raise KeyboardInterrupt from None
         tally = OutcomeTally()
         for item in results:
             tally.add(item.outcome, weight=item.weight)
@@ -561,8 +873,24 @@ class CampaignEngine:
                 wall_time=output.artifacts.wall_time,
             )
 
+        def build_failure(failure: TaskFailure) -> PermanentResult:
+            params = sites[failure.index]
+            return PermanentResult(
+                params=params.permanent,
+                opcode=opcode_by_id(params.permanent.opcode_id).name,
+                weight=1.0,
+                activations=0,
+                outcome=quarantine_outcome(failure),
+                wall_time=0.0,
+            )
+
         return self._inject(
-            sites, kind="intermittent", loaded={}, build=build, save=None
+            sites,
+            kind="intermittent",
+            loaded={},
+            build=build,
+            save=None,
+            build_failure=build_failure,
         )
 
     # -- the one injection loop -------------------------------------------------
@@ -574,15 +902,27 @@ class CampaignEngine:
         loaded: dict[int, object],
         build: Callable[[InjectionOutput], object],
         save: Callable[[int, object], None] | None,
+        build_failure: Callable[[TaskFailure], object] | None = None,
     ) -> list:
         """Run every site not already in ``loaded``; return results in site order.
 
         Completed injections are handed to ``save`` the moment they finish
         (chunk-by-chunk under the parallel executor), so an interrupted
         campaign loses at most the in-flight chunk.  Every injection —
-        resumed ones included — emits one ``injection`` trace event, so the
-        events in a trace sum to the campaign's final tally exactly.
+        resumed and quarantined ones included — emits one ``injection``
+        trace event, so the events in a trace sum to the campaign's final
+        tally exactly.
+
+        Tasks the harness could not complete (worker raised, died or hung
+        past every retry) arrive as :class:`TaskFailure` records; per
+        ``config.retry.on_failure`` they either abort the campaign or are
+        *quarantined* — turned into synthesized DUE results by
+        ``build_failure``, persisted like any other result (so a resume
+        skips them) and surfaced via ``injection_quarantined`` events and
+        the ``engine.quarantined`` counter.  ``KeyboardInterrupt`` raises
+        :class:`CampaignInterrupted` carrying everything completed so far.
         """
+        policy = self.config.retry
         spec = self._injection_spec()
         tasks = [
             InjectionTask(index, self.app.name, kind, site, spec)
@@ -593,35 +933,100 @@ class CampaignEngine:
         self.metrics.injections_total = len(sites)
         self.metrics.injections_loaded = len(loaded)
         started = time.perf_counter()
+
+        def on_retry(failure: TaskFailure, delay: float) -> None:
+            self.registry.counter("engine.retries").inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "injection_retry",
+                    index=failure.index,
+                    kind=kind,
+                    attempt=failure.attempts,
+                    reason=failure.reason,
+                    error=failure.error,
+                    delay=delay,
+                )
+
         with self.tracer.span(
             "inject", kind=kind, total=len(sites), fresh=len(tasks)
         ):
             for index in sorted(loaded):
                 item = loaded[index]
-                self.metrics.tally.add(item.outcome)
+                self.metrics.tally.add(
+                    item.outcome, weight=getattr(item, "weight", 1.0)
+                )
                 self._count_outcome(item)
                 self._emit_injection_event(index, item, kind, resumed=True)
-            for output in self.executor.run(tasks, app=self.app, tracer=self.tracer):
-                item = build(output)
-                by_index[output.index] = item
-                if save is not None:
-                    save(output.index, item)
-                self.tracer.ingest(output.events)
-                self._emit_injection_event(output.index, item, kind, output=output)
-                self._count_outcome(item)
-                self._record_run_metrics(output.artifacts, injection=True)
-                self.metrics.injections_done += 1
-                self.metrics.inject_seconds = time.perf_counter() - started
-                self.metrics.tally.add(item.outcome)
-                self.hooks.on_injection(
-                    output.index,
-                    item.outcome,
-                    len(by_index),
-                    len(sites),
-                    self.metrics.tally,
-                )
+            runs = self.executor.run(
+                tasks,
+                app=self.app,
+                tracer=self.tracer,
+                retry=policy,
+                on_retry=on_retry,
+            )
+            try:
+                for output in runs:
+                    if isinstance(output, TaskFailure):
+                        if policy.on_failure == "raise" or build_failure is None:
+                            raise ReproError(
+                                f"injection task {output.index} failed after "
+                                f"{output.attempts} attempt(s) "
+                                f"[{output.reason}]: {output.error}"
+                            )
+                        item = self._quarantine(output, build_failure, kind)
+                    else:
+                        item = build(output)
+                        self.tracer.ingest(output.events)
+                        self._record_run_metrics(output.artifacts, injection=True)
+                    index = output.index
+                    by_index[index] = item
+                    if save is not None:
+                        save(index, item)
+                    self._emit_injection_event(
+                        index,
+                        item,
+                        kind,
+                        output=output if isinstance(output, InjectionOutput) else None,
+                    )
+                    self._count_outcome(item)
+                    self.metrics.injections_done += 1
+                    self.metrics.inject_seconds = time.perf_counter() - started
+                    self.metrics.tally.add(
+                        item.outcome, weight=getattr(item, "weight", 1.0)
+                    )
+                    self.hooks.on_injection(
+                        index,
+                        item.outcome,
+                        len(by_index),
+                        len(sites),
+                        self.metrics.tally,
+                    )
+            except KeyboardInterrupt:
+                # Everything in ``by_index`` is already checkpointed (``save``
+                # runs per completion); hand the partial state to the caller
+                # so it can write a clean partial results.csv and re-raise.
+                raise CampaignInterrupted(by_index, len(sites)) from None
         self._phase("inject", time.perf_counter() - started)
         return [by_index[index] for index in range(len(sites))]
+
+    def _quarantine(
+        self,
+        failure: TaskFailure,
+        build_failure: Callable[[TaskFailure], object],
+        kind: str,
+    ) -> object:
+        """Synthesize the quarantined (harness-DUE) result for a failed task."""
+        self.registry.counter("engine.quarantined").inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "injection_quarantined",
+                index=failure.index,
+                kind=kind,
+                attempts=failure.attempts,
+                reason=failure.reason,
+                error=failure.error,
+            )
+        return build_failure(failure)
 
     def _load_completed(
         self,

@@ -10,6 +10,7 @@ a non-handled system anomaly (CUDA error, dmesg/Xid entry) are flagged as
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.runner.app import Application
@@ -58,7 +59,13 @@ def classify(
 
 
 def _has_new_anomalies(golden: RunArtifacts, observed: RunArtifacts) -> bool:
-    """Anomalies beyond whatever the golden run already produced."""
-    return len(observed.cuda_errors) > len(golden.cuda_errors) or len(
-        observed.dmesg
-    ) > len(golden.dmesg)
+    """Anomalies beyond whatever the golden run already produced.
+
+    Compares multiset membership, not just counts: an injected run that
+    swaps one CUDA error or dmesg entry for a *different* one (same total)
+    still carries a new, non-handled anomaly and must be flagged as a
+    potential DUE.
+    """
+    return bool(
+        Counter(observed.cuda_errors) - Counter(golden.cuda_errors)
+    ) or bool(Counter(observed.dmesg) - Counter(golden.dmesg))

@@ -196,7 +196,21 @@ class CampaignStore:
         Durations are reported as simulated instruction counts, not host
         wall-clock (see DESIGN.md): the simulator is deterministic, so
         serial, parallel and resumed campaigns write identical bytes.
+        Quarantined injections (harness DUEs) carry only deterministic
+        fields too, so campaigns containing failures keep this property.
         """
+        self._write_results_csv(enumerate(result.results))
+
+    def save_partial_results_csv(self, by_index: dict[int, TransientResult]) -> None:
+        """A clean, sorted ``results.csv`` for an interrupted campaign.
+
+        Rows cover exactly the injections completed (and therefore
+        checkpointed) before the interrupt; re-running the campaign against
+        the same store resumes past them and rewrites the full file.
+        """
+        self._write_results_csv(sorted(by_index.items()))
+
+    def _write_results_csv(self, rows) -> None:
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(
@@ -204,7 +218,7 @@ class CampaignStore:
              "group", "model", "outcome", "symptom", "potential_due",
              "injected", "instructions"]
         )
-        for index, item in enumerate(result.results):
+        for index, item in rows:
             writer.writerow([
                 index,
                 item.params.kernel_name,

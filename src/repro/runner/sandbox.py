@@ -13,7 +13,7 @@ The sandbox plays the role of the campaign scripts' process management:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.cuda.runtime import CudaRuntime
 from repro.errors import DeviceException, ReproError, WatchdogTimeout
@@ -40,7 +40,19 @@ class SandboxConfig:
     extra_env: dict[str, str] = field(default_factory=dict)
 
     def clone(self, **overrides) -> "SandboxConfig":
-        """An independent copy (every field, including ``extra_env``)."""
+        """An independent copy (every field, including ``extra_env``).
+
+        Override names are validated against the dataclass fields: a
+        misspelled keyword used to ``setattr`` a dead attribute silently,
+        leaving the caller running the default configuration.
+        """
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ReproError(
+                f"unknown SandboxConfig field(s) in clone(): {unknown}; "
+                f"valid fields: {sorted(known)}"
+            )
         copy = replace(self, extra_env=dict(self.extra_env))
         for name, value in overrides.items():
             setattr(copy, name, value)

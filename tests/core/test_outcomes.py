@@ -122,6 +122,34 @@ class TestPotentialDue:
         record = classify(PlainApp(), golden, observed)
         assert not record.potential_due
 
+    def test_swapped_anomaly_at_same_count_is_new(self):
+        # Same *number* of anomalies, different content: the injected run
+        # traded the golden run's entry for a fresh one, which must still
+        # flag a potential DUE (multiset membership, not length).
+        golden = _golden()
+        golden.dmesg = ["NVRM: Xid 99: pre-existing"]
+        observed = _observed(dmesg=["NVRM: Xid 13: fresh fault"])
+        record = classify(PlainApp(), golden, observed)
+        assert record.potential_due
+
+    def test_duplicate_of_golden_anomaly_is_new(self):
+        # Two occurrences of an entry the golden run produced once: the
+        # second one is an injection artifact.
+        golden = _golden()
+        golden.cuda_errors = ["ERROR_ILLEGAL_ADDRESS: x"]
+        observed = _observed(
+            cuda_errors=["ERROR_ILLEGAL_ADDRESS: x", "ERROR_ILLEGAL_ADDRESS: x"]
+        )
+        record = classify(PlainApp(), golden, observed)
+        assert record.potential_due
+
+    def test_fewer_anomalies_than_golden_is_not_new(self):
+        golden = _golden()
+        golden.dmesg = ["NVRM: Xid 99: a", "NVRM: Xid 99: b"]
+        observed = _observed(dmesg=["NVRM: Xid 99: a"])
+        record = classify(PlainApp(), golden, observed)
+        assert not record.potential_due
+
     def test_label_rendering(self):
         observed = _observed(cuda_errors=["x"])
         record = classify(PlainApp(), _golden(), observed)

@@ -153,6 +153,22 @@ class TestConfigCloning:
         copy.extra_env["B"] = "2"
         assert "B" not in config.extra_env  # deep-copied env
 
+    def test_clone_applies_overrides(self):
+        config = SandboxConfig(seed=7)
+        copy = config.clone(seed=9, family="turing")
+        assert (copy.seed, copy.family) == (9, "turing")
+        assert (config.seed, config.family) == (7, "volta")
+
+    def test_clone_rejects_unknown_fields(self):
+        # A misspelled override used to setattr a dead attribute silently,
+        # leaving the caller on the default configuration.
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="instruction_budge"):
+            SandboxConfig().clone(instruction_budge=5)
+        with pytest.raises(ReproError, match="valid fields"):
+            SandboxConfig().clone(extra_environment={"A": "1"})
+
     def test_spec_round_trips_through_pickle(self):
         import pickle
 

@@ -1,0 +1,169 @@
+"""Campaign wall-clock trajectory — ``BENCH_campaign.json``.
+
+The repo's perf north-star is campaign throughput: NVBitFI's headline
+claim (paper §III-C, Figures 4–5) is that injection runs cost barely more
+than uninstrumented runs.  This benchmark measures a real transient
+campaign end-to-end (golden + profile + select + inject) in four
+configurations — {serial, parallel} x {fast-forward on, off} — and
+persists the numbers to ``BENCH_campaign.json`` at the repo root so the
+trajectory is tracked across PRs.
+
+Fast-forward (see :mod:`repro.gpusim.replay` and ``docs/performance.md``)
+must never change results: every configuration's ``results.csv`` is
+asserted byte-identical against the serial full-simulation baseline.
+
+Knobs: ``REPRO_QUICK=1`` shrinks to a CI-smoke size (parity still
+asserted); ``REPRO_BENCH_WORKLOAD`` / ``REPRO_BENCH_FAULTS`` override the
+default 50-fault campaign on 370.bt (96 golden launches, late-kernel-heavy:
+the weighted mean injection site sits ~58% into the golden run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.harness import campaign_seed, emit, quick_mode
+from repro.core.campaign import CampaignConfig
+from repro.core.engine import CampaignEngine, ParallelExecutor
+from repro.core.store import CampaignStore
+from repro.obs import MetricsRegistry
+from repro.utils.text import format_table
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+# Wall-clock floor for fast-forward on the default (late-kernel-heavy)
+# campaign.  Quick/CI runs are too small to amortize the fixed phases, so
+# they assert parity only.
+_MIN_SPEEDUP = 2.0
+
+
+def _workload() -> str:
+    if quick_mode():
+        return "303.ostencil"  # multi-kernel but small: 21 golden launches
+    return os.environ.get("REPRO_BENCH_WORKLOAD", "370.bt")
+
+
+def _faults() -> int:
+    if quick_mode():
+        return 6
+    return int(os.environ.get("REPRO_BENCH_FAULTS", "50"))
+
+
+def _run_campaign(tmp_path, label, fast_forward, workers):
+    """One full campaign; returns (seconds, counters-snapshot, results.csv)."""
+    store_dir = tmp_path / label
+    registry = MetricsRegistry()
+    engine = CampaignEngine(
+        _workload(),
+        CampaignConfig(
+            workload=_workload(),
+            num_transient=_faults(),
+            seed=campaign_seed(),
+            fast_forward=fast_forward,
+        ),
+        store=CampaignStore(store_dir),
+        executor=ParallelExecutor(max_workers=workers) if workers else None,
+        metrics=registry,
+    )
+    started = time.perf_counter()
+    engine.run_transient()
+    seconds = time.perf_counter() - started
+    counters = registry.snapshot()["counters"]
+    return seconds, counters, (store_dir / "results.csv").read_bytes()
+
+
+def test_campaign_wall_clock(benchmark, tmp_path):
+    matrix = [
+        ("serial", "full", False, 0),
+        ("serial", "ff", True, 0),
+        ("parallel", "full", False, 2),
+        ("parallel", "ff", True, 2),
+    ]
+
+    def run_all():
+        return {
+            (executor, mode): _run_campaign(
+                tmp_path, f"{executor}-{mode}", fast_forward, workers
+            )
+            for executor, mode, fast_forward, workers in matrix
+        }
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Fast-forward parity: every configuration reproduces the serial
+    # full-simulation results.csv byte for byte.
+    baseline = measured[("serial", "full")][2]
+    for key, (_, _, csv) in measured.items():
+        assert csv == baseline, f"results.csv diverged for {key}"
+
+    runs = []
+    for executor, mode, fast_forward, workers in matrix:
+        seconds, counters, _ = measured[(executor, mode)]
+        runs.append({
+            "executor": executor,
+            "workers": workers or 1,
+            "fast_forward": fast_forward,
+            "seconds": round(seconds, 3),
+            "simulated_cycles": int(counters.get("gpusim.cycles", 0)),
+            "replay_hits": int(counters.get("engine.replay.hits", 0)),
+            "replay_launches_skipped": int(
+                counters.get("engine.replay.launches_skipped", 0)
+            ),
+        })
+
+    # Replayed launches reconstruct their cycle accounting from the golden
+    # recording, so the simulated-cycle totals agree exactly.
+    assert runs[0]["simulated_cycles"] == runs[1]["simulated_cycles"]
+    assert runs[1]["replay_launches_skipped"] > 0
+
+    speedup = {
+        "serial": round(
+            measured[("serial", "full")][0] / measured[("serial", "ff")][0], 2
+        ),
+        "parallel": round(
+            measured[("parallel", "full")][0] / measured[("parallel", "ff")][0], 2
+        ),
+    }
+    payload = {
+        "benchmark": "campaign_wall_clock",
+        "workload": _workload(),
+        "faults": _faults(),
+        "seed": campaign_seed(),
+        "quick": quick_mode(),
+        "runs": runs,
+        "fast_forward_speedup": speedup,
+        "results_csv_byte_identical": True,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            r["executor"],
+            "on" if r["fast_forward"] else "off",
+            f"{r['seconds']:.2f}s",
+            f"{r['simulated_cycles'] / 1e6:.1f} Mcyc",
+            r["replay_launches_skipped"],
+        ]
+        for r in runs
+    ]
+    rows.append(["speedup (serial)", "-", f"{speedup['serial']:.2f}x", "-", "-"])
+    rows.append(["speedup (parallel)", "-", f"{speedup['parallel']:.2f}x", "-", "-"])
+    emit(
+        "campaign_wall_clock",
+        format_table(
+            ["Executor", "Fast-forward", "Wall clock", "Simulated cycles",
+             "Launches replayed"],
+            rows,
+            title=f"Campaign wall clock: {_faults()} transient faults on "
+                  f"{_workload()} (results.csv byte-identical throughout)",
+        ),
+    )
+
+    if not quick_mode():
+        assert speedup["serial"] >= _MIN_SPEEDUP, (
+            f"fast-forward speedup regressed: {speedup['serial']:.2f}x < "
+            f"{_MIN_SPEEDUP}x (see {BENCH_PATH})"
+        )

@@ -162,6 +162,7 @@ def run_campaign(
     metrics: MetricsRegistry | None = None,
     retry: RetryPolicy | None = None,
     kind: str = "transient",
+    fast_forward: bool | None = None,
 ) -> TransientCampaignResult | PermanentCampaignResult:
     """Run (or resume) a full campaign described by ``config``.
 
@@ -176,6 +177,12 @@ def run_campaign(
     tasks whose worker raises, dies or hangs are re-attempted, and whether
     exhausted tasks are quarantined as synthesized DUE outcomes (the
     default) or abort the campaign (``on_failure="raise"``).
+
+    ``fast_forward`` overrides ``config.fast_forward``: golden-replay
+    fast-forward, which skips simulating launches before each injection
+    target by applying write deltas recorded during the golden run.
+    ``results.csv`` is byte-identical either way (see
+    ``docs/performance.md``).
     """
     if not config.workload:
         raise ReproError(
@@ -184,6 +191,8 @@ def run_campaign(
         )
     if retry is not None:
         config = replace(config, retry=retry)
+    if fast_forward is not None:
+        config = replace(config, fast_forward=fast_forward)
     engine = CampaignEngine(
         config.workload,
         config,

@@ -48,6 +48,13 @@ class CampaignConfig:
     task (worker raised, died or hung) is re-attempted, and whether
     exhausted tasks are quarantined as synthesized DUEs or abort the
     campaign.  See :class:`~repro.core.resilience.RetryPolicy`.
+
+    ``fast_forward`` enables golden-replay fast-forward (see
+    :mod:`repro.gpusim.replay` and ``docs/performance.md``): the golden run
+    records every launch's write delta, and transient injection runs apply
+    the recorded deltas for launches before the target instead of
+    simulating them.  Results are byte-identical either way; the knob only
+    trades golden-run recording overhead against injection-run speed.
     """
 
     group: InstructionGroup = InstructionGroup.G_GP
@@ -59,6 +66,7 @@ class CampaignConfig:
     sandbox: SandboxConfig = field(default_factory=SandboxConfig)
     workload: str | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fast_forward: bool = True
 
 
 @dataclass

@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
                           default="quarantine",
                           help="after the final failed attempt: synthesize a "
                                "DUE and continue (quarantine) or abort (raise)")
+    campaign.add_argument("--fast-forward", action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="golden-replay fast-forward: skip simulating "
+                               "launches before each injection target by "
+                               "replaying write deltas recorded during the "
+                               "golden run (results are byte-identical "
+                               "either way)")
 
     trace = sub.add_parser(
         "trace", help="summarise a campaign trace file (per-phase times)"
@@ -294,6 +301,7 @@ def _main(argv: list[str] | None = None) -> int:
                 on_failure=args.on_failure,
                 seed=args.seed,
             ),
+            fast_forward=args.fast_forward,
         )
 
         class _Progress(EngineHooks):

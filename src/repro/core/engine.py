@@ -44,7 +44,11 @@ Prefer the stable facade in :mod:`repro.api` for programmatic use.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import time
+import weakref
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -75,6 +79,7 @@ from repro.core.resilience import (
 )
 from repro.core.site_selection import select_permanent_sites, select_transient_sites
 from repro.errors import ReproError
+from repro.gpusim.replay import ReplayRecorder, ReplayRef, save_replay_log
 from repro.obs import (
     INSTRUCTION_BUCKETS,
     NULL_TRACER,
@@ -102,7 +107,9 @@ class InjectionTask:
 
     ``workload`` is a registry name so workers rebuild the application
     without pickling live device state; ``sandbox`` is the *complete*
-    sandbox snapshot.
+    sandbox snapshot.  ``replay`` (when fast-forward is on) points at the
+    campaign's golden replay log and the task's target launch; workers thaw
+    it into a live cursor through a shared per-process cache.
     """
 
     index: int
@@ -110,6 +117,7 @@ class InjectionTask:
     kind: str  # "transient" | "permanent" | "intermittent"
     params: TransientParams | PermanentParams | IntermittentParams
     sandbox: SandboxSpec
+    replay: ReplayRef | None = None
 
 
 @dataclass
@@ -157,8 +165,16 @@ def execute_task(
         injector = IntermittentInjectorTool(task.params)
     else:  # pragma: no cover
         raise ReproError(f"unknown injection kind {task.kind!r}")
+    # Thaw the fast-forward reference (if any) into a live cursor.  The
+    # underlying log is loaded once per process and shared read-only; an
+    # unreadable log degrades to full simulation rather than failing the run.
+    cursor = task.replay.cursor() if task.replay is not None else None
     artifacts = run_app(
-        app, preload=[injector], config=task.sandbox.config(), tracer=tracer
+        app,
+        preload=[injector],
+        config=task.sandbox.config(),
+        tracer=tracer,
+        replay=cursor,
     )
     return InjectionOutput(
         index=task.index,
@@ -640,20 +656,75 @@ class CampaignEngine:
         self.profile: ProgramProfile | None = None
         self.golden_time = 0.0
         self.profile_time = 0.0
+        # Golden-replay fast-forward state (config.fast_forward): the golden
+        # run's replay log, held in-process for stop-launch lookups, and the
+        # on-disk copy every worker loads lazily (once per process).
+        self._replay_log = None  # repro.gpusim.replay.ReplayLog | None
+        self._replay_path: str | None = None
 
     # -- pipeline phases --------------------------------------------------------
 
     def run_golden(self) -> RunArtifacts:
+        recorder = ReplayRecorder() if self.config.fast_forward else None
         with self.tracer.span("golden", workload=self.app.name):
             self.golden = capture_golden(
-                self.app, self._sandbox_config(), tracer=self.tracer
+                self.app, self._sandbox_config(), tracer=self.tracer,
+                recorder=recorder,
             )
         self.golden_time = self.golden.wall_time
         self._record_run_metrics(self.golden)
         if self.store is not None:
             self.store.save_golden(self.golden)
         self._phase("golden", self.golden_time)
+        if recorder is not None:
+            self._save_replay_log(recorder)
         return self.golden
+
+    def _save_replay_log(self, recorder: ReplayRecorder) -> None:
+        """Serialize the golden run's replay log where every worker can read it.
+
+        Stored campaigns put it under the study directory (next to the
+        golden artifacts); store-less campaigns use a private temp
+        directory cleaned up when the engine is collected.  A recorder
+        that aborted (or taped nothing) simply leaves fast-forward off.
+        """
+        log = recorder.log()
+        if log is None or not log.launches:
+            return
+        started = time.perf_counter()
+        if self.store is not None:
+            path = str(self.store.replay_path())
+        else:
+            tmpdir = tempfile.mkdtemp(prefix="repro-replay-")
+            weakref.finalize(self, shutil.rmtree, tmpdir, ignore_errors=True)
+            path = os.path.join(tmpdir, "replay.bin")
+        with self.tracer.span(
+            "replay",
+            workload=self.app.name,
+            launches=len(log.launches),
+            pages=log.total_pages,
+        ):
+            save_replay_log(log, path)
+        self._replay_log = log
+        self._replay_path = path
+        self._phase("replay", time.perf_counter() - started)
+
+    def _replay_ref_for(self, site) -> ReplayRef | None:
+        """The fast-forward reference for one transient site (or None).
+
+        ``stop_launch`` is the golden sequence number of the targeted
+        launch: everything strictly before it replays, the target and
+        everything after simulate.  Sites whose target is the very first
+        launch (or is not in the log) gain nothing and carry no reference.
+        """
+        if self._replay_log is None or self._replay_path is None:
+            return None
+        stop = self._replay_log.stop_launch_for(
+            site.kernel_name, site.kernel_count
+        )
+        if stop is None or stop <= 0:
+            return None
+        return ReplayRef(path=self._replay_path, stop_launch=stop)
 
     def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
         if self.golden is None:
@@ -924,11 +995,30 @@ class CampaignEngine:
         """
         policy = self.config.retry
         spec = self._injection_spec()
+        fast_forward = kind == "transient" and self._replay_path is not None
         tasks = [
-            InjectionTask(index, self.app.name, kind, site, spec)
+            InjectionTask(
+                index,
+                self.app.name,
+                kind,
+                site,
+                spec,
+                replay=self._replay_ref_for(site) if fast_forward else None,
+            )
             for index, site in enumerate(sites)
             if index not in loaded
         ]
+        if fast_forward:
+            # Group tasks by target launch: neighbours share the replay
+            # log's page cache and (under the parallel executor) chunks stay
+            # launch-coherent.  Results are keyed by index, so the ordering
+            # cannot change results.csv.
+            tasks.sort(
+                key=lambda t: (
+                    t.replay.stop_launch if t.replay is not None else -1,
+                    t.index,
+                )
+            )
         by_index: dict[int, object] = dict(loaded)
         self.metrics.injections_total = len(sites)
         self.metrics.injections_loaded = len(loaded)
@@ -1106,6 +1196,11 @@ class CampaignEngine:
         reg.gauge("gpusim.divergence_depth_high_water").set_max(
             artifacts.divergence_depth_high_water
         )
+        if artifacts.replay_launches_skipped:
+            reg.counter("engine.replay.hits").inc()
+            reg.counter("engine.replay.launches_skipped").inc(
+                artifacts.replay_launches_skipped
+            )
         if injection:
             reg.histogram(
                 "campaign.injection.instructions", INSTRUCTION_BUCKETS

@@ -78,7 +78,6 @@ class ProfilerTool(NVBitTool):
             self.profile.append(profile_record)
             self._current = None
             self._current_func = None
-        self._pending = profile_record
 
     def _on_launch_exit(self, func: CudaFunction) -> None:
         self._invocations[func.name] = self._invocations.get(func.name, 0) + 1

@@ -73,6 +73,18 @@ class CampaignStore:
             stdout=(golden_dir / "stdout.txt").read_text(), files=files
         )
 
+    # -- replay log ----------------------------------------------------------
+
+    def replay_path(self) -> Path:
+        """Where the golden run's replay log lives (``replay.bin``).
+
+        The log rides next to the golden artifacts so a resumed campaign
+        re-records it with the (deterministic) golden re-run; see
+        :mod:`repro.gpusim.replay`.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        return self.root / "replay.bin"
+
     # -- profile -------------------------------------------------------------
 
     def save_profile(self, profile: ProgramProfile) -> None:

@@ -96,9 +96,15 @@ class LaunchParams:
 class CudaDriver:
     """One driver instance == one CUDA context on one device."""
 
-    def __init__(self, device: Device, interceptor: Any = None) -> None:
+    def __init__(
+        self, device: Device, interceptor: Any = None, replay: Any = None
+    ) -> None:
         self.device = device
         self.interceptor = interceptor  # the NVBit runtime, if attached
+        # Golden-replay fast-forward (repro.gpusim.replay.ReplayCursor):
+        # launches strictly before the injection target apply the recorded
+        # golden delta instead of simulating.
+        self.replay = replay
         self.last_error = CudaError.SUCCESS
         self.error_log: list[tuple[CudaError, str]] = []
         self.modules: list[CudaModule] = []
@@ -184,9 +190,28 @@ class CudaDriver:
             for _ in range(compiles_after - compiles_before):
                 self.device.charge_jit_compile()
         try:
-            self.device.launch(
-                func.kernel, grid, block, params.args, shared_bytes, hooks=hooks
-            )
+            replayed = None
+            if self.replay is not None:
+                from repro.gpusim.device import _as_dim3
+
+                replayed = self.replay.consult(
+                    self.device,
+                    func.name,
+                    _as_dim3(grid),
+                    _as_dim3(block),
+                    params.args,
+                    shared_bytes,
+                    instrumented=hooks is not None,
+                )
+            if replayed is not None:
+                # Fast-forward: this launch is bit-identical to the golden
+                # run, so restore its recorded write delta and counters
+                # instead of simulating it.
+                self.replay.apply(self.device, replayed)
+            else:
+                self.device.launch(
+                    func.kernel, grid, block, params.args, shared_bytes, hooks=hooks
+                )
             result = CudaError.SUCCESS
         except LaunchError as exc:
             result = self._record(CudaError.ERROR_INVALID_CONFIGURATION, str(exc))

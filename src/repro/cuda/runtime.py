@@ -50,9 +50,11 @@ class DeviceArray:
 class CudaRuntime:
     """The host-side API workloads program against."""
 
-    def __init__(self, device: Device | None = None, interceptor=None) -> None:
+    def __init__(
+        self, device: Device | None = None, interceptor=None, replay=None
+    ) -> None:
         self.device = device if device is not None else Device()
-        self.driver = CudaDriver(self.device, interceptor=interceptor)
+        self.driver = CudaDriver(self.device, interceptor=interceptor, replay=replay)
         self.libraries = LibraryRegistry()
 
     # -- memory ---------------------------------------------------------------

@@ -72,6 +72,10 @@ class Device:
         # divergence stack seen on any warp.
         self.warps_launched = 0
         self.divergence_depth_high_water = 0
+        # Golden-replay recording (repro.gpusim.replay.ReplayRecorder):
+        # when attached, every launch boundary captures its global-memory
+        # write delta and end-of-launch counters.
+        self.replay_recorder = None
 
     # -- watchdog ----------------------------------------------------------
 
@@ -134,37 +138,52 @@ class Device:
             )
         grid_id = self.launch_count
         self.launch_count += 1
+        recorder = self.replay_recorder
+        if recorder is not None:
+            recorder.begin_launch(self)
 
         num_blocks = grid3[0] * grid3[1] * grid3[2]
-        with np.errstate(all="ignore"):
-            for block_id in range(num_blocks):
-                ctaid = (
-                    block_id % grid3[0],
-                    block_id // grid3[0] % grid3[1],
-                    block_id // (grid3[0] * grid3[1]),
-                )
-                sm = self.sms[block_id % self.num_sms]
-                self.active_sms.add(sm.sm_id)
-                ctx = ExecContext(
-                    global_mem=self.global_mem,
-                    shared=SharedMemory(total_shared),
-                    const=const,
-                    ctaid=ctaid,
-                    ntid=block3,
-                    nctaid=grid3,
-                    sm_id=sm.sm_id,
-                    grid_id=grid_id,
-                    clock=lambda: self.instructions_executed,
-                )
-                try:
-                    sm.run_block(kernel, ctx, hooks)
-                except WatchdogTimeout:
-                    raise
-                except DeviceException as exc:
-                    self.log_xid(
-                        13, f"Graphics Exception: {exc} (kernel {kernel.name})"
+        try:
+            with np.errstate(all="ignore"):
+                for block_id in range(num_blocks):
+                    ctaid = (
+                        block_id % grid3[0],
+                        block_id // grid3[0] % grid3[1],
+                        block_id // (grid3[0] * grid3[1]),
                     )
-                    raise
+                    sm = self.sms[block_id % self.num_sms]
+                    self.active_sms.add(sm.sm_id)
+                    ctx = ExecContext(
+                        global_mem=self.global_mem,
+                        shared=SharedMemory(total_shared),
+                        const=const,
+                        ctaid=ctaid,
+                        ntid=block3,
+                        nctaid=grid3,
+                        sm_id=sm.sm_id,
+                        grid_id=grid_id,
+                        clock=lambda: self.instructions_executed,
+                    )
+                    try:
+                        sm.run_block(kernel, ctx, hooks)
+                    except WatchdogTimeout:
+                        raise
+                    except DeviceException as exc:
+                        self.log_xid(
+                            13, f"Graphics Exception: {exc} (kernel {kernel.name})"
+                        )
+                        raise
+        except BaseException:
+            # A faulted launch leaves partial writes behind: any recording
+            # in progress would replay wrong state, so discard it entirely.
+            if recorder is not None:
+                recorder.abort()
+                self.global_mem.end_write_tracking()
+            raise
+        if recorder is not None:
+            recorder.end_launch(
+                self, kernel.name, grid3, block3, params, shared_bytes
+            )
 
     # -- memory convenience (used by the CUDA runtime layer) -------------------
 

@@ -716,6 +716,11 @@ def _atomic(memory, instr, addresses, mask, operands, warp):
         old[lane] = current
         new = _atomic_combine(instr, current, int(values[lane]), is_f32)
         view[slot] = np.uint32(new & 0xFFFFFFFF)
+    # Atomics bypass store32, so report the dirty pages themselves (global
+    # memory only; shared memory is per-launch scratch and untracked).
+    note_stores = getattr(memory, "note_stores", None)
+    if note_stores is not None:
+        note_stores(addresses, mask)
     return old
 
 

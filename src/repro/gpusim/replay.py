@@ -1,0 +1,413 @@
+"""Golden-replay fast-forward: skip simulating everything before the fault.
+
+NVBitFI's headline property (paper §III-C, Figures 4–5) is that an
+injection run costs barely more than an uninstrumented run, because only
+the one targeted kernel launch is instrumented.  This module takes the
+idea to its logical end, ZOFI-style: every launch *strictly before* the
+target ``(kernel_name, kernel_count)`` instance is bit-identical to the
+golden run, so it does not need to be simulated at all — its effect on
+persistent device state can be replayed from a recording.
+
+Three pieces:
+
+* :class:`ReplayRecorder` — attached to the golden run's
+  :class:`~repro.gpusim.device.Device`; at every kernel-launch boundary it
+  captures the launch's global-memory write delta (dirty 256-byte pages,
+  tracked by :class:`~repro.mem.memory.GlobalMemory`) and the end-of-launch
+  device counters (instructions, cycles, warps, divergence high-water,
+  active SMs), producing a :class:`ReplayLog`;
+* :class:`ReplayLog` — the per-campaign recording, with a compact binary
+  on-disk format (:func:`save_replay_log` / :func:`load_replay_log`; loads
+  are cached per process so parallel campaign workers share one read-only
+  copy);
+* :class:`ReplayCursor` — one per injection run, consulted by
+  :meth:`repro.cuda.driver.CudaDriver.cuLaunchKernel`: launches before the
+  target instance apply the recorded delta with one vectorised numpy copy
+  instead of simulating; the target launch and everything after it (state
+  has diverged) simulate normally.
+
+Correctness is enforceable because the whole stack is deterministic: the
+recorded per-launch metadata (kernel name, instance, grid, block,
+arguments, shared memory) is verified against the live launch, and any
+mismatch — or any instrumented launch — permanently disarms the cursor,
+falling back to full simulation.  ``results.csv`` is byte-identical with
+fast-forward on or off; skipped launches reconstruct their
+``instructions_executed``/cycle accounting from the recorded counters, so
+traces, metrics and the Figure 4/5 overhead numbers stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError, WatchdogTimeout
+from repro.mem.memory import PAGE_SIZE
+
+_MAGIC = b"RPRL\x01\n"
+
+
+Dim3 = tuple[int, int, int]
+
+
+@dataclass
+class LaunchDelta:
+    """Everything one golden launch did to persistent device state.
+
+    ``pages``/``data`` hold the post-launch contents of every dirty page
+    (``data`` is ``len(pages) * PAGE_SIZE`` bytes, page-major); the counter
+    fields are per-launch deltas except ``divergence_high_water``, which is
+    the absolute post-launch high-water mark.
+    """
+
+    kernel_name: str
+    instance: int  # per-kernel dynamic instance index (the injector's count)
+    grid: Dim3
+    block: Dim3
+    args: tuple[int, ...]
+    shared_bytes: int
+    instructions: int
+    cycles: int
+    warps: int
+    divergence_high_water: int
+    active_sms: tuple[int, ...]
+    pages: np.ndarray  # int64 page indices, sorted
+    data: np.ndarray  # uint8, page-major dirty-page contents
+
+    def matches(
+        self, kernel_name: str, grid: Dim3, block: Dim3, args, shared_bytes: int
+    ) -> bool:
+        """Does a live launch look exactly like this recorded one?"""
+        return (
+            kernel_name == self.kernel_name
+            and grid == self.grid
+            and block == self.block
+            and tuple(args) == self.args
+            and shared_bytes == self.shared_bytes
+        )
+
+
+class ReplayLog:
+    """One golden run's launch-by-launch recording."""
+
+    def __init__(
+        self, mem_size: int, launches: list[LaunchDelta], workload: str = ""
+    ) -> None:
+        self.mem_size = mem_size
+        self.launches = launches
+        self.workload = workload
+        self._by_instance: dict[tuple[str, int], int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.launches)
+
+    def stop_launch_for(self, kernel_name: str, kernel_count: int) -> int | None:
+        """Global launch-sequence index of the (kernel_count+1)-th dynamic
+        instance of ``kernel_name`` — the first launch that must simulate."""
+        if self._by_instance is None:
+            self._by_instance = {
+                (rec.kernel_name, rec.instance): seq
+                for seq, rec in enumerate(self.launches)
+            }
+        return self._by_instance.get((kernel_name, kernel_count))
+
+    @property
+    def total_pages(self) -> int:
+        return sum(int(rec.pages.size) for rec in self.launches)
+
+
+class ReplayRecorder:
+    """Captures per-launch deltas while attached to a golden run's device.
+
+    The recorder is fail-safe: any launch that raises, any device whose
+    memory size is not page-aligned, and any overlapping recording session
+    aborts the recording (``log()`` then returns ``None``) rather than
+    producing a log that could replay wrong state.
+    """
+
+    def __init__(self) -> None:
+        self.launches: list[LaunchDelta] = []
+        self.aborted = False
+        self.workload = ""
+        self._mem_size: int | None = None
+        self._instances: dict[str, int] = {}
+        self._snapshot: tuple[int, int, int, set[int]] | None = None
+
+    # -- Device.launch hooks ---------------------------------------------------
+
+    def begin_launch(self, device) -> None:
+        """Called by :meth:`Device.launch` before the first block runs."""
+        if self.aborted:
+            return
+        mem = device.global_mem
+        if mem.size % PAGE_SIZE != 0:
+            self.abort()
+            return
+        if self._mem_size is None:
+            self._mem_size = mem.size
+        elif self._mem_size != mem.size:  # a second device mid-recording
+            self.abort()
+            return
+        self._snapshot = (
+            device.instructions_executed,
+            device.cycles,
+            device.warps_launched,
+            set(device.active_sms),
+        )
+        mem.begin_write_tracking()
+
+    def end_launch(
+        self, device, kernel_name: str, grid: Dim3, block: Dim3,
+        args, shared_bytes: int,
+    ) -> None:
+        """Called by :meth:`Device.launch` after the last block completes."""
+        if self.aborted or self._snapshot is None:
+            return
+        mem = device.global_mem
+        pages = mem.end_write_tracking()
+        instructions0, cycles0, warps0, sms0 = self._snapshot
+        self._snapshot = None
+        instance = self._instances.get(kernel_name, 0)
+        self._instances[kernel_name] = instance + 1
+        data = (
+            mem.data.reshape(-1, PAGE_SIZE)[pages].ravel().copy()
+            if pages.size
+            else np.empty(0, dtype=np.uint8)
+        )
+        self.launches.append(
+            LaunchDelta(
+                kernel_name=kernel_name,
+                instance=instance,
+                grid=grid,
+                block=block,
+                args=tuple(int(a) for a in args),
+                shared_bytes=shared_bytes,
+                instructions=device.instructions_executed - instructions0,
+                cycles=device.cycles - cycles0,
+                warps=device.warps_launched - warps0,
+                divergence_high_water=device.divergence_depth_high_water,
+                active_sms=tuple(sorted(device.active_sms - sms0)),
+                pages=pages,
+                data=data,
+            )
+        )
+
+    def abort(self) -> None:
+        """Discard the recording (a launch faulted or state is untrackable)."""
+        self.aborted = True
+        self.launches = []
+        self._snapshot = None
+
+    def log(self) -> ReplayLog | None:
+        """The finished recording, or ``None`` when nothing usable was taped."""
+        if self.aborted or self._mem_size is None or not self.launches:
+            return None
+        return ReplayLog(self._mem_size, self.launches, workload=self.workload)
+
+
+class ReplayCursor:
+    """Per-run fast-forward state, consulted once per ``cuLaunchKernel``.
+
+    ``stop_launch`` is the global sequence index of the target launch: only
+    launches with a strictly smaller index may be replayed.  The cursor
+    disarms itself permanently at the first launch that must simulate —
+    reaching the target, an instrumented launch, running past the log, or
+    any metadata mismatch — because from that point on device state may
+    have diverged from the golden recording.
+    """
+
+    def __init__(self, log: ReplayLog, stop_launch: int) -> None:
+        self.log = log
+        self.stop_launch = min(stop_launch, len(log.launches))
+        self.armed = True
+        self.skipped = 0
+
+    def consult(
+        self,
+        device,
+        kernel_name: str,
+        grid: Dim3,
+        block: Dim3,
+        args,
+        shared_bytes: int,
+        instrumented: bool,
+    ) -> LaunchDelta | None:
+        """The recorded delta to apply instead of simulating, or ``None``."""
+        if not self.armed:
+            return None
+        seq = device.launch_count
+        if seq >= self.stop_launch or instrumented:
+            self.armed = False
+            return None
+        if device.global_mem.size != self.log.mem_size:
+            self.armed = False
+            return None
+        rec = self.log.launches[seq]
+        if not rec.matches(kernel_name, grid, block, args, shared_bytes):
+            self.armed = False
+            return None
+        return rec
+
+    def apply(self, device, rec: LaunchDelta) -> None:
+        """Fast-forward one launch: restore its write delta and counters."""
+        mem = device.global_mem
+        if rec.pages.size:
+            mem.data.reshape(-1, PAGE_SIZE)[rec.pages] = rec.data.reshape(
+                -1, PAGE_SIZE
+            )
+        device.launch_count += 1
+        device.instructions_executed += rec.instructions
+        device.cycles += rec.cycles
+        device.warps_launched += rec.warps
+        device.active_sms.update(rec.active_sms)
+        if rec.divergence_high_water > device.divergence_depth_high_water:
+            device.divergence_depth_high_water = rec.divergence_high_water
+        self.skipped += 1
+        if device.instructions_executed > device.instruction_budget:
+            device.log_xid(
+                8, "GPU watchdog: kernel execution budget exhausted"
+            )
+            raise WatchdogTimeout(
+                device.instructions_executed, device.instruction_budget
+            )
+
+
+# -- on-disk format ------------------------------------------------------------
+#
+#   magic (6 bytes) | header length (uint32 LE) | JSON header | blobs
+#
+# The JSON header carries the log-level fields plus per-launch metadata
+# (including each launch's page count); the blob section holds, for each
+# launch in order, the int64 little-endian page-index array followed by the
+# raw page contents.  Everything after the header is offset-computable, so
+# the loader is a single sequential read.
+
+
+def save_replay_log(log: ReplayLog, path: str | os.PathLike) -> None:
+    """Serialise ``log`` to ``path`` (atomically, via a temp file)."""
+    header = {
+        "page_size": PAGE_SIZE,
+        "mem_size": log.mem_size,
+        "workload": log.workload,
+        "launches": [
+            {
+                "kernel": rec.kernel_name,
+                "instance": rec.instance,
+                "grid": list(rec.grid),
+                "block": list(rec.block),
+                "args": list(rec.args),
+                "shared": rec.shared_bytes,
+                "instructions": rec.instructions,
+                "cycles": rec.cycles,
+                "warps": rec.warps,
+                "div_hw": rec.divergence_high_water,
+                "sms": list(rec.active_sms),
+                "num_pages": int(rec.pages.size),
+            }
+            for rec in log.launches
+        ],
+    }
+    blob = json.dumps(header, separators=(",", ":")).encode()
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<I", len(blob)))
+        handle.write(blob)
+        for rec in log.launches:
+            handle.write(rec.pages.astype("<i8").tobytes())
+            handle.write(rec.data.tobytes())
+    os.replace(tmp, path)
+
+
+def _read_replay_log(path: str | os.PathLike) -> ReplayLog:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if raw[: len(_MAGIC)] != _MAGIC:
+        raise ReproError(f"{path} is not a replay log (bad magic)")
+    offset = len(_MAGIC)
+    (header_len,) = struct.unpack_from("<I", raw, offset)
+    offset += 4
+    header = json.loads(raw[offset : offset + header_len].decode())
+    offset += header_len
+    if header.get("page_size") != PAGE_SIZE:
+        raise ReproError(
+            f"{path} was recorded with page size {header.get('page_size')}, "
+            f"this build uses {PAGE_SIZE}"
+        )
+    launches = []
+    for meta in header["launches"]:
+        num_pages = meta["num_pages"]
+        pages = np.frombuffer(raw, dtype="<i8", count=num_pages, offset=offset)
+        offset += 8 * num_pages
+        nbytes = num_pages * PAGE_SIZE
+        data = np.frombuffer(raw, dtype=np.uint8, count=nbytes, offset=offset)
+        offset += nbytes
+        launches.append(
+            LaunchDelta(
+                kernel_name=meta["kernel"],
+                instance=meta["instance"],
+                grid=tuple(meta["grid"]),
+                block=tuple(meta["block"]),
+                args=tuple(meta["args"]),
+                shared_bytes=meta["shared"],
+                instructions=meta["instructions"],
+                cycles=meta["cycles"],
+                warps=meta["warps"],
+                divergence_high_water=meta["div_hw"],
+                active_sms=tuple(meta["sms"]),
+                pages=pages.astype(np.int64),
+                data=data,
+            )
+        )
+    return ReplayLog(
+        header["mem_size"], launches, workload=header.get("workload", "")
+    )
+
+
+# One read-only copy per process: parallel campaign workers (and a serial
+# engine re-running against the same store) all share the cached log.  The
+# key includes file identity so an overwritten log is reloaded, never
+# served stale.
+_LOG_CACHE: dict[tuple[str, int, int], ReplayLog] = {}
+_LOG_CACHE_LOCK = threading.Lock()
+
+
+def load_replay_log(path: str | os.PathLike) -> ReplayLog:
+    """Load (with per-process caching) the replay log at ``path``."""
+    stat = os.stat(path)
+    key = (os.path.realpath(path), stat.st_mtime_ns, stat.st_size)
+    with _LOG_CACHE_LOCK:
+        cached = _LOG_CACHE.get(key)
+        if cached is not None:
+            return cached
+    log = _read_replay_log(path)
+    with _LOG_CACHE_LOCK:
+        _LOG_CACHE.clear()  # at most one live log per worker process
+        _LOG_CACHE[key] = log
+    return log
+
+
+@dataclass(frozen=True)
+class ReplayRef:
+    """A picklable pointer to one task's fast-forward window.
+
+    ``path`` names the on-disk log; ``stop_launch`` is the target launch's
+    global sequence index.  Workers thaw the reference into a live
+    :class:`ReplayCursor` via the per-process log cache; a missing or
+    unreadable log degrades to full simulation instead of failing the task.
+    """
+
+    path: str
+    stop_launch: int
+
+    def cursor(self) -> ReplayCursor | None:
+        try:
+            log = load_replay_log(self.path)
+        except (OSError, ReproError):
+            return None
+        return ReplayCursor(log, self.stop_launch)

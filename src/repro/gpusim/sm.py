@@ -22,6 +22,38 @@ _QUANTUM = 64  # warp-instructions per scheduling slice
 Hooks = dict[int, tuple[list, list]]  # pc -> (before callbacks, after callbacks)
 
 
+def _CONTROL(*_args) -> None:  # pragma: no cover - dispatch sentinel, never called
+    """Handler-table sentinel marking a control-flow opcode.
+
+    A module-level function (not ``object()``) so its identity survives
+    pickling, should a kernel with a cached table ever cross a process
+    boundary.
+    """
+    raise AssertionError("_CONTROL is a dispatch sentinel")
+
+
+def _handler_table(kernel: Kernel) -> list:
+    """Per-kernel pre-resolved dispatch table, one entry per static pc.
+
+    Resolving ``HANDLERS.get(opcode)`` once per *static* instruction at
+    first launch (cached on the kernel) replaces a dict lookup plus a
+    frozenset membership test per *dynamic* instruction in the hot loop.
+    Entries are the handler function, :func:`_CONTROL` for control-flow
+    opcodes, or ``None`` for unknown opcodes — which still trap only when
+    (and if) they are actually executed, exactly as before.
+    """
+    table = getattr(kernel, "_gpusim_handlers", None)
+    if table is None or len(table) != len(kernel.instructions):
+        table = [
+            _CONTROL
+            if instr.opcode in CONTROL_OPCODES
+            else HANDLERS.get(instr.opcode)
+            for instr in kernel.instructions
+        ]
+        kernel._gpusim_handlers = table
+    return table
+
+
 class SM:
     """One streaming multiprocessor."""
 
@@ -39,12 +71,20 @@ class SM:
         warps = _build_warps(kernel, ctx)
         self.device.warps_launched += len(warps)
         instrs = kernel.instructions
+        table = _handler_table(kernel)
+        # Uninstrumented launches (the overwhelmingly common case: golden
+        # runs, and every non-target launch of an injection run) take the
+        # hooks-free fast path; ``not hooks`` also covers an empty dict.
+        fast = not hooks
         while True:
             progressed = False
             for warp in warps:
                 if warp.done or warp.at_barrier:
                     continue
-                self._run_slice(warp, instrs, hooks)
+                if fast:
+                    self._run_slice_fast(warp, instrs, table)
+                else:
+                    self._run_slice(warp, instrs, table, hooks)
                 progressed = True
             live = [w for w in warps if not w.done]
             if not live:
@@ -59,19 +99,47 @@ class SM:
                     f"(block {ctx.ctaid})"
                 )
 
-    def _run_slice(self, warp: Warp, instrs, hooks: Hooks | None) -> None:
+    def _run_slice_fast(self, warp: Warp, instrs, table) -> None:
+        """Hooks-free hot loop: no hook lookups, pre-resolved dispatch."""
+        device = self.device
+        num_instrs = len(instrs)
+        for _ in range(_QUANTUM):
+            if warp.done or warp.at_barrier:
+                return
+            pc = warp.pc
+            if pc >= num_instrs:
+                raise DeviceTrap(
+                    f"warp {warp.warp_id} fell off the end of the kernel"
+                )
+            instr = instrs[pc]
+            device.tick()
+            exec_mask = warp.guard_mask(instr.guard)
+            handler = table[pc]
+            if handler is _CONTROL:
+                self._control(warp, instr, exec_mask)
+            else:
+                if exec_mask.any():
+                    if handler is None:
+                        raise DeviceTrap(
+                            f"opcode {instr.opcode} has no execution semantics"
+                        )
+                    handler(warp, instr, exec_mask)
+                warp.pc += 1
+
+    def _run_slice(self, warp: Warp, instrs, table, hooks: Hooks) -> None:
         device = self.device
         for _ in range(_QUANTUM):
             if warp.done or warp.at_barrier:
                 return
-            if warp.pc >= len(instrs):
+            pc = warp.pc
+            if pc >= len(instrs):
                 raise DeviceTrap(
                     f"warp {warp.warp_id} fell off the end of the kernel"
                 )
-            instr = instrs[warp.pc]
+            instr = instrs[pc]
             device.tick()
             exec_mask = warp.guard_mask(instr.guard)
-            pc_hooks = hooks.get(warp.pc) if hooks is not None else None
+            pc_hooks = hooks.get(pc)
             site = None
             if pc_hooks is not None:
                 site = InstrSite(warp, instr, exec_mask)
@@ -79,15 +147,14 @@ class SM:
                 for callback in pc_hooks[0]:
                     device.charge_instrumentation(executed)
                     callback(site)
-            opcode = instr.opcode
-            if opcode in CONTROL_OPCODES:
+            handler = table[pc]
+            if handler is _CONTROL:
                 self._control(warp, instr, exec_mask)
             else:
                 if exec_mask.any():
-                    handler = HANDLERS.get(opcode)
                     if handler is None:
                         raise DeviceTrap(
-                            f"opcode {opcode} has no execution semantics"
+                            f"opcode {instr.opcode} has no execution semantics"
                         )
                     handler(warp, instr, exec_mask)
                 warp.pc += 1

@@ -14,6 +14,11 @@ import numpy as np
 from repro.errors import MemoryViolation
 from repro.mem.allocator import Allocator
 
+# Dirty-page tracking granularity (see repro.gpusim.replay): word-aligned
+# stores never straddle a 256-byte page, so tracking is one shift per store.
+PAGE_SIZE = 256
+PAGE_SHIFT = 8
+
 
 class GlobalMemory:
     """Device global memory: a flat byte array plus an allocation map."""
@@ -24,6 +29,33 @@ class GlobalMemory:
         self.allocator = Allocator(size)
         self._starts = np.empty(0, dtype=np.int64)
         self._ends = np.empty(0, dtype=np.int64)
+        # Dirty-page tracking (repro.gpusim.replay): while a tracking window
+        # is open, every write records the 256-byte pages it touches.  None
+        # means tracking is off and the stores pay nothing.
+        self._dirty: set[int] | None = None
+
+    # -- write tracking (golden-replay recording) ----------------------------
+
+    def begin_write_tracking(self) -> None:
+        """Start collecting the pages every subsequent write touches."""
+        self._dirty = set()
+
+    def end_write_tracking(self) -> np.ndarray:
+        """Stop tracking; return the sorted dirty page indices."""
+        dirty, self._dirty = self._dirty, None
+        if not dirty:
+            return np.empty(0, dtype=np.int64)
+        pages = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+        pages.sort()
+        return pages
+
+    def note_stores(self, addresses: np.ndarray, mask: np.ndarray) -> None:
+        """Record word stores done by mutating ``data`` directly (atomics)."""
+        if self._dirty is None:
+            return
+        active = addresses[mask]
+        if active.size:
+            self._dirty.update(np.unique(active >> PAGE_SHIFT).tolist())
 
     # -- allocation ---------------------------------------------------------
 
@@ -51,6 +83,10 @@ class GlobalMemory:
         if address < 0 or address + len(payload) > self.size:
             raise MemoryViolation(address, len(payload), "global", "out-of-range host")
         self.data[address : address + len(payload)] = payload
+        if self._dirty is not None and len(payload):
+            first = address >> PAGE_SHIFT
+            last = (address + len(payload) - 1) >> PAGE_SHIFT
+            self._dirty.update(range(first, last + 1))
 
     def read_bytes(self, address: int, nbytes: int) -> bytes:
         if address < 0 or address + nbytes > self.size:
@@ -85,8 +121,11 @@ class GlobalMemory:
 
     def store32(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
         self.validate(addresses, mask, 4)
-        idx = addresses[mask] // 4
+        active = addresses[mask]
+        idx = active // 4
         self.data.view(np.uint32)[idx] = values[mask].astype(np.uint32)
+        if self._dirty is not None and active.size:
+            self._dirty.update(np.unique(active >> PAGE_SHIFT).tolist())
 
     def load64(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
         self.validate(addresses, mask, 8)
@@ -97,8 +136,11 @@ class GlobalMemory:
 
     def store64(self, addresses: np.ndarray, mask: np.ndarray, values: np.ndarray) -> None:
         self.validate(addresses, mask, 8)
-        idx = addresses[mask] // 8
+        active = addresses[mask]
+        idx = active // 8
         self.data.view(np.uint64)[idx] = values[mask].astype(np.uint64)
+        if self._dirty is not None and active.size:
+            self._dirty.update(np.unique(active >> PAGE_SHIFT).tolist())
 
 
 class SharedMemory:

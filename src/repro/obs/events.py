@@ -12,8 +12,9 @@ from typing import Iterable
 
 from repro.obs.sink import load_jsonl
 
-# The engine's pipeline phases, in execution order.
-PHASE_SPANS = ("golden", "profile", "select", "inject")
+# The engine's pipeline phases, in execution order.  ("replay" is the
+# golden-replay log serialization; absent when fast-forward is off.)
+PHASE_SPANS = ("golden", "replay", "profile", "select", "inject")
 
 # The per-injection point event emitted by the engine.
 INJECTION_EVENT = "injection"

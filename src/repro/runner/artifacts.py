@@ -23,6 +23,7 @@ class RunArtifacts:
     active_sms: list[int] = field(default_factory=list)
     warps_launched: int = 0
     divergence_depth_high_water: int = 0  # deepest SIMT stack seen
+    replay_launches_skipped: int = 0  # launches fast-forwarded from the golden log
 
     @property
     def anomalies(self) -> list[str]:

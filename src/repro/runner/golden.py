@@ -13,10 +13,18 @@ class GoldenError(ReproError):
 
 
 def capture_golden(
-    app: Application, config: SandboxConfig | None = None, tracer=None
+    app: Application,
+    config: SandboxConfig | None = None,
+    tracer=None,
+    recorder=None,  # repro.gpusim.replay.ReplayRecorder | None
 ) -> RunArtifacts:
-    """Run the application fault-free and validate the reference artifacts."""
-    golden = run_app(app, preload=None, config=config, tracer=tracer)
+    """Run the application fault-free and validate the reference artifacts.
+
+    With a ``recorder`` attached, the run also tapes every launch's
+    global-memory write delta and device counters for golden-replay
+    fast-forward (see :mod:`repro.gpusim.replay`).
+    """
+    golden = run_app(app, preload=None, config=config, tracer=tracer, recorder=recorder)
     if golden.timed_out:
         raise GoldenError(
             f"golden run of {app.name!r} exhausted its instruction budget; "

@@ -109,12 +109,19 @@ def run_app(
     preload: list[NVBitTool] | None = None,
     config: SandboxConfig | None = None,
     tracer=None,  # repro.obs.Tracer | None (kept untyped: obs is optional here)
+    recorder=None,  # repro.gpusim.replay.ReplayRecorder | None
+    replay=None,  # repro.gpusim.replay.ReplayCursor | None
 ) -> RunArtifacts:
     """Run ``app`` to completion (or failure) and collect its artifacts.
 
     When a :class:`repro.obs.Tracer` is supplied, the whole run is recorded
     as one ``run`` span carrying the attached tools and the run's outcome
     (exit status, instruction/cycle counts, warps launched, ...).
+
+    ``recorder`` attaches a golden-replay recorder to the run's device
+    (every launch boundary captures its write delta); ``replay`` hands the
+    driver a fast-forward cursor so launches before the injection target
+    apply the recorded golden delta instead of simulating.
     """
     if tracer is None:
         from repro.obs import NULL_TRACER
@@ -132,8 +139,11 @@ def run_app(
             num_sms=config.num_sms,
             instruction_budget=config.instruction_budget,
         )
+        if recorder is not None:
+            recorder.workload = app.name
+            device.replay_recorder = recorder
         interceptor = NVBitRuntime(preload) if preload else None
-        runtime = CudaRuntime(device, interceptor=interceptor)
+        runtime = CudaRuntime(device, interceptor=interceptor, replay=replay)
         ctx = AppContext(runtime, seed=config.seed, env=config.extra_env)
         artifacts = RunArtifacts()
         started = time.perf_counter()
@@ -170,6 +180,8 @@ def run_app(
         artifacts.active_sms = sorted(device.active_sms)
         artifacts.warps_launched = device.warps_launched
         artifacts.divergence_depth_high_water = device.divergence_depth_high_water
+        if replay is not None:
+            artifacts.replay_launches_skipped = replay.skipped
         if span is not None:  # NullTracer yields None
             span.attrs.update(
                 exit_status=artifacts.exit_status,
@@ -180,4 +192,6 @@ def run_app(
                 warps_launched=artifacts.warps_launched,
                 divergence_depth_high_water=artifacts.divergence_depth_high_water,
             )
+            if replay is not None:
+                span.attrs["replay_launches_skipped"] = artifacts.replay_launches_skipped
     return artifacts

@@ -114,7 +114,7 @@ class TestHooksAndMetrics:
         )
         result = engine.run_transient()
         assert len(result.results) == 3
-        assert ["golden", "profile", "select", "inject"] == phases
+        assert ["golden", "replay", "profile", "select", "inject"] == phases
         assert [s[0] for s in seen] == [1, 2, 3]
         assert all(total == 3 for _, total, _ in seen)
         assert engine.metrics.injections_done == 3

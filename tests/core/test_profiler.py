@@ -127,6 +127,42 @@ class TestApproximateProfiling:
         assert approx_counted * 4 == exact_counted
 
 
+class TestApproximateProfilePinned:
+    # The exact per-opcode histogram of one LoopyApp(4) launch (32 threads,
+    # 4 loop iterations); approximate mode copies it to later instances.
+    _FIRST = {
+        "MOV": 64, "PBK": 32, "ISETP": 160, "IADD": 128,
+        "BRA": 128, "BRK": 32, "EXIT": 32,
+    }
+
+    def test_approximate_profile_contents_pinned(self):
+        """Pin the complete approximate-mode profile of a mixed sequence.
+
+        Guards the launch-enter bookkeeping (a dead ``_pending`` attribute
+        used to be assigned there): later instances must append a *copy* of
+        the first instance's counts, flagged approximated, in launch order,
+        and the first instance's own record must come from instrumentation.
+        """
+        profile = _profile(LoopyApp((4, 8, 2)), ProfilingMode.APPROXIMATE)
+        assert [kp.kernel_name for kp in profile.kernels] == ["loopy"] * 3
+        assert [kp.invocation for kp in profile.kernels] == [0, 1, 2]
+        assert [kp.approximated for kp in profile.kernels] == [
+            False, True, True,
+        ]
+        assert [kp.counts for kp in profile.kernels] == [self._FIRST] * 3
+        # The copies are independent dicts, not aliases of instance 0's.
+        profile.kernels[1].counts["MOV"] = 0
+        assert profile.kernels[0].counts == self._FIRST
+
+    def test_profiler_state_clean_after_run(self):
+        """The tool carries no leftover per-launch state once the run ends."""
+        profiler = ProfilerTool(ProfilingMode.APPROXIMATE)
+        run_app(LoopyApp((4, 8)), preload=[profiler])
+        assert profiler._current is None
+        assert profiler._current_func is None
+        assert not hasattr(profiler, "_pending")
+
+
 class TestProfileDeterminism:
     def test_two_exact_profiles_identical(self):
         profile_a = _profile(LoopyApp((5, 9)), ProfilingMode.EXACT)

@@ -1,0 +1,290 @@
+"""Golden-replay unit tests: recording, on-disk round-trip, cursor guards.
+
+Campaign-level parity (serial/parallel/resumed ``results.csv`` bytes) lives
+in ``tests/core/test_fast_forward.py``; this file exercises the subsystem
+directly: delta capture under realloc/free, the binary format, and the
+cursor's fail-safe disarm rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gpusim.device import Device
+from repro.gpusim.replay import (
+    ReplayCursor,
+    ReplayRecorder,
+    ReplayRef,
+    load_replay_log,
+    save_replay_log,
+)
+from repro.mem.memory import PAGE_SIZE
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import SandboxConfig, run_app
+
+_MODULE = """
+.kernel fill
+.params 2
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    MOV R3, c[0x0][0x4] ;
+    SHL R4, R1, 2 ;
+    IADD R4, R4, R2 ;
+    IADD R5, R1, R3 ;
+    STG [R4], R5 ;
+    EXIT ;
+
+.kernel bump
+.params 1
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    SHL R4, R1, 2 ;
+    IADD R4, R4, R2 ;
+    LDG R5, [R4] ;
+    IADD R5, R5, 1 ;
+    STG [R4], R5 ;
+    EXIT ;
+"""
+
+
+class ReallocApp(Application):
+    """Launches across an alloc → free → realloc sequence.
+
+    The second allocation reuses (part of) the freed address range, so a
+    replay that mishandled allocator churn would restore stale bytes.
+    """
+
+    name = "replay_realloc_app"
+
+    def run(self, ctx: AppContext) -> None:
+        cuda = ctx.cuda
+        module = cuda.load_module(_MODULE)
+        fill = cuda.get_function(module, "fill")
+        bump = cuda.get_function(module, "bump")
+
+        first = cuda.alloc(64, dtype=np.int32)
+        cuda.launch(fill, 2, 32, first.address, 100)
+        cuda.launch(bump, 2, 32, first.address)
+        first.free()
+
+        second = cuda.alloc(96, dtype=np.int32)
+        cuda.launch(fill, 3, 32, second.address, 500)
+        cuda.launch(bump, 3, 32, second.address)
+        result = second.to_host()
+        ctx.print("sum", int(result.sum()))
+        second.free()
+
+
+def _record(app, config=None) -> tuple:
+    recorder = ReplayRecorder()
+    artifacts = run_app(app, config=config, recorder=recorder)
+    log = recorder.log()
+    assert log is not None
+    return artifacts, log
+
+
+class TestRecording:
+    def test_one_delta_per_launch(self):
+        _, log = _record(ReallocApp())
+        assert [(rec.kernel_name, rec.instance) for rec in log.launches] == [
+            ("fill", 0), ("bump", 0), ("fill", 1), ("bump", 1),
+        ]
+        assert all(rec.pages.size > 0 for rec in log.launches)
+
+    def test_counter_deltas_sum_to_run_totals(self):
+        artifacts, log = _record(ReallocApp())
+        assert (
+            sum(rec.instructions for rec in log.launches)
+            == artifacts.instructions_executed
+        )
+        assert sum(rec.warps for rec in log.launches) == artifacts.warps_launched
+
+    def test_faulted_launch_aborts_recording(self):
+        class Crashing(Application):
+            name = "replay_crash_app"
+
+            def run(self, ctx: AppContext) -> None:
+                module = ctx.cuda.load_module(_MODULE)
+                bump = ctx.cuda.get_function(module, "bump")
+                ctx.cuda.launch(bump, 1, 32, 0)  # unmapped address
+
+        recorder = ReplayRecorder()
+        artifacts = run_app(Crashing(), recorder=recorder)
+        # The driver absorbs the device fault into a sticky CUDA error; the
+        # recording must still be discarded (partial writes happened).
+        assert artifacts.cuda_errors
+        assert recorder.log() is None
+
+    def test_stop_launch_lookup(self):
+        _, log = _record(ReallocApp())
+        assert log.stop_launch_for("fill", 0) == 0
+        assert log.stop_launch_for("bump", 1) == 3
+        assert log.stop_launch_for("fill", 7) is None
+        assert log.stop_launch_for("nope", 0) is None
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        loaded = load_replay_log(path)
+        assert loaded.mem_size == log.mem_size
+        assert len(loaded.launches) == len(log.launches)
+        for original, thawed in zip(log.launches, loaded.launches):
+            assert thawed.kernel_name == original.kernel_name
+            assert thawed.instance == original.instance
+            assert thawed.grid == original.grid
+            assert thawed.block == original.block
+            assert thawed.args == original.args
+            assert thawed.instructions == original.instructions
+            assert thawed.cycles == original.cycles
+            assert np.array_equal(thawed.pages, original.pages)
+            assert np.array_equal(thawed.data, original.data)
+
+    def test_load_is_cached_per_process(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        assert load_replay_log(path) is load_replay_log(path)
+
+    def test_overwritten_log_reloaded(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        first = load_replay_log(path)
+        import os
+
+        save_replay_log(log, path)
+        os.utime(path, ns=(1, 1))  # force a different mtime
+        assert load_replay_log(path) is not first
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_a_log.bin"
+        path.write_bytes(b"garbage that is not a replay log")
+        with pytest.raises(ReproError, match="bad magic"):
+            load_replay_log(path)
+
+    def test_unreadable_ref_degrades_to_none(self, tmp_path):
+        ref = ReplayRef(path=str(tmp_path / "missing.bin"), stop_launch=2)
+        assert ref.cursor() is None
+
+
+class TestCursorReplay:
+    def _replay_run(self, stop_launch: int, tmp_path):
+        """One recorded golden + one fast-forwarded re-run of ReallocApp."""
+        golden, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=stop_launch).cursor()
+        replayed = run_app(ReallocApp(), replay=cursor)
+        return golden, replayed, cursor
+
+    @pytest.mark.parametrize("stop_launch", [1, 2, 3, 4])
+    def test_replayed_run_is_bit_identical(self, stop_launch, tmp_path):
+        golden, replayed, cursor = self._replay_run(stop_launch, tmp_path)
+        assert replayed.stdout == golden.stdout
+        assert replayed.instructions_executed == golden.instructions_executed
+        assert replayed.cycles == golden.cycles
+        assert replayed.warps_launched == golden.warps_launched
+        assert replayed.exit_status == 0 and not replayed.crashed
+        assert cursor.skipped == stop_launch
+        assert replayed.replay_launches_skipped == stop_launch
+
+    def test_disarms_at_stop_launch(self, tmp_path):
+        _, _, cursor = self._replay_run(2, tmp_path)
+        assert not cursor.armed  # reached the target, simulated from there
+
+    def test_instrumented_launch_never_replayed(self, tmp_path):
+        """The divergence guard: any instrumented launch (the injection
+        target and anything after it) must simulate, even inside the
+        replay window."""
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=4).cursor()
+        device = Device(global_mem_bytes=64 * 1024 * 1024)
+        rec = cursor.consult(
+            device,
+            log.launches[0].kernel_name,
+            log.launches[0].grid,
+            log.launches[0].block,
+            log.launches[0].args,
+            log.launches[0].shared_bytes,
+            instrumented=True,
+        )
+        assert rec is None and not cursor.armed
+
+    def test_metadata_mismatch_disarms(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=4).cursor()
+        device = Device(global_mem_bytes=64 * 1024 * 1024)
+        rec = cursor.consult(
+            device,
+            "some_other_kernel",
+            log.launches[0].grid,
+            log.launches[0].block,
+            log.launches[0].args,
+            log.launches[0].shared_bytes,
+            instrumented=False,
+        )
+        assert rec is None and not cursor.armed
+
+    def test_mem_size_mismatch_disarms(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=4).cursor()
+        small = Device(global_mem_bytes=1 << 20)
+        first = log.launches[0]
+        rec = cursor.consult(
+            small, first.kernel_name, first.grid, first.block, first.args,
+            first.shared_bytes, instrumented=False,
+        )
+        assert rec is None and not cursor.armed
+
+    def test_stop_launch_clamped_to_log(self, tmp_path):
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=99).cursor()
+        assert cursor.stop_launch == len(log.launches)
+
+
+class TestDirtyPageTracking:
+    def test_atomics_tracked(self):
+        """Atomics mutate memory bypassing store32; the recorder must still
+        see their pages (this bit 354.cg's reduction kernels)."""
+        module = """
+.kernel atomic_inc
+.params 1
+    MOV R2, c[0x0][0x0] ;
+    MOV R3, 1 ;
+    ATOM R4, [R2], R3 ;
+    EXIT ;
+"""
+
+        class AtomicApp(Application):
+            name = "replay_atomic_app"
+
+            def run(self, ctx: AppContext) -> None:
+                mod = ctx.cuda.load_module(module)
+                func = ctx.cuda.get_function(mod, "atomic_inc")
+                buf = ctx.cuda.alloc(4, dtype=np.int32)
+                buf.from_host(np.zeros(4, dtype=np.int32))
+                ctx.cuda.launch(func, 1, 32, buf.address)
+                ctx.print("count", int(buf.to_host()[0]))
+
+        _, log = _record(AtomicApp())
+        assert log.launches[0].pages.size > 0
+
+    def test_host_writes_outside_window_untracked(self):
+        device = Device(global_mem_bytes=1 << 20)
+        mem = device.global_mem
+        address = mem.alloc(PAGE_SIZE)
+        mem.write_bytes(address, b"x" * 16)  # no window open: untracked
+        mem.begin_write_tracking()
+        pages = mem.end_write_tracking()
+        assert pages.size == 0

@@ -1,0 +1,127 @@
+"""The SM's hooks-free fast path and pre-resolved handler tables.
+
+Uninstrumented launches (golden runs, every non-target launch of an
+injection run) dispatch through ``_run_slice_fast``: no per-pc hook
+lookups, and each instruction's handler resolved once per kernel instead
+of ``HANDLERS.get(opcode)`` per dynamic instruction.  These tests pin the
+invariant that the fast path is an *optimisation only* — counts, state and
+trap behaviour are identical to the instrumented path.
+"""
+
+import pytest
+
+from repro.core.profiler import ProfilerTool, ProfilingMode
+from repro.errors import DeviceTrap
+from repro.gpusim.device import Device
+from repro.gpusim.sm import _CONTROL, _handler_table
+from repro.nvbit.instr import IPoint
+from repro.nvbit.tool import NVBitTool
+from repro.runner.app import AppContext, Application
+from repro.runner.sandbox import run_app
+from repro.sass import assemble
+
+_KERNEL = """
+.kernel mixed
+.params 1
+    MOV R1, RZ ;
+    MOV R2, c[0x0][0x0] ;
+    PBK DONE ;
+LOOP:
+    ISETP.GE P0, R1, R2 ;
+@P0 BRK ;
+    IADD R1, R1, 1 ;
+    BRA LOOP ;
+DONE:
+    EXIT ;
+"""
+
+
+class MixedApp(Application):
+    name = "sm_fastpath_app"
+
+    def run(self, ctx: AppContext) -> None:
+        module = ctx.cuda.load_module(_KERNEL)
+        func = ctx.cuda.get_function(module, "mixed")
+        for count in (3, 7):
+            ctx.cuda.launch(func, 2, 48, count)
+
+
+class _NoopTool(NVBitTool):
+    """Instruments every instruction with a do-nothing callback, forcing
+    every launch down the hooked (slow) dispatch path."""
+
+    name = "noop"
+
+    def nvbit_at_cuda_event(self, driver, event, payload, is_exit) -> None:
+        from repro.cuda.driver import CudaEvent
+
+        if event is CudaEvent.LAUNCH_KERNEL and not is_exit:
+            for instr in self.nvbit.get_instrs(payload.func):
+                instr.insert_call(lambda site: None, IPoint.AFTER)
+            self.nvbit.enable_instrumented(payload.func, True)
+
+
+class TestFastPathParity:
+    def test_dynamic_counts_match_hooked_path(self):
+        """The fast path must retire exactly the instructions the hooked
+        path retires (instrumentation charges cycles, never instructions)."""
+        fast = run_app(MixedApp())
+        hooked = run_app(MixedApp(), preload=[_NoopTool()])
+        assert fast.instructions_executed == hooked.instructions_executed
+        assert fast.warps_launched == hooked.warps_launched
+        assert (
+            fast.divergence_depth_high_water
+            == hooked.divergence_depth_high_water
+        )
+
+    def test_profiled_counts_unchanged(self):
+        """The profiler (hooked path) still sees every executed lane; its
+        total equals the uninstrumented run's retirement count scaled by
+        active lanes — pinned here via two identical profiling runs."""
+        profiler_a = ProfilerTool(ProfilingMode.EXACT)
+        profiler_b = ProfilerTool(ProfilingMode.EXACT)
+        run_app(MixedApp(), preload=[profiler_a])
+        run_app(MixedApp(), preload=[profiler_b])
+        assert profiler_a.profile.to_text() == profiler_b.profile.to_text()
+        assert profiler_a.profile.total_count() > 0
+
+
+class TestHandlerTable:
+    def test_table_cached_on_kernel(self):
+        kernel = assemble(_KERNEL).get("mixed")
+        table = _handler_table(kernel)
+        assert _handler_table(kernel) is table
+        assert len(table) == len(kernel.instructions)
+
+    def test_table_rebuilt_when_instructions_change(self):
+        kernel = assemble(_KERNEL).get("mixed")
+        table = _handler_table(kernel)
+        kernel.instructions = kernel.instructions[:-1]
+        rebuilt = _handler_table(kernel)
+        assert rebuilt is not table
+        assert len(rebuilt) == len(kernel.instructions)
+
+    def test_control_opcodes_marked(self):
+        kernel = assemble(_KERNEL).get("mixed")
+        table = _handler_table(kernel)
+        opcodes = [instr.opcode for instr in kernel.instructions]
+        for opcode, entry in zip(opcodes, table):
+            if opcode in ("PBK", "BRK", "BRA", "EXIT"):
+                assert entry is _CONTROL
+            else:
+                assert callable(entry) and entry is not _CONTROL
+
+    def test_unknown_opcode_traps_only_when_executed(self, device=None):
+        """Pre-resolution must not turn load-time resolution failures into
+        launch-time errors: an unexecuted unknown opcode stays harmless."""
+        device = Device(num_sms=1, global_mem_bytes=1 << 20)
+        benign = assemble(
+            ".kernel k\n    BRA END ;\n    HADD2 R0, R1, R2 ;\nEND:\n    EXIT ;"
+        ).get("k")
+        device.launch(benign, 1, 32, [])  # jumps over the unknown opcode
+
+        trapping = assemble(
+            ".kernel k\n    HADD2 R0, R1, R2 ;\n    EXIT ;"
+        ).get("k")
+        with pytest.raises(DeviceTrap, match="no execution semantics"):
+            device.launch(trapping, 1, 32, [])

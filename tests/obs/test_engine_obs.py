@@ -156,7 +156,7 @@ class TestEngineMetrics:
         assert metrics.injections_total == 2
         assert metrics.injections_loaded == 0
         assert set(metrics.phase_seconds) == {
-            "golden", "profile", "select", "inject",
+            "golden", "replay", "profile", "select", "inject",
         }
         assert metrics.injections_per_second > 0
         assert "inj/s" in metrics.summary()

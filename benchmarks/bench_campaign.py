@@ -3,14 +3,17 @@
 The repo's perf north-star is campaign throughput: NVBitFI's headline
 claim (paper §III-C, Figures 4–5) is that injection runs cost barely more
 than uninstrumented runs.  This benchmark measures a real transient
-campaign end-to-end (golden + profile + select + inject) in four
-configurations — {serial, parallel} x {fast-forward on, off} — and
-persists the numbers to ``BENCH_campaign.json`` at the repo root so the
-trajectory is tracked across PRs.
+campaign end-to-end (golden + profile + select + inject) in five
+configurations — serial {full, pre-target replay only, pre + tail replay}
+and parallel {full, pre + tail} — and persists the numbers to
+``BENCH_campaign.json`` at the repo root so the trajectory is tracked
+across PRs.
 
 Fast-forward (see :mod:`repro.gpusim.replay` and ``docs/performance.md``)
 must never change results: every configuration's ``results.csv`` is
 asserted byte-identical against the serial full-simulation baseline.
+The tail rows additionally report how many faults re-converged with the
+golden run and how many launches the re-armed tape skipped.
 
 Knobs: ``REPRO_QUICK=1`` shrinks to a CI-smoke size (parity still
 asserted); ``REPRO_BENCH_WORKLOAD`` / ``REPRO_BENCH_FAULTS`` override the
@@ -34,10 +37,12 @@ from repro.utils.text import format_table
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
-# Wall-clock floor for fast-forward on the default (late-kernel-heavy)
-# campaign.  Quick/CI runs are too small to amortize the fixed phases, so
-# they assert parity only.
+# Wall-clock floors on the default (late-kernel-heavy) campaign: pre-target
+# replay vs full simulation, and the additional factor the tail must buy on
+# top of pre-target replay.  Quick/CI runs are too small to amortize the
+# fixed phases, so they assert parity only.
 _MIN_SPEEDUP = 2.0
+_MIN_TAIL_SPEEDUP = 1.3
 
 
 def _workload() -> str:
@@ -52,7 +57,7 @@ def _faults() -> int:
     return int(os.environ.get("REPRO_BENCH_FAULTS", "50"))
 
 
-def _run_campaign(tmp_path, label, fast_forward, workers):
+def _run_campaign(tmp_path, label, fast_forward, tail, workers):
     """One full campaign; returns (seconds, counters-snapshot, results.csv)."""
     store_dir = tmp_path / label
     registry = MetricsRegistry()
@@ -63,6 +68,7 @@ def _run_campaign(tmp_path, label, fast_forward, workers):
             num_transient=_faults(),
             seed=campaign_seed(),
             fast_forward=fast_forward,
+            tail_fast_forward=tail,
         ),
         store=CampaignStore(store_dir),
         executor=ParallelExecutor(max_workers=workers) if workers else None,
@@ -77,18 +83,20 @@ def _run_campaign(tmp_path, label, fast_forward, workers):
 
 def test_campaign_wall_clock(benchmark, tmp_path):
     matrix = [
-        ("serial", "full", False, 0),
-        ("serial", "ff", True, 0),
-        ("parallel", "full", False, 2),
-        ("parallel", "ff", True, 2),
+        # (executor, mode, fast_forward, tail_fast_forward, workers)
+        ("serial", "full", False, False, 0),
+        ("serial", "ff", True, False, 0),
+        ("serial", "ff+tail", True, True, 0),
+        ("parallel", "full", False, False, 2),
+        ("parallel", "ff+tail", True, True, 2),
     ]
 
     def run_all():
         return {
             (executor, mode): _run_campaign(
-                tmp_path, f"{executor}-{mode}", fast_forward, workers
+                tmp_path, f"{executor}-{mode}", fast_forward, tail, workers
             )
-            for executor, mode, fast_forward, workers in matrix
+            for executor, mode, fast_forward, tail, workers in matrix
         }
 
     measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -100,31 +108,48 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         assert csv == baseline, f"results.csv diverged for {key}"
 
     runs = []
-    for executor, mode, fast_forward, workers in matrix:
+    for executor, mode, fast_forward, tail, workers in matrix:
         seconds, counters, _ = measured[(executor, mode)]
         runs.append({
             "executor": executor,
+            "mode": mode,
             "workers": workers or 1,
             "fast_forward": fast_forward,
+            "tail_fast_forward": tail,
             "seconds": round(seconds, 3),
             "simulated_cycles": int(counters.get("gpusim.cycles", 0)),
             "replay_hits": int(counters.get("engine.replay.hits", 0)),
             "replay_launches_skipped": int(
                 counters.get("engine.replay.launches_skipped", 0)
             ),
+            "faults_converged": int(counters.get("engine.replay.tail_hits", 0)),
+            "tail_launches_skipped": int(
+                counters.get("engine.replay.tail_launches_skipped", 0)
+            ),
         })
 
-    # Replayed launches reconstruct their cycle accounting from the golden
-    # recording, so the simulated-cycle totals agree exactly.
-    assert runs[0]["simulated_cycles"] == runs[1]["simulated_cycles"]
-    assert runs[1]["replay_launches_skipped"] > 0
+    # Replayed launches (pre-target and tail alike) reconstruct their cycle
+    # accounting from the golden recording, so every configuration reports
+    # the identical simulated-cycle total.
+    cycle_totals = {r["simulated_cycles"] for r in runs}
+    assert len(cycle_totals) == 1, f"simulated cycles diverged: {cycle_totals}"
+    by_mode = {(r["executor"], r["mode"]): r for r in runs}
+    assert by_mode[("serial", "ff")]["replay_launches_skipped"] > 0
+    assert by_mode[("serial", "ff")]["faults_converged"] == 0  # tail off
+    assert by_mode[("serial", "ff+tail")]["faults_converged"] > 0
+    assert by_mode[("serial", "ff+tail")]["tail_launches_skipped"] > 0
 
+    serial_full = measured[("serial", "full")][0]
+    serial_ff = measured[("serial", "ff")][0]
+    serial_tail = measured[("serial", "ff+tail")][0]
     speedup = {
-        "serial": round(
-            measured[("serial", "full")][0] / measured[("serial", "ff")][0], 2
-        ),
+        "serial": round(serial_full / serial_ff, 2),
+        "serial_tail": round(serial_ff / serial_tail, 2),
+        "serial_total": round(serial_full / serial_tail, 2),
         "parallel": round(
-            measured[("parallel", "full")][0] / measured[("parallel", "ff")][0], 2
+            measured[("parallel", "full")][0]
+            / measured[("parallel", "ff+tail")][0],
+            2,
         ),
     }
     payload = {
@@ -142,20 +167,36 @@ def test_campaign_wall_clock(benchmark, tmp_path):
     rows = [
         [
             r["executor"],
-            "on" if r["fast_forward"] else "off",
+            r["mode"],
             f"{r['seconds']:.2f}s",
             f"{r['simulated_cycles'] / 1e6:.1f} Mcyc",
             r["replay_launches_skipped"],
+            r["faults_converged"],
+            r["tail_launches_skipped"],
         ]
         for r in runs
     ]
-    rows.append(["speedup (serial)", "-", f"{speedup['serial']:.2f}x", "-", "-"])
-    rows.append(["speedup (parallel)", "-", f"{speedup['parallel']:.2f}x", "-", "-"])
+    rows.append([
+        "speedup (serial ff/full)", "-", f"{speedup['serial']:.2f}x",
+        "-", "-", "-", "-",
+    ])
+    rows.append([
+        "speedup (serial tail/ff)", "-", f"{speedup['serial_tail']:.2f}x",
+        "-", "-", "-", "-",
+    ])
+    rows.append([
+        "speedup (serial total)", "-", f"{speedup['serial_total']:.2f}x",
+        "-", "-", "-", "-",
+    ])
+    rows.append([
+        "speedup (parallel)", "-", f"{speedup['parallel']:.2f}x",
+        "-", "-", "-", "-",
+    ])
     emit(
         "campaign_wall_clock",
         format_table(
-            ["Executor", "Fast-forward", "Wall clock", "Simulated cycles",
-             "Launches replayed"],
+            ["Executor", "Mode", "Wall clock", "Simulated cycles",
+             "Pre-replayed", "Faults converged", "Tail-replayed"],
             rows,
             title=f"Campaign wall clock: {_faults()} transient faults on "
                   f"{_workload()} (results.csv byte-identical throughout)",
@@ -166,4 +207,9 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         assert speedup["serial"] >= _MIN_SPEEDUP, (
             f"fast-forward speedup regressed: {speedup['serial']:.2f}x < "
             f"{_MIN_SPEEDUP}x (see {BENCH_PATH})"
+        )
+        assert speedup["serial_tail"] >= _MIN_TAIL_SPEEDUP, (
+            f"tail fast-forward speedup regressed: "
+            f"{speedup['serial_tail']:.2f}x < {_MIN_TAIL_SPEEDUP}x "
+            f"(see {BENCH_PATH})"
         )

@@ -163,6 +163,7 @@ def run_campaign(
     retry: RetryPolicy | None = None,
     kind: str = "transient",
     fast_forward: bool | None = None,
+    tail_fast_forward: bool | None = None,
 ) -> TransientCampaignResult | PermanentCampaignResult:
     """Run (or resume) a full campaign described by ``config``.
 
@@ -181,8 +182,11 @@ def run_campaign(
     ``fast_forward`` overrides ``config.fast_forward``: golden-replay
     fast-forward, which skips simulating launches before each injection
     target by applying write deltas recorded during the golden run.
-    ``results.csv`` is byte-identical either way (see
-    ``docs/performance.md``).
+    ``tail_fast_forward`` overrides ``config.tail_fast_forward``: once an
+    injection run's state re-converges with the golden run at a launch
+    boundary, the remaining launches replay from the same recording
+    (effective only while ``fast_forward`` is on).  ``results.csv`` is
+    byte-identical either way (see ``docs/performance.md``).
     """
     if not config.workload:
         raise ReproError(
@@ -193,6 +197,8 @@ def run_campaign(
         config = replace(config, retry=retry)
     if fast_forward is not None:
         config = replace(config, fast_forward=fast_forward)
+    if tail_fast_forward is not None:
+        config = replace(config, tail_fast_forward=tail_fast_forward)
     engine = CampaignEngine(
         config.workload,
         config,

@@ -55,6 +55,14 @@ class CampaignConfig:
     the recorded deltas for launches before the target instead of
     simulating them.  Results are byte-identical either way; the knob only
     trades golden-run recording overhead against injection-run speed.
+
+    ``tail_fast_forward`` extends fast-forward past the target: each
+    injection run tracks the set of global-memory pages diverging from the
+    golden run and, once the set empties at a launch boundary (the fault
+    is architecturally dead), replays the remaining launches from the same
+    recording.  Results stay byte-identical.  It is effective only while
+    ``fast_forward`` is on — ``fast_forward=False`` is the global kill
+    switch that disables recording entirely.
     """
 
     group: InstructionGroup = InstructionGroup.G_GP
@@ -67,6 +75,7 @@ class CampaignConfig:
     workload: str | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fast_forward: bool = True
+    tail_fast_forward: bool = True
 
 
 @dataclass

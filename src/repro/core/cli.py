@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "replaying write deltas recorded during the "
                                "golden run (results are byte-identical "
                                "either way)")
+    campaign.add_argument("--tail-fast-forward",
+                          action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="tail fast-forward: once an injection run's "
+                               "memory re-converges with the golden run at a "
+                               "launch boundary, replay the remaining "
+                               "launches from the golden recording (needs "
+                               "--fast-forward; results are byte-identical "
+                               "either way)")
 
     trace = sub.add_parser(
         "trace", help="summarise a campaign trace file (per-phase times)"
@@ -302,6 +311,7 @@ def _main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             ),
             fast_forward=args.fast_forward,
+            tail_fast_forward=args.tail_fast_forward,
         )
 
         class _Progress(EngineHooks):

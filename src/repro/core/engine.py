@@ -82,6 +82,7 @@ from repro.errors import ReproError
 from repro.gpusim.replay import ReplayRecorder, ReplayRef, save_replay_log
 from repro.obs import (
     INSTRUCTION_BUCKETS,
+    LAUNCH_BUCKETS,
     NULL_TRACER,
     MemorySink,
     MetricsRegistry,
@@ -713,18 +714,27 @@ class CampaignEngine:
         """The fast-forward reference for one transient site (or None).
 
         ``stop_launch`` is the golden sequence number of the targeted
-        launch: everything strictly before it replays, the target and
-        everything after simulate.  Sites whose target is the very first
-        launch (or is not in the log) gain nothing and carry no reference.
+        launch: everything strictly before it replays (``pre``), the target
+        simulates, and — with ``tail_fast_forward`` — the launches after it
+        replay again once the run's memory re-converges with golden.  A
+        site targeting the very first launch has no pre window but still
+        carries a tail-only reference; sites absent from the log carry
+        none.
         """
         if self._replay_log is None or self._replay_path is None:
             return None
         stop = self._replay_log.stop_launch_for(
             site.kernel_name, site.kernel_count
         )
-        if stop is None or stop <= 0:
+        if stop is None:
             return None
-        return ReplayRef(path=self._replay_path, stop_launch=stop)
+        pre = stop > 0
+        tail = self.config.tail_fast_forward
+        if not pre and not tail:
+            return None
+        return ReplayRef(
+            path=self._replay_path, stop_launch=stop, pre=pre, tail=tail
+        )
 
     def run_profile(self, mode: ProfilingMode | None = None) -> ProgramProfile:
         if self.golden is None:
@@ -1201,6 +1211,17 @@ class CampaignEngine:
             reg.counter("engine.replay.launches_skipped").inc(
                 artifacts.replay_launches_skipped
             )
+        if artifacts.replay_tail_skipped:
+            # Tail fast-forward: this run's fault went architecturally dead
+            # and the remaining launches replayed from the golden tape.
+            reg.counter("engine.replay.tail_hits").inc()
+            reg.counter("engine.replay.tail_launches_skipped").inc(
+                artifacts.replay_tail_skipped
+            )
+        if artifacts.replay_converged_at >= 0:
+            reg.histogram(
+                "engine.replay.converged_at_launch", LAUNCH_BUCKETS
+            ).observe(artifacts.replay_converged_at)
         if injection:
             reg.histogram(
                 "campaign.injection.instructions", INSTRUCTION_BUCKETS

@@ -103,8 +103,12 @@ class CudaDriver:
         self.interceptor = interceptor  # the NVBit runtime, if attached
         # Golden-replay fast-forward (repro.gpusim.replay.ReplayCursor):
         # launches strictly before the injection target apply the recorded
-        # golden delta instead of simulating.
+        # golden delta instead of simulating; with tail fast-forward the
+        # cursor also tracks post-target divergence (the device calls its
+        # begin/end launch hooks) and re-arms once state re-converges.
         self.replay = replay
+        if replay is not None:
+            device.replay_tracker = replay
         self.last_error = CudaError.SUCCESS
         self.error_log: list[tuple[CudaError, str]] = []
         self.modules: list[CudaModule] = []
@@ -157,6 +161,11 @@ class CudaDriver:
         self._dispatch(CudaEvent.MEMCPY_HTOD, (address, len(payload)), is_exit=False)
         try:
             self.device.global_mem.write_bytes(address, payload)
+            if self.replay is not None:
+                # Tail tracking: the payload is golden-identical (host state
+                # cannot have diverged while the DtoH/error guards hold), so
+                # it is mirrored into the golden shadow.
+                self.replay.note_host_write(address, bytes(payload))
             result = CudaError.SUCCESS
         except MemoryViolation as exc:
             result = self._record(CudaError.ERROR_ILLEGAL_ADDRESS, str(exc))
@@ -166,6 +175,10 @@ class CudaDriver:
     def cuMemcpyDtoH(self, address: int, nbytes: int) -> bytes:
         self._dispatch(CudaEvent.MEMCPY_DTOH, (address, nbytes), is_exit=False)
         data = self.device.global_mem.read_bytes(address, nbytes)
+        if self.replay is not None:
+            # Tail tracking: reading a divergent page makes the divergence
+            # host-visible, which permanently disarms tail fast-forward.
+            self.replay.note_host_read(address, nbytes)
         self._dispatch(CudaEvent.MEMCPY_DTOH, (address, nbytes), is_exit=True)
         return data
 
@@ -257,6 +270,11 @@ class CudaDriver:
     def _record(self, code: CudaError, detail: str) -> CudaError:
         self.last_error = code
         self.error_log.append((code, detail))
+        if self.replay is not None:
+            # The golden run recorded no errors (a faulted golden launch
+            # aborts recording), so any sticky error is an anomaly the host
+            # may branch on: tail fast-forward must never re-arm.
+            self.replay.disarm_tail()
         return code
 
     def _dispatch(self, event: CudaEvent, payload: Any, is_exit: bool) -> None:

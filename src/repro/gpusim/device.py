@@ -76,6 +76,11 @@ class Device:
         # when attached, every launch boundary captures its global-memory
         # write delta and end-of-launch counters.
         self.replay_recorder = None
+        # Tail fast-forward (repro.gpusim.replay.ReplayCursor): while the
+        # cursor is tracking post-target divergence, every simulated launch
+        # is bracketed by its begin/end hooks so the divergence set stays
+        # current at each launch boundary.
+        self.replay_tracker = None
 
     # -- watchdog ----------------------------------------------------------
 
@@ -141,6 +146,10 @@ class Device:
         recorder = self.replay_recorder
         if recorder is not None:
             recorder.begin_launch(self)
+        tracker = self.replay_tracker
+        tracking = tracker is not None and tracker.tracking
+        if tracking:
+            tracker.begin_simulated_launch(self)
 
         num_blocks = grid3[0] * grid3[1] * grid3[2]
         try:
@@ -175,15 +184,21 @@ class Device:
                         raise
         except BaseException:
             # A faulted launch leaves partial writes behind: any recording
-            # in progress would replay wrong state, so discard it entirely.
+            # in progress would replay wrong state, so discard it entirely;
+            # likewise a tracked launch's divergence set is no longer
+            # trustworthy, so the tail permanently disarms.
             if recorder is not None:
                 recorder.abort()
                 self.global_mem.end_write_tracking()
+            if tracking:
+                tracker.launch_faulted(self)
             raise
         if recorder is not None:
             recorder.end_launch(
                 self, kernel.name, grid3, block3, params, shared_bytes
             )
+        if tracking:
+            tracker.end_simulated_launch(self)
 
     # -- memory convenience (used by the CUDA runtime layer) -------------------
 

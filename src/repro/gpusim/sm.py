@@ -190,32 +190,34 @@ class SM:
 
 
 def _build_warps(kernel: Kernel, ctx: ExecContext) -> list[Warp]:
-    """Split a block's threads into warps with linearised thread ids."""
+    """Split a block's threads into warps with linearised thread ids.
+
+    All three thread-id components (and the valid mask) are built once for
+    the whole block — zero-padded to a warp multiple, then reshaped to
+    ``(num_warps, WARP_SIZE)`` — so each warp receives row views instead of
+    one ``np.concatenate`` per warp per component.
+    """
     bx, by, bz = ctx.ntid
     total = bx * by * bz
+    num_warps = -(-total // WARP_SIZE)
+    padded = num_warps * WARP_SIZE
     linear = np.arange(total, dtype=np.int64)
-    tid_x = (linear % bx).astype(np.uint32)
-    tid_y = (linear // bx % by).astype(np.uint32)
-    tid_z = (linear // (bx * by)).astype(np.uint32)
+    tid = np.zeros((3, padded), dtype=np.uint32)
+    tid[0, :total] = linear % bx
+    tid[1, :total] = linear // bx % by
+    tid[2, :total] = linear // (bx * by)
+    tid = tid.reshape(3, num_warps, WARP_SIZE)
+    valid = np.zeros(padded, dtype=bool)
+    valid[:total] = True
+    valid = valid.reshape(num_warps, WARP_SIZE)
     num_regs = kernel.num_regs
     warps = []
-    for start in range(0, total, WARP_SIZE):
-        lanes = min(WARP_SIZE, total - start)
-        valid = np.zeros(WARP_SIZE, dtype=bool)
-        valid[:lanes] = True
-        pad = WARP_SIZE - lanes
-
-        def _slice(arr: np.ndarray) -> np.ndarray:
-            chunk = arr[start : start + lanes]
-            if pad:
-                chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint32)])
-            return chunk.astype(np.uint32)
-
+    for warp_id in range(num_warps):
         warp = Warp(
-            warp_id=start // WARP_SIZE,
+            warp_id=warp_id,
             num_regs=num_regs,
-            valid_mask=valid,
-            tid=(_slice(tid_x), _slice(tid_y), _slice(tid_z)),
+            valid_mask=valid[warp_id],
+            tid=(tid[0, warp_id], tid[1, warp_id], tid[2, warp_id]),
             local_bytes=kernel.local_bytes,
         )
         warp.ctx = ctx

@@ -19,6 +19,13 @@ from repro.mem.allocator import Allocator
 PAGE_SIZE = 256
 PAGE_SHIFT = 8
 
+# The widest device store is 8 bytes (store64); an aligned W-byte store at
+# address A has A % W == 0, so A // PAGE_SIZE == (A + W - 1) // PAGE_SIZE
+# whenever PAGE_SIZE % W == 0.  That is why note_stores / store32 / store64
+# may page-index only the *starting* address of each lane's access — host
+# write_bytes has no alignment contract and must span first..last page.
+assert PAGE_SIZE % 8 == 0 and PAGE_SIZE == 1 << PAGE_SHIFT
+
 
 class GlobalMemory:
     """Device global memory: a flat byte array plus an allocation map."""
@@ -56,6 +63,39 @@ class GlobalMemory:
         active = addresses[mask]
         if active.size:
             self._dirty.update(np.unique(active >> PAGE_SHIFT).tolist())
+
+    def shadow_copy(self) -> np.ndarray:
+        """A same-sized golden-memory mirror, copying only allocated spans.
+
+        Tail fast-forward snapshots this at the injection-target boundary.
+        Untouched memory is zero on both sides (``data`` starts zeroed), so
+        skipping unallocated ranges is exact for every page the allocator
+        has never handed out.  Pages of *freed* allocations may hold stale
+        bytes the zeroed mirror lacks — but a page only ever enters the
+        divergence comparison after a post-target write, and the recorded
+        golden delta (applied to the mirror first) carries full-page
+        contents, stale bytes included.  A freed-stale page the tape never
+        rewrites can therefore only report a false *divergence* — which
+        merely keeps the tail disarmed, never replays wrong state.
+        """
+        out = np.zeros(self.size, dtype=np.uint8)
+        for start, end in zip(self._starts.tolist(), self._ends.tolist()):
+            out[start:end] = self.data[start:end]
+        return out
+
+    def diff_pages(self, shadow: np.ndarray, pages: np.ndarray) -> np.ndarray:
+        """Among ``pages``, those whose live contents differ from ``shadow``.
+
+        Tail fast-forward (:mod:`repro.gpusim.replay`) maintains its
+        divergence set with this: ``shadow`` is a same-sized golden-memory
+        mirror and the comparison is one vectorised per-page reduction over
+        only the candidate pages.
+        """
+        if pages.size == 0:
+            return pages
+        mine = self.data.reshape(-1, PAGE_SIZE)[pages]
+        theirs = shadow.reshape(-1, PAGE_SIZE)[pages]
+        return pages[(mine != theirs).any(axis=1)]
 
     # -- allocation ---------------------------------------------------------
 

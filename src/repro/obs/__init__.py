@@ -26,6 +26,7 @@ from repro.obs.events import (
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     INSTRUCTION_BUCKETS,
+    LAUNCH_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -49,6 +50,7 @@ __all__ = [
     "Histogram",
     "DEFAULT_BUCKETS",
     "INSTRUCTION_BUCKETS",
+    "LAUNCH_BUCKETS",
     "load_trace",
     "spans",
     "phase_durations",

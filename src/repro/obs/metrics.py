@@ -23,6 +23,12 @@ INSTRUCTION_BUCKETS = (
     1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
 )
 
+# 1-2-5 buckets for launch-sequence indices (e.g. the launch at which a
+# tail-fast-forwarded run re-converged with the golden recording).
+LAUNCH_BUCKETS = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+)
+
 
 class Counter:
     """A monotonically increasing value."""

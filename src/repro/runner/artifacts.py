@@ -24,6 +24,8 @@ class RunArtifacts:
     warps_launched: int = 0
     divergence_depth_high_water: int = 0  # deepest SIMT stack seen
     replay_launches_skipped: int = 0  # launches fast-forwarded from the golden log
+    replay_tail_skipped: int = 0  # launches tail-replayed after re-convergence
+    replay_converged_at: int = -1  # launch seq where divergence emptied (-1: never)
 
     @property
     def anomalies(self) -> list[str]:

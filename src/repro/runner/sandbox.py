@@ -182,6 +182,9 @@ def run_app(
         artifacts.divergence_depth_high_water = device.divergence_depth_high_water
         if replay is not None:
             artifacts.replay_launches_skipped = replay.skipped
+            artifacts.replay_tail_skipped = replay.tail_skipped
+            if replay.converged_at is not None:
+                artifacts.replay_converged_at = replay.converged_at
         if span is not None:  # NullTracer yields None
             span.attrs.update(
                 exit_status=artifacts.exit_status,
@@ -194,4 +197,6 @@ def run_app(
             )
             if replay is not None:
                 span.attrs["replay_launches_skipped"] = artifacts.replay_launches_skipped
+                span.attrs["replay_tail_skipped"] = artifacts.replay_tail_skipped
+                span.attrs["replay_converged_at"] = artifacts.replay_converged_at
     return artifacts

@@ -152,6 +152,51 @@ class TestObservabilityFlags:
             TransientParams(**site)  # must reconstruct
 
 
+class TestHelpSnapshots:
+    """Help-text snapshots: every user-facing knob must stay advertised.
+
+    A flag silently dropped from the parser (or renamed) changes the
+    public interface; these assertions pin the inventory without pinning
+    argparse's exact formatting."""
+
+    def _help(self, capsys, *argv):
+        with pytest.raises(SystemExit) as exc:
+            main([*argv, "--help"])
+        assert exc.value.code == 0
+        return capsys.readouterr().out
+
+    def test_top_level_lists_every_subcommand(self, capsys):
+        out = self._help(capsys)
+        for sub in ("list", "profile", "select", "inject", "campaign",
+                    "trace", "dump"):
+            assert sub in out
+
+    def test_campaign_lists_every_knob(self, capsys):
+        out = self._help(capsys, "campaign")
+        for flag in (
+            "--injections", "--group", "--model", "--permanent",
+            "--workers", "--chunksize", "--store", "--progress",
+            "--format", "--max-attempts", "--task-timeout", "--on-failure",
+            "--fast-forward", "--no-fast-forward",
+            "--tail-fast-forward", "--no-tail-fast-forward",
+            "--seed", "--trace", "--metrics",
+        ):
+            assert flag in out, f"{flag} missing from campaign --help"
+
+    def test_tail_help_states_the_contract(self, capsys):
+        """The tail knob's help must say what makes it safe to leave on.
+        (argparse may wrap hyphenated words, so compare ignoring
+        whitespace.)"""
+        out = "".join(self._help(capsys, "campaign").split())
+        assert "byte-identical" in out
+        assert "re-convergeswiththegoldenrun" in out
+
+    def test_inject_lists_sandbox_flags(self, capsys):
+        out = self._help(capsys, "inject")
+        for flag in ("--seed", "--family", "--num-sms", "--env"):
+            assert flag in out
+
+
 class TestCampaignCommand:
     def test_transient_campaign(self, capsys):
         assert main(["campaign", "360.ilbdc", "--injections", "4", "--seed", "2"]) == 0

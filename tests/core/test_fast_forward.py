@@ -1,8 +1,9 @@
 """Campaign-level golden-replay fast-forward: byte-parity and counters.
 
-The contract (ISSUE: golden-replay fast-forward): ``results.csv`` is
-byte-identical with fast-forward on or off — serial, parallel, resumed,
-and campaigns containing quarantined failures — because replayed launches
+The contract (ISSUE: golden-replay + tail fast-forward): ``results.csv``
+is byte-identical with fast-forward — pre-target replay *and* tail
+replay-after-re-convergence — on or off, for serial, parallel, resumed,
+and campaigns containing quarantined failures, because replayed launches
 restore the exact recorded write deltas and counter deltas.
 """
 
@@ -108,8 +109,65 @@ class TestResultsByteParity:
         assert b"Monitor detection" in ff  # the failures really quarantined
 
 
+class TestTailByteParity:
+    """Tail fast-forward on vs off (pre-target replay on in both): the
+    re-armed tape restores the exact deltas the simulator would produce,
+    so ``results.csv`` cannot move in any execution mode."""
+
+    def _pair(self, tmp_path, label, **overrides):
+        on = _results_csv(
+            tmp_path, f"{label}-tail", True, tail_fast_forward=True, **overrides
+        )
+        off = _results_csv(
+            tmp_path, f"{label}-notail", True, tail_fast_forward=False,
+            **overrides,
+        )
+        return on, off
+
+    def test_serial(self, tmp_path):
+        on, off = self._pair(tmp_path, "serial")
+        assert on == off
+
+    @pytest.mark.slow
+    def test_parallel(self, tmp_path):
+        executor = ParallelExecutor(max_workers=2)
+        on = _results_csv(
+            tmp_path, "par-tail", True, executor=executor,
+            tail_fast_forward=True,
+        )
+        off = _results_csv(
+            tmp_path, "par-notail", True, tail_fast_forward=False
+        )
+        assert on == off
+
+    def test_resumed(self, tmp_path):
+        for tail, label in ((True, "tail"), (False, "notail")):
+            store = CampaignStore(tmp_path / f"resumed-{label}")
+            config = CampaignConfig(
+                workload=_WORKLOAD, num_transient=_N, seed=_SEED,
+                fast_forward=True, tail_fast_forward=tail,
+            )
+            first = CampaignEngine(_WORKLOAD, config, store=store)
+            first.run_transient(first.select_sites()[:3])
+            resumed = CampaignEngine(_WORKLOAD, config, store=store)
+            resumed.run_transient()
+            assert resumed.metrics.injections_loaded == 3
+        on = (tmp_path / "resumed-tail" / "results.csv").read_bytes()
+        off = (tmp_path / "resumed-notail" / "results.csv").read_bytes()
+        assert on == off
+
+    def test_quarantine(self, tmp_path):
+        retry = RetryPolicy(max_attempts=1, jitter=0.0)
+        on, off = self._pair(
+            tmp_path, "chaos",
+            workload=FFChaosOMriq.name, num_transient=12, seed=4, retry=retry,
+        )
+        assert on == off
+        assert b"Monitor detection" in on  # the failures really quarantined
+
+
 class TestReplayObservability:
-    def _run(self, fast_forward):
+    def _run(self, fast_forward, tail_fast_forward=True):
         sink = MemorySink()
         registry = MetricsRegistry()
         engine = CampaignEngine(
@@ -117,6 +175,7 @@ class TestReplayObservability:
             CampaignConfig(
                 workload=_WORKLOAD, num_transient=_N, seed=_SEED,
                 fast_forward=fast_forward,
+                tail_fast_forward=tail_fast_forward,
             ),
             tracer=Tracer(sink=sink),
             metrics=registry,
@@ -151,14 +210,14 @@ class TestReplayObservability:
             index: log.stop_launch_for(site.kernel_name, site.kernel_count)
             for index, site in enumerate(sites)
         }
-        # Sites whose target is the very first launch (or is absent from the
-        # log) carry no fast-forward window: their runs simulate fully and
-        # have no replay attribute.  Every windowed site replays exactly the
-        # launches strictly before its target, never past it.
+        # Sites whose target is the very first launch have no pre-target
+        # window (their cursor is tail-only and reports 0 pre-replayed
+        # launches).  Every windowed site replays exactly the launches
+        # strictly before its target, never past it.
         windows = sorted(v for v in stops.values() if v)
         runs = [
             s for s in spans(sink.events, "run")
-            if "replay_launches_skipped" in s["attrs"]
+            if s["attrs"].get("replay_launches_skipped", 0) > 0
         ]
         assert len(spans(sink.events, "run")) >= _N
         assert len(runs) == len(windows)
@@ -167,3 +226,59 @@ class TestReplayObservability:
         assert all(v < len(log.launches) for v in windows)
         snap = registry.snapshot()["counters"]
         assert snap["engine.replay.launches_skipped"] == sum(windows)
+
+    def test_tail_counters_and_span_attrs(self):
+        """Masked faults dominate this campaign; at least one run must
+        re-converge and tail-replay, feeding the tail counters, the
+        converged-at histogram and the run-span attributes."""
+        engine, sink, registry = self._run(fast_forward=True)
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        assert counters["engine.replay.tail_hits"] > 0
+        assert (
+            counters["engine.replay.tail_launches_skipped"]
+            >= counters["engine.replay.tail_hits"]
+        )
+        histogram = snap["histograms"]["engine.replay.converged_at_launch"]
+        assert histogram["count"] == counters["engine.replay.tail_hits"]
+        converged = [
+            s for s in spans(sink.events, "run")
+            if s["attrs"].get("replay_tail_skipped", 0) > 0
+        ]
+        assert len(converged) == counters["engine.replay.tail_hits"]
+        log = engine._replay_log
+        for span in converged:
+            attrs = span["attrs"]
+            # The re-convergence boundary sits at or after the target and
+            # strictly before the end of the tape, and the tail replays
+            # exactly the remaining launches.
+            assert 0 <= attrs["replay_converged_at"] < len(log.launches)
+            assert attrs["replay_tail_skipped"] == (
+                len(log.launches) - attrs["replay_converged_at"]
+            )
+
+    def test_tail_disabled_leaves_no_tail_counters(self):
+        _, sink, registry = self._run(fast_forward=True, tail_fast_forward=False)
+        counters = registry.snapshot()["counters"]
+        assert counters["engine.replay.hits"] > 0  # pre-target replay still on
+        assert "engine.replay.tail_hits" not in counters
+        assert all(
+            s["attrs"].get("replay_tail_skipped", 0) == 0
+            for s in spans(sink.events, "run")
+        )
+
+    def test_api_override(self, tmp_path):
+        """run_campaign(tail_fast_forward=...) overrides the config knob."""
+        store = CampaignStore(tmp_path / "api-override")
+        registry = MetricsRegistry()
+        config = CampaignConfig(
+            workload=_WORKLOAD, num_transient=_N, seed=_SEED,
+            tail_fast_forward=True,
+        )
+        repro.run_campaign(
+            config, store=CampaignStore(tmp_path / "api-override"),
+            metrics=registry, tail_fast_forward=False,
+        )
+        assert "engine.replay.tail_hits" not in registry.snapshot()["counters"]
+        baseline = _results_csv(tmp_path, "api-baseline", True)
+        assert (store.root / "results.csv").read_bytes() == baseline

@@ -9,6 +9,10 @@ cursor's fail-safe disarm rules.
 import numpy as np
 import pytest
 
+from repro.core.bitflip import BitFlipModel
+from repro.core.groups import InstructionGroup
+from repro.core.injector import TransientInjectorTool
+from repro.core.params import TransientParams
 from repro.errors import ReproError
 from repro.gpusim.device import Device
 from repro.gpusim.replay import (
@@ -288,3 +292,307 @@ class TestDirtyPageTracking:
         mem.begin_write_tracking()
         pages = mem.end_write_tracking()
         assert pages.size == 0
+
+
+# -- tail fast-forward ----------------------------------------------------------
+
+
+class TailApp(Application):
+    """fill, bump (the injection target), fill-overwrite, bump, bump.
+
+    The second ``fill`` rewrites the whole buffer, so any fault confined to
+    it is architecturally dead by launch 3 — the canonical re-convergence
+    shape the tail cursor must detect.
+    """
+
+    name = "replay_tail_app"
+
+    def run(self, ctx: AppContext) -> None:
+        cuda = ctx.cuda
+        module = cuda.load_module(_MODULE)
+        fill = cuda.get_function(module, "fill")
+        bump = cuda.get_function(module, "bump")
+        buf = cuda.alloc(64, dtype=np.int32)
+        cuda.launch(fill, 2, 32, buf.address, 100)
+        cuda.launch(bump, 2, 32, buf.address)
+        self.mid(ctx, buf)
+        cuda.launch(fill, 2, 32, buf.address, 500)
+        cuda.launch(bump, 2, 32, buf.address)
+        cuda.launch(bump, 2, 32, buf.address)
+        ctx.print("sum", int(buf.to_host().sum()))
+        buf.free()
+
+    def mid(self, ctx: AppContext, buf) -> None:
+        """Hook between the target launch and the overwrite (default: none)."""
+
+
+class TailReadMidApp(TailApp):
+    """Reads the (divergent) buffer between the target and the overwrite."""
+
+    name = "replay_tail_readmid_app"
+
+    def mid(self, ctx: AppContext, buf) -> None:
+        ctx.print("mid", int(buf.to_host().sum()))
+
+
+class TailDivergentApp(Application):
+    """fill then three bumps: no overwrite, so an SDC never re-converges."""
+
+    name = "replay_tail_divergent_app"
+
+    def run(self, ctx: AppContext) -> None:
+        cuda = ctx.cuda
+        module = cuda.load_module(_MODULE)
+        fill = cuda.get_function(module, "fill")
+        bump = cuda.get_function(module, "bump")
+        buf = cuda.alloc(64, dtype=np.int32)
+        cuda.launch(fill, 2, 32, buf.address, 100)
+        cuda.launch(bump, 2, 32, buf.address)
+        cuda.launch(bump, 2, 32, buf.address)
+        cuda.launch(bump, 2, 32, buf.address)
+        ctx.print("sum", int(buf.to_host().sum()))
+        buf.free()
+
+
+class TailHtoDApp(Application):
+    """fill, bump (target), host upload overwriting the buffer, bump, bump.
+
+    Convergence here happens through ``cuMemcpyHtoD``: the upload is
+    identical in the golden and injected runs, so the cursor must mirror it
+    into the shadow — otherwise live memory and the shadow disagree forever
+    and the tail never re-arms.
+    """
+
+    name = "replay_tail_htod_app"
+
+    def run(self, ctx: AppContext) -> None:
+        cuda = ctx.cuda
+        module = cuda.load_module(_MODULE)
+        fill = cuda.get_function(module, "fill")
+        bump = cuda.get_function(module, "bump")
+        buf = cuda.alloc(64, dtype=np.int32)
+        cuda.launch(fill, 2, 32, buf.address, 100)
+        cuda.launch(bump, 2, 32, buf.address)
+        buf.from_host(np.arange(700, 764, dtype=np.int32))
+        cuda.launch(bump, 2, 32, buf.address)
+        cuda.launch(bump, 2, 32, buf.address)
+        ctx.print("sum", int(buf.to_host().sum()))
+        buf.free()
+
+
+def _injector(**overrides) -> TransientInjectorTool:
+    """A deterministic single-bit-flip injector into ``bump`` instance 0.
+
+    ``bit_pattern_value=0.05`` flips a low thread-id bit in the S2R result:
+    the thread reads/writes a neighbouring element — silent data corruption
+    with no CUDA error, exactly the divergence shape the tail tracks.
+    ``bit_pattern_value=0.2`` flips an address-forming bit instead and the
+    launch dies with ``ERROR_ILLEGAL_ADDRESS``.
+    """
+    params = dict(
+        group=InstructionGroup.G_GP,
+        model=BitFlipModel.FLIP_SINGLE_BIT,
+        kernel_name="bump",
+        kernel_count=0,
+        instruction_count=0,
+        dest_reg_selector=0.0,
+        bit_pattern_value=0.05,
+    )
+    params.update(overrides)
+    return TransientInjectorTool(TransientParams(**params))
+
+
+def _assert_run_parity(tailed, full) -> None:
+    """The tail-replayed injection run is bit-identical to the full one."""
+    assert tailed.stdout == full.stdout
+    assert tailed.files == full.files
+    assert tailed.exit_status == full.exit_status
+    assert tailed.crashed == full.crashed
+    assert tailed.cuda_errors == full.cuda_errors
+    assert tailed.dmesg == full.dmesg
+    assert tailed.instructions_executed == full.instructions_executed
+    assert tailed.cycles == full.cycles
+    assert tailed.warps_launched == full.warps_launched
+    assert tailed.active_sms == full.active_sms
+
+
+class TestTailFastForward:
+    def _tail_run(self, app_cls, tmp_path, stop_launch=1, tail=True, **inj):
+        """Golden-record ``app_cls``, then run the same injection twice:
+        fully simulated, and with a tail cursor.  Returns both artifact
+        sets plus the cursor for state assertions."""
+        _, log = _record(app_cls())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        full = run_app(app_cls(), preload=[_injector(**inj)])
+        cursor = ReplayRef(
+            path=str(path), stop_launch=stop_launch,
+            pre=stop_launch > 0, tail=tail,
+        ).cursor()
+        tailed = run_app(app_cls(), preload=[_injector(**inj)], replay=cursor)
+        return full, tailed, cursor, log
+
+    def test_converged_fault_rearms_and_replays_tail(self, tmp_path):
+        """The overwrite at launch 2 kills the fault: the cursor re-arms at
+        the launch-3 boundary and replays the remaining two launches."""
+        full, tailed, cursor, log = self._tail_run(TailApp, tmp_path)
+        _assert_run_parity(tailed, full)
+        assert not full.cuda_errors  # the fault really was silent
+        assert cursor.skipped == 1  # pre-target: launch 0
+        assert cursor.converged_at == 3
+        assert cursor.tail_skipped == 2  # launches 3 and 4 off the tape
+        assert tailed.replay_launches_skipped == 1
+        assert tailed.replay_tail_skipped == 2
+        assert tailed.replay_converged_at == 3
+
+    def test_persistent_divergence_never_rearms(self, tmp_path):
+        """No overwrite: the corrupted page differs from golden at every
+        boundary, so everything after the target simulates."""
+        full, tailed, cursor, log = self._tail_run(TailDivergentApp, tmp_path)
+        _assert_run_parity(tailed, full)
+        assert cursor.skipped == 1
+        assert cursor.converged_at is None
+        assert cursor.tail_skipped == 0
+        # The final to_host of the corrupted buffer disarmed the tail (the
+        # divergence became host-visible) — the conservative rule fired.
+        assert not cursor.tracking
+        assert tailed.replay_converged_at == -1
+        # The SDC is host-visible in both runs, identically.
+        golden, _ = _record(TailDivergentApp())
+        assert tailed.stdout != golden.stdout
+
+    def test_host_read_of_divergent_page_disarms(self, tmp_path):
+        """A DtoH overlapping the divergence set makes the fault
+        host-visible: the tail must turn off even though the buffer is
+        later overwritten."""
+        full, tailed, cursor, _ = self._tail_run(TailReadMidApp, tmp_path)
+        _assert_run_parity(tailed, full)
+        assert cursor.tail_skipped == 0
+        assert cursor.converged_at is None
+        # The mid read really observed the corruption.
+        golden, _ = _record(TailReadMidApp())
+        assert tailed.stdout != golden.stdout
+
+    def test_host_write_mirrored_into_shadow(self, tmp_path):
+        """Convergence via HtoD: the upload must land in the shadow too,
+        or live-vs-shadow comparison would report divergence forever."""
+        full, tailed, cursor, _ = self._tail_run(TailHtoDApp, tmp_path)
+        _assert_run_parity(tailed, full)
+        assert cursor.converged_at == 3
+        assert cursor.tail_skipped == 1  # only the final bump replays
+
+    def test_faulted_target_launch_disarms(self, tmp_path):
+        """``bit_pattern_value=0.2`` corrupts an address: the target launch
+        dies with a CUDA error, which both aborts tracking (partial writes)
+        and poisons the tail via the driver's error hook."""
+        full, tailed, cursor, _ = self._tail_run(
+            TailApp, tmp_path, bit_pattern_value=0.2
+        )
+        _assert_run_parity(tailed, full)
+        assert tailed.cuda_errors  # the fault really raised
+        assert cursor.tail_skipped == 0
+        assert cursor.converged_at is None
+
+    def test_instrumented_post_target_launch_disarms_replaying(self, tmp_path):
+        """A cursor whose window ends before the instrumented launch: the
+        clean launch 1 converges trivially (re-arm at 2), then the
+        instrumented launch 3 must drop the tape and simulate."""
+        full, tailed, cursor, _ = self._tail_run(
+            TailApp, tmp_path, kernel_count=1
+        )
+        _assert_run_parity(tailed, full)
+        assert cursor.skipped == 1
+        assert cursor.converged_at == 2
+        assert cursor.tail_skipped == 1  # launch 2 replayed off the tape
+        assert not cursor.tracking and not cursor.armed
+
+    def test_low_patience_keeps_results_identical(self, tmp_path):
+        """Patience only forfeits speedup, never changes results: even a
+        zero-patience cursor keeps byte parity on a persistent SDC."""
+        _, log = _record(TailDivergentApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        full = run_app(TailDivergentApp(), preload=[_injector()])
+        cursor = ReplayCursor(
+            load_replay_log(path), stop_launch=1, pre=True, tail=True,
+            patience=0,
+        )
+        tailed = run_app(
+            TailDivergentApp(), preload=[_injector()], replay=cursor
+        )
+        _assert_run_parity(tailed, full)
+        assert not cursor.tracking
+        assert cursor.converged_at is None
+        assert cursor.tail_skipped == 0
+
+    def test_tail_disabled_cursor_stops_at_target(self, tmp_path):
+        """``tail=False`` (the PR-4 cursor): nothing after the target is
+        ever replayed, whatever the divergence set would have said."""
+        full, tailed, cursor, _ = self._tail_run(TailApp, tmp_path, tail=False)
+        _assert_run_parity(tailed, full)
+        assert cursor.skipped == 1
+        assert cursor.tail_skipped == 0
+        assert cursor.converged_at is None
+
+
+class TestTailGuardsWhiteBox:
+    def _tracking_cursor(self, tmp_path) -> ReplayCursor:
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay.bin"
+        save_replay_log(log, path)
+        cursor = ReplayRef(path=str(path), stop_launch=1, tail=True).cursor()
+        cursor._state = cursor._TRACKING
+        cursor._shadow = np.zeros(log.mem_size, dtype=np.uint8)
+        return cursor
+
+    def test_host_read_of_clean_page_keeps_tracking(self, tmp_path):
+        cursor = self._tracking_cursor(tmp_path)
+        cursor.divergent = {5}
+        cursor.note_host_read(7 * PAGE_SIZE, 16)  # different page: harmless
+        assert cursor.tracking
+        cursor.note_host_read(5 * PAGE_SIZE + 10, 4)  # overlaps page 5
+        assert not cursor.tracking
+        assert cursor.converged_at is None
+
+    def test_host_read_straddling_into_divergent_page_disarms(self, tmp_path):
+        cursor = self._tracking_cursor(tmp_path)
+        cursor.divergent = {5}
+        cursor.note_host_read(4 * PAGE_SIZE + PAGE_SIZE - 1, 2)  # pages 4..5
+        assert not cursor.tracking
+
+    def test_patience_counts_non_converged_boundaries(self, tmp_path):
+        """With the divergence set non-empty, each boundary burns one unit
+        of patience; exhaustion disarms, convergence would re-arm first."""
+        cursor = self._tracking_cursor(tmp_path)
+        cursor._patience = 1
+        cursor.divergent = {5}
+        device = Device(global_mem_bytes=64 * 1024 * 1024)
+        rec = cursor.log.launches[1]
+        device.launch_count = 1
+        out = cursor.consult(
+            device, rec.kernel_name, rec.grid, rec.block, rec.args,
+            rec.shared_bytes, instrumented=False,
+        )
+        assert out is None and cursor.tracking  # one boundary tolerated
+        cursor.divergent = {5}  # still divergent at the next boundary
+        device.launch_count = 2
+        rec = cursor.log.launches[2]
+        out = cursor.consult(
+            device, rec.kernel_name, rec.grid, rec.block, rec.args,
+            rec.shared_bytes, instrumented=False,
+        )
+        assert out is None and not cursor.tracking  # patience exhausted
+        assert cursor.converged_at is None
+
+    def test_cuda_error_poisons_every_state(self, tmp_path):
+        # TRACKING: permanently off.
+        cursor = self._tracking_cursor(tmp_path)
+        cursor.disarm_tail()
+        assert not cursor.tracking and not cursor.armed
+        # PRE: pre-target replay survives, but the tail can never arm.
+        _, log = _record(ReallocApp())
+        path = tmp_path / "replay2.bin"
+        save_replay_log(log, path)
+        pre = ReplayRef(path=str(path), stop_launch=2, tail=True).cursor()
+        pre.disarm_tail()
+        assert pre.armed and not pre.tail

@@ -44,6 +44,8 @@ from repro.core import (
     ProfilingMode,
     ProgramProfile,
     RetryPolicy,
+    SamplingPlan,
+    StoppingRule,
     TransientInjectorTool,
     TransientParams,
     classify,
@@ -81,6 +83,8 @@ __all__ = [
     "Outcome",
     "classify",
     "RetryPolicy",
+    "StoppingRule",
+    "SamplingPlan",
     "Device",
     "CudaRuntime",
     "NVBitRuntime",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.core.adaptive import SamplingPlan, StoppingRule
 from repro.core.bitflip import BitFlipModel
 from repro.core.campaign import (
     CampaignConfig,
@@ -164,6 +165,8 @@ def run_campaign(
     kind: str = "transient",
     fast_forward: bool | None = None,
     tail_fast_forward: bool | None = None,
+    stopping: StoppingRule | None = None,
+    sampling: SamplingPlan | None = None,
 ) -> TransientCampaignResult | PermanentCampaignResult:
     """Run (or resume) a full campaign described by ``config``.
 
@@ -187,6 +190,16 @@ def run_campaign(
     boundary, the remaining launches replay from the same recording
     (effective only while ``fast_forward`` is on).  ``results.csv`` is
     byte-identical either way (see ``docs/performance.md``).
+
+    ``stopping`` / ``sampling`` override ``config.stopping`` /
+    ``config.sampling`` and make a transient campaign *adaptive* (see
+    :mod:`repro.core.adaptive` and ``docs/statistics.md``): sites are
+    drawn and injected in batches, the
+    :class:`~repro.core.adaptive.StoppingRule` is re-evaluated after each
+    batch, and the campaign stops as soon as the target outcome's
+    confidence interval is tight enough — ``num_transient`` becomes the
+    budget ceiling.  With both left unset the campaign is the fixed-N loop,
+    byte-identical to previous releases.
     """
     if not config.workload:
         raise ReproError(
@@ -199,6 +212,10 @@ def run_campaign(
         config = replace(config, fast_forward=fast_forward)
     if tail_fast_forward is not None:
         config = replace(config, tail_fast_forward=tail_fast_forward)
+    if stopping is not None:
+        config = replace(config, stopping=stopping)
+    if sampling is not None:
+        config = replace(config, sampling=sampling)
     engine = CampaignEngine(
         config.workload,
         config,

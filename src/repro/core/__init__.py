@@ -1,5 +1,10 @@
 """NVBitFI core: profilers, injectors, campaigns, outcome classification."""
 
+from repro.core.adaptive import (
+    AdaptiveSummary,
+    SamplingPlan,
+    StoppingRule,
+)
 from repro.core.analysis import (
     AvfEstimate,
     estimate_avf,
@@ -117,4 +122,7 @@ __all__ = [
     "trace_propagation",
     "ThreadTarget",
     "ThreadTargetedInjectorTool",
+    "StoppingRule",
+    "SamplingPlan",
+    "AdaptiveSummary",
 ]

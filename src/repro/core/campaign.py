@@ -22,6 +22,7 @@ import statistics
 import warnings
 from dataclasses import dataclass, field
 
+from repro.core.adaptive import AdaptiveSummary, SamplingPlan, StoppingRule
 from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup
 from repro.core.injector import InjectionRecord
@@ -63,6 +64,17 @@ class CampaignConfig:
     recording.  Results stay byte-identical.  It is effective only while
     ``fast_forward`` is on — ``fast_forward=False`` is the global kill
     switch that disables recording entirely.
+
+    ``stopping`` / ``sampling`` make the campaign *adaptive* (see
+    :mod:`repro.core.adaptive` and ``docs/statistics.md``): sites are drawn
+    and injected in batches, the :class:`~repro.core.adaptive.StoppingRule`
+    is re-evaluated after each batch, and the campaign stops as soon as the
+    target outcome's confidence interval is tight enough — ``num_transient``
+    becomes the budget *ceiling* rather than the exact count.  The
+    :class:`~repro.core.adaptive.SamplingPlan` chooses between uniform,
+    stratified and importance sampling.  With both left at ``None`` the
+    campaign is the fixed-N loop of the paper, byte-identical to previous
+    releases.
     """
 
     group: InstructionGroup = InstructionGroup.G_GP
@@ -76,6 +88,8 @@ class CampaignConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fast_forward: bool = True
     tail_fast_forward: bool = True
+    stopping: StoppingRule | None = None
+    sampling: SamplingPlan | None = None  # None == the historic uniform draw
 
 
 @dataclass
@@ -108,6 +122,9 @@ class TransientCampaignResult:
     golden_time: float
     profile_time: float
     median_injection_time: float
+    # Adaptive campaigns attach their decision record: batches, stop point,
+    # per-stratum tallies and the weighted (unbiased) combined estimate.
+    adaptive: AdaptiveSummary | None = None
 
     @property
     def total_time(self) -> float:

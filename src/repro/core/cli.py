@@ -65,7 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(campaign)
     _add_sandbox(campaign)
     _add_obs(campaign)
-    campaign.add_argument("--injections", type=int, default=100)
+    campaign.add_argument("--injections", type=int, default=None,
+                          help="injection budget (default: 100, or the "
+                               "stopping rule's fixed-N equivalent when "
+                               "--target-outcome is given)")
     campaign.add_argument("--group", type=int, default=8)
     campaign.add_argument("--model", type=int, default=1)
     campaign.add_argument(
@@ -112,10 +115,44 @@ def build_parser() -> argparse.ArgumentParser:
                                "--fast-forward; results are byte-identical "
                                "either way)")
 
+    campaign.add_argument("--target-outcome",
+                          choices=["SDC", "DUE", "Masked"], default=None,
+                          help="adaptive early stopping: stop once this "
+                               "outcome's confidence interval is narrower "
+                               "than --half-width (see docs/statistics.md)")
+    campaign.add_argument("--confidence", type=float, default=0.95,
+                          help="confidence level of the stopping rule's "
+                               "interval (default 0.95)")
+    campaign.add_argument("--half-width", type=float, default=0.05,
+                          help="target CI half-width of the stopping rule "
+                               "(default 0.05)")
+    campaign.add_argument("--sampling",
+                          choices=["uniform", "stratified", "importance"],
+                          default="uniform",
+                          help="site-sampling plan: uniform (the paper's "
+                               "Monte Carlo), stratified (proportional per "
+                               "static kernel) or importance (steer toward "
+                               "strata with the highest observed target-"
+                               "outcome rate; estimates stay unbiased)")
+    campaign.add_argument("--batch-size", type=int, default=25,
+                          help="injections per adaptive batch (the stopping "
+                               "rule is re-evaluated at batch boundaries)")
+
     trace = sub.add_parser(
         "trace", help="summarise a campaign trace file (per-phase times)"
     )
     trace.add_argument("trace_file", help="JSONL trace written by --trace")
+
+    report = sub.add_parser(
+        "report", help="analyse a campaign store's results.csv"
+    )
+    report.add_argument("view", choices=["ci"],
+                        help="ci: per-outcome fractions with confidence "
+                             "intervals, overall and per stratum")
+    report.add_argument("store", help="study directory (or a results.csv)")
+    report.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level of the intervals "
+                             "(default 0.95)")
 
     dump = sub.add_parser(
         "dump", help="disassemble a workload's kernels (cuobjdump analogue)"
@@ -201,6 +238,12 @@ def _main(argv: list[str] | None = None) -> int:
         from repro.core.report import render_phase_breakdown
 
         print(render_phase_breakdown(args.trace_file), end="")
+        return 0
+
+    if args.command == "report":
+        from repro.core.report import render_ci_report
+
+        print(render_ci_report(args.store, confidence=args.confidence), end="")
         return 0
 
     app = get_workload(args.workload)
@@ -292,14 +335,35 @@ def _main(argv: list[str] | None = None) -> int:
 
     if args.command == "campaign":
         from repro import api
+        from repro.core.adaptive import SamplingPlan, StoppingRule
         from repro.core.engine import EngineHooks, ParallelExecutor
         from repro.core.resilience import RetryPolicy
         from repro.core.store import CampaignStore
 
+        stopping = None
+        if args.target_outcome is not None:
+            stopping = StoppingRule(
+                target_outcome=args.target_outcome,
+                confidence=args.confidence,
+                half_width=args.half_width,
+            )
+        sampling = None
+        if stopping is not None or args.sampling != "uniform":
+            sampling = SamplingPlan(
+                mode=args.sampling, batch_size=args.batch_size
+            )
+        # With a stopping rule and no explicit budget, cap the campaign at
+        # the rule's fixed-N equivalent: adaptive stops at or under it.
+        budget = args.injections
+        if budget is None:
+            budget = stopping.fixed_n() if stopping is not None else 100
+
         config = CampaignConfig(
             workload=args.workload,
             seed=args.seed,
-            num_transient=args.injections,
+            num_transient=budget,
+            stopping=stopping,
+            sampling=sampling,
             group=InstructionGroup(args.group),
             model=BitFlipModel(args.model),
             profiling=ProfilingMode(args.profiling),
@@ -368,6 +432,28 @@ def _main(argv: list[str] | None = None) -> int:
                 "profile_time": result.profile_time,
                 "total_time": result.total_time,
             }
+            if result.adaptive is not None:
+                summary = result.adaptive
+                doc["adaptive"] = {
+                    "mode": summary.mode,
+                    "batch_size": summary.batch_size,
+                    "batches": summary.batches,
+                    "budget": summary.budget,
+                    "stopped_early_at": summary.stopped_early_at,
+                    "injections_saved": summary.injections_saved,
+                }
+                if summary.estimate is not None:
+                    doc["adaptive"]["estimate"] = {
+                        "p_hat": summary.estimate.p_hat,
+                        "half_width": summary.estimate.half_width,
+                        "low": summary.estimate.low,
+                        "high": summary.estimate.high,
+                        "n": summary.estimate.n,
+                    }
+                if summary.strata:
+                    doc["adaptive"]["strata"] = {
+                        s.name: s.injections for s in summary.strata
+                    }
             if permanent is not None:
                 doc["permanent"] = {
                     "injections": len(permanent.results),
@@ -379,6 +465,8 @@ def _main(argv: list[str] | None = None) -> int:
         else:
             print(f"{app.name}: {len(result.results)} transient injections")
             print(result.tally.report(samples=len(result.results)))
+            if result.adaptive is not None:
+                print(result.adaptive.describe())
             if permanent is not None:
                 print(f"{app.name}: {len(permanent.results)} permanent injections "
                       "(one per executed opcode)")

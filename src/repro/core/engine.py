@@ -55,6 +55,11 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.arch.families import arch_by_name
+from repro.core.adaptive import (
+    AdaptiveCheckpoint,
+    AdaptiveState,
+    SamplingPlan,
+)
 from repro.core.campaign import (
     CampaignConfig,
     PermanentCampaignResult,
@@ -77,7 +82,12 @@ from repro.core.resilience import (
     format_error,
     quarantine_outcome,
 )
-from repro.core.site_selection import select_permanent_sites, select_transient_sites
+from repro.core.site_selection import (
+    select_permanent_sites,
+    select_stratified_sites,
+    select_transient_sites,
+    stratum_weights,
+)
 from repro.errors import ReproError
 from repro.gpusim.replay import ReplayRecorder, ReplayRef, save_replay_log
 from repro.obs import (
@@ -803,6 +813,8 @@ class CampaignEngine:
     ) -> TransientCampaignResult:
         """The full transient campaign (Figure 1 for N faults)."""
         if sites is None:
+            if self._adaptive_enabled():
+                return self._run_transient_adaptive()
             sites = self.select_sites()
         if self.golden is None:
             self.run_golden()
@@ -861,6 +873,221 @@ class CampaignEngine:
             golden_time=self.golden_time,
             profile_time=self.profile_time,
             median_injection_time=_median(r.wall_time for r in results),
+        )
+        if self.store is not None:
+            self.store.save_results_csv(result)
+        return result
+
+    def _adaptive_enabled(self) -> bool:
+        """Any adaptive knob set? Both ``None`` keeps the fixed-N fast path."""
+        return (
+            self.config.stopping is not None or self.config.sampling is not None
+        )
+
+    def _run_transient_adaptive(self) -> TransientCampaignResult:
+        """The adaptive transient campaign: draw a batch, inject it, re-evaluate.
+
+        ``config.num_transient`` becomes the budget *ceiling*: each batch is
+        drawn per the :class:`~repro.core.adaptive.SamplingPlan`, injected
+        through the normal executor path (checkpoint/resume included), and
+        the :class:`~repro.core.adaptive.StoppingRule` is re-evaluated at
+        the batch boundary.  Every decision is a pure function of the seed
+        and the outcomes so far; the per-batch decision tape is persisted
+        (``adaptive.json``) so a resumed campaign verifies it is walking the
+        same sequence instead of silently re-sizing the campaign.
+
+        Uniform adaptive draws consume the same ``sites`` RNG stream as the
+        fixed-N path, so the sites injected are a prefix of the fixed-N
+        plan's — an adaptive campaign that exhausts its budget runs exactly
+        the fixed-N campaign.
+        """
+        config = self.config
+        plan = config.sampling or SamplingPlan()
+        rule = config.stopping
+        budget = config.num_transient
+        if self.profile is None:
+            self.run_profile()  # golden runs first, as in the fixed path
+        strata = (
+            stratum_weights(self.profile, config.group)
+            if plan.mode != "uniform"
+            else None
+        )
+        state = AdaptiveState(plan, rule, strata)
+        fingerprint = state.fingerprint(
+            budget, config.seed, config.group.name, config.model.name
+        )
+        checkpoint = AdaptiveCheckpoint(fingerprint)
+        checkpoint.batches = state.batches  # shared: grows with the tape
+        tape: AdaptiveCheckpoint | None = None
+        completed: list[int] = []
+        if self.store is not None:
+            stored = self.store.load_adaptive_state()
+            if stored is not None:
+                tape = AdaptiveCheckpoint.from_dict(stored)
+                if tape.fingerprint != fingerprint:
+                    raise ReproError(
+                        "stored adaptive campaign used different parameters "
+                        "(plan, rule, budget or seed); use a fresh study "
+                        "directory"
+                    )
+            completed = self.store.completed_injections()
+
+        rng = self._stream.child("sites").generator()
+        sites: list[TransientParams] = []
+        results: list[TransientResult] = []
+        total_loaded = 0
+        stopped_early_at: int | None = None
+
+        def build(output: InjectionOutput) -> TransientResult:
+            outcome = classify(self.app, self.golden, output.artifacts)
+            return TransientResult(
+                params=sites[output.index],
+                record=output.record,
+                outcome=outcome,
+                wall_time=output.artifacts.wall_time,
+                instructions=output.artifacts.instructions_executed,
+            )
+
+        def build_failure(failure: TaskFailure) -> TransientResult:
+            return TransientResult(
+                params=sites[failure.index],
+                record=InjectionRecord(injected=False),
+                outcome=quarantine_outcome(failure),
+                wall_time=0.0,
+                instructions=0,
+            )
+
+        with self.tracer.span(
+            "campaign",
+            kind="transient",
+            adaptive=True,
+            mode=plan.mode,
+            budget=budget,
+        ) as run_span:
+            while len(sites) < budget:
+                batch_no = len(state.batches)
+                size = min(plan.batch_size, budget - len(sites))
+                allocation = state.allocate(size)
+                start = len(sites)
+                started = time.perf_counter()
+                with self.tracer.span(
+                    "select",
+                    kind="transient",
+                    count=size,
+                    batch=batch_no,
+                    mode=plan.mode,
+                ):
+                    if allocation is None:
+                        batch = select_transient_sites(
+                            self.profile, config.group, config.model, size, rng
+                        )
+                    else:
+                        batch = select_stratified_sites(
+                            self.profile, config.group, config.model,
+                            allocation, rng,
+                        )
+                self._phase("select", time.perf_counter() - started)
+                sites.extend(batch)
+                entry = state.record_batch(start, len(batch), allocation)
+                if tape is not None and batch_no < len(tape.batches):
+                    if tape.batches[batch_no] != entry:
+                        raise ReproError(
+                            f"stored adaptive batch {batch_no} diverges from "
+                            "the re-derived decision sequence; use a fresh "
+                            "study directory"
+                        )
+                loaded = self._load_completed(
+                    sites,
+                    completed=[i for i in completed if i >= start],
+                    load=lambda index: self.store.load_injection(index),
+                )
+                total_loaded += len(loaded)
+                try:
+                    batch_results = self._inject(
+                        sites,
+                        kind="transient",
+                        loaded=loaded,
+                        build=build,
+                        save=(
+                            (lambda index, item:
+                             self.store.save_injection(index, item))
+                            if self.store
+                            else None
+                        ),
+                        build_failure=build_failure,
+                        start=start,
+                    )
+                except CampaignInterrupted as interrupt:
+                    if self.store is not None:
+                        by_index = dict(enumerate(results))
+                        by_index.update(interrupt.completed)
+                        self.store.save_partial_results_csv(by_index)
+                        self.store.save_adaptive_state(checkpoint.to_dict())
+                    raise KeyboardInterrupt from None
+                self.metrics.injections_loaded = total_loaded
+                results.extend(batch_results)
+                for site, item in zip(batch, batch_results):
+                    state.record(site.kernel_name, item.outcome)
+                self.registry.counter("engine.adaptive.batches").inc()
+                estimate = (
+                    state.estimate(rule.target_outcome, rule.confidence)
+                    if rule is not None
+                    else None
+                )
+                if self.tracer.enabled:
+                    attrs = {
+                        "batch": batch_no,
+                        "start": start,
+                        "size": len(batch),
+                        "injections": state.drawn,
+                    }
+                    if allocation is not None:
+                        attrs["allocation"] = allocation
+                    if estimate is not None and estimate.half_width is not None:
+                        attrs["p_hat"] = estimate.p_hat
+                        attrs["half_width"] = estimate.half_width
+                    self.tracer.event("adaptive_batch", **attrs)
+                should_stop = state.should_stop()
+                if should_stop and len(sites) < budget:
+                    stopped_early_at = len(sites)
+                checkpoint.stopped_early_at = stopped_early_at
+                if self.store is not None:
+                    self.store.save_adaptive_state(checkpoint.to_dict())
+                if should_stop:
+                    break
+            saved = budget - len(sites)
+            if saved:
+                self.registry.counter(
+                    "engine.adaptive.injections_saved"
+                ).inc(saved)
+            summary = state.summary(budget, stopped_early_at)
+            if run_span is not None:
+                run_span.attrs.update(
+                    batches=summary.batches,
+                    injections=summary.injections,
+                    stopped_early_at=stopped_early_at,
+                    injections_saved=saved,
+                )
+                if summary.strata:
+                    run_span.attrs["strata"] = {
+                        s.name: s.injections for s in summary.strata
+                    }
+                if summary.estimate is not None:
+                    run_span.attrs["estimate_p_hat"] = summary.estimate.p_hat
+                    run_span.attrs["estimate_half_width"] = (
+                        summary.estimate.half_width
+                    )
+
+        tally = OutcomeTally()
+        for item in results:
+            tally.add(item.outcome)
+        result = TransientCampaignResult(
+            results=results,
+            tally=tally,
+            golden_time=self.golden_time,
+            profile_time=self.profile_time,
+            median_injection_time=_median(r.wall_time for r in results),
+            adaptive=summary,
         )
         if self.store is not None:
             self.store.save_results_csv(result)
@@ -984,8 +1211,14 @@ class CampaignEngine:
         build: Callable[[InjectionOutput], object],
         save: Callable[[int, object], None] | None,
         build_failure: Callable[[TaskFailure], object] | None = None,
+        start: int = 0,
     ) -> list:
         """Run every site not already in ``loaded``; return results in site order.
+
+        ``start`` supports the adaptive drive loop: ``sites`` is the full
+        accumulated plan, but only indices ``>= start`` (the current batch)
+        are run — everything before was completed by earlier batches.  The
+        returned list covers exactly ``sites[start:]``.
 
         Completed injections are handed to ``save`` the moment they finish
         (chunk-by-chunk under the parallel executor), so an interrupted
@@ -1016,7 +1249,7 @@ class CampaignEngine:
                 replay=self._replay_ref_for(site) if fast_forward else None,
             )
             for index, site in enumerate(sites)
-            if index not in loaded
+            if index >= start and index not in loaded
         ]
         if fast_forward:
             # Group tasks by target launch: neighbours share the replay
@@ -1097,7 +1330,7 @@ class CampaignEngine:
                     self.hooks.on_injection(
                         index,
                         item.outcome,
-                        len(by_index),
+                        start + len(by_index),
                         len(sites),
                         self.metrics.tally,
                     )
@@ -1107,7 +1340,7 @@ class CampaignEngine:
                 # so it can write a clean partial results.csv and re-raise.
                 raise CampaignInterrupted(by_index, len(sites)) from None
         self._phase("inject", time.perf_counter() - started)
-        return [by_index[index] for index in range(len(sites))]
+        return [by_index[index] for index in range(start, len(sites))]
 
     def _quarantine(
         self,

@@ -14,23 +14,31 @@ events — the two views are defined to agree exactly.
 
 from __future__ import annotations
 
+import csv
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import NormalDist
 
 from repro.core.outcomes import Outcome, OutcomeRecord
+from repro.errors import ReproError
 from repro.obs import injection_events, load_trace, phase_durations
-
-# Two-sided z values.
-_Z = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
 
 def z_value(confidence: float) -> float:
-    try:
-        return _Z[round(confidence, 2)]
-    except KeyError:
+    """Two-sided z for any confidence level in (0, 1).
+
+    Historically a four-entry table lookup (0.80/0.90/0.95/0.99) that made
+    e.g. 0.85 or 0.975 raise; now the exact inverse normal, pinned against
+    the paper's table values (1.6449 at 90%, 1.9600 at 95%, ...) by
+    regression tests so the §IV-B ±8%/±3% numbers stay exact.
+    """
+    if not 0.0 < confidence < 1.0:
         raise ValueError(
-            f"unsupported confidence level {confidence}; choose from {sorted(_Z)}"
-        ) from None
+            f"confidence level must lie strictly between 0 and 1, "
+            f"got {confidence}"
+        )
+    return NormalDist().inv_cdf((1.0 + confidence) / 2.0)
 
 
 def confidence_interval(
@@ -88,22 +96,113 @@ class OutcomeTally:
         return merged
 
     def report(self, confidence: float = 0.90, samples: int | None = None) -> str:
-        """One-line report with confidence intervals."""
+        """One-line report with confidence intervals.
+
+        A zero-sample tally (an interrupted campaign's empty partial
+        results, say) renders ``n/a`` instead of raising out of
+        :func:`confidence_interval`.
+        """
         n = int(samples if samples is not None else self.total)
+        if n <= 0:
+            return "  ".join(f"{outcome.value}=n/a" for outcome in Outcome)
         parts = []
         for outcome in Outcome:
             frac = self.fraction(outcome)
-            if n > 0:
-                low, high = confidence_interval(frac, n, confidence)
-                parts.append(
-                    f"{outcome.value}={frac * 100:.1f}% "
-                    f"[{low * 100:.1f}, {high * 100:.1f}]"
-                )
-            else:
-                parts.append(f"{outcome.value}={frac * 100:.1f}%")
+            low, high = confidence_interval(frac, n, confidence)
+            parts.append(
+                f"{outcome.value}={frac * 100:.1f}% "
+                f"[{low * 100:.1f}, {high * 100:.1f}]"
+            )
         if self.potential_due:
             parts.append(f"potentialDUE={self.potential_due_fraction() * 100:.1f}%")
         return "  ".join(parts)
+
+
+# -- results.csv analysis (the ``repro report`` surface) ----------------------
+
+
+def read_results_csv(source: str | Path) -> list[dict]:
+    """Rows of a campaign's ``results.csv`` (a store directory or the file).
+
+    Accepts a partial file from an interrupted campaign — any prefix of the
+    rows is a valid result set — and an empty (header-only) file, which
+    downstream renderers must turn into ``n/a`` rather than a crash.
+    """
+    path = Path(source)
+    if path.is_dir():
+        path = path / "results.csv"
+    if not path.exists():
+        raise ReproError(f"no results.csv under {source}")
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def tally_from_results(rows: list[dict]) -> OutcomeTally:
+    """Rebuild an :class:`OutcomeTally` from ``results.csv`` rows."""
+    tally = OutcomeTally()
+    for row in rows:
+        tally.add(
+            OutcomeRecord(
+                outcome=Outcome(row["outcome"]),
+                symptom=row.get("symptom", ""),
+                potential_due=row.get("potential_due") == "True",
+            )
+        )
+    return tally
+
+
+def stratum_tallies_from_results(rows: list[dict]) -> dict[str, OutcomeTally]:
+    """Per-stratum (static kernel) tallies from ``results.csv`` rows."""
+    tallies: dict[str, OutcomeTally] = {}
+    for row in rows:
+        tally = tallies.setdefault(row["kernel"], OutcomeTally())
+        tally.add(
+            OutcomeRecord(
+                outcome=Outcome(row["outcome"]),
+                symptom=row.get("symptom", ""),
+                potential_due=row.get("potential_due") == "True",
+            )
+        )
+    return tallies
+
+
+def _ci_cell(tally: OutcomeTally, outcome: Outcome, confidence: float) -> str:
+    n = int(tally.total)
+    if n <= 0:
+        return "n/a"
+    frac = tally.fraction(outcome)
+    low, high = confidence_interval(frac, n, confidence)
+    return f"{frac * 100:5.1f}% [{low * 100:5.1f}, {high * 100:5.1f}]"
+
+
+def render_ci_report(source, confidence: float = 0.95) -> str:
+    """The ``repro report ci`` view: per-outcome fractions with intervals,
+    overall and per stratum (static kernel), from a campaign's results.csv.
+
+    Zero-sample inputs — a header-only partial file from an interrupted
+    campaign — render ``n/a`` cells rather than raising.
+    """
+    rows = read_results_csv(source) if isinstance(source, (str, Path)) else source
+    overall = tally_from_results(rows)
+    strata = stratum_tallies_from_results(rows)
+    names = ["(all)"] + sorted(strata)
+    tallies = {"(all)": overall, **strata}
+    width = max(len(name) for name in names)
+    header = f"{'stratum':<{width}}  {'n':>5}  " + "  ".join(
+        f"{outcome.value:>22}" for outcome in Outcome
+    )
+    lines = [f"confidence level: {confidence:.0%}", header]
+    for name in names:
+        tally = tallies[name]
+        cells = "  ".join(
+            f"{_ci_cell(tally, outcome, confidence):>22}" for outcome in Outcome
+        )
+        lines.append(f"{name:<{width}}  {int(tally.total):>5}  {cells}")
+    if overall.total == 0:
+        lines.append(
+            "no completed injections yet (partial or empty results.csv)"
+        )
+    return "\n".join(lines) + "\n"
 
 
 # -- trace-file analysis (the JSONL files written by ``--trace``) -------------

@@ -6,6 +6,12 @@ profiled population of the chosen instruction group: pick ``n`` in
 translate ``n`` into the ``<kernel_name, kernel_count, instruction_count>``
 tuple the injector consumes.  The destination-register and bit-pattern
 selectors are independent uniforms in [0, 1).
+
+Adaptive campaigns (:mod:`repro.core.adaptive`) restrict draws to a
+*stratum* — the population of one static kernel — via the ``kernels``
+argument; :func:`stratum_weights` defines the strata and their population
+shares.  The default (unrestricted) path is bit-identical to the historic
+uniform draw.
 """
 
 from __future__ import annotations
@@ -17,8 +23,31 @@ from repro.core.bitflip import BitFlipModel
 from repro.core.groups import InstructionGroup, require_injectable
 from repro.core.params import PermanentParams, TransientParams
 from repro.core.profile_data import ProgramProfile
-from repro.errors import ProfileError
+from repro.errors import ParamError, ProfileError
 from repro.sass.isa import WARP_SIZE, opcode_info
+
+
+def stratum_weights(
+    profile: ProgramProfile, group: InstructionGroup
+) -> dict[str, int]:
+    """Dynamic instruction count of ``group`` per static kernel.
+
+    Kernels appear in profile launch order (first appearance), so the
+    mapping — and everything allocated from it — is deterministic.  Kernels
+    with no instructions in the group are omitted: they cannot be sampled.
+    """
+    counts: dict[str, int] = {}
+    for kernel_profile in profile.kernels:
+        group_count = kernel_profile.group_count(group)
+        if group_count:
+            counts[kernel_profile.kernel_name] = (
+                counts.get(kernel_profile.kernel_name, 0) + group_count
+            )
+    if not counts:
+        raise ProfileError(
+            f"profile contains no {group.name} instructions to stratify"
+        )
+    return counts
 
 
 def select_transient_site(
@@ -26,17 +55,29 @@ def select_transient_site(
     group: InstructionGroup,
     model: BitFlipModel,
     rng: np.random.Generator,
+    kernels: frozenset[str] | set[str] | None = None,
 ) -> TransientParams:
-    """Draw one uniform transient fault site from a profile."""
+    """Draw one uniform transient fault site from a profile.
+
+    With ``kernels`` given, the draw is uniform over the dynamic
+    instructions of those static kernels only (a stratum); otherwise over
+    the whole profile, exactly as before.
+    """
     require_injectable(group)
-    total = profile.total_count(group)
+    selected = [
+        kp
+        for kp in profile.kernels
+        if kernels is None or kp.kernel_name in kernels
+    ]
+    total = sum(kp.group_count(group) for kp in selected)
     if total == 0:
+        where = f" in kernels {sorted(kernels)}" if kernels is not None else ""
         raise ProfileError(
-            f"profile contains no {group.name} instructions to inject"
+            f"profile contains no {group.name} instructions to inject{where}"
         )
     index = int(rng.integers(total))
     remaining = index
-    for kernel_profile in profile.kernels:
+    for kernel_profile in selected:
         group_count = kernel_profile.group_count(group)
         if remaining < group_count:
             return TransientParams(
@@ -58,9 +99,38 @@ def select_transient_sites(
     model: BitFlipModel,
     count: int,
     rng: np.random.Generator,
+    kernels: frozenset[str] | set[str] | None = None,
 ) -> list[TransientParams]:
-    """Draw ``count`` independent uniform sites."""
-    return [select_transient_site(profile, group, model, rng) for _ in range(count)]
+    """Draw ``count`` independent uniform sites (optionally from a stratum)."""
+    return [
+        select_transient_site(profile, group, model, rng, kernels=kernels)
+        for _ in range(count)
+    ]
+
+
+def select_stratified_sites(
+    profile: ProgramProfile,
+    group: InstructionGroup,
+    model: BitFlipModel,
+    allocation: dict[str, int],
+    rng: np.random.Generator,
+) -> list[TransientParams]:
+    """Draw ``allocation[kernel]`` sites per stratum, in allocation order.
+
+    The order — strata in the allocation's (launch-order) sequence, draws
+    within a stratum sequential — is part of the campaign's deterministic
+    decision tape, so serial, parallel and resumed runs reproduce it.
+    """
+    sites: list[TransientParams] = []
+    for kernel_name, count in allocation.items():
+        if count:
+            sites.extend(
+                select_transient_sites(
+                    profile, group, model, count, rng,
+                    kernels=frozenset((kernel_name,)),
+                )
+            )
+    return sites
 
 
 def select_permanent_sites(
@@ -76,13 +146,31 @@ def select_permanent_sites(
     XOR mask are drawn uniformly per site.  Without an explicit ``sm_ids``
     list the SM is drawn from the device's actual SM count (``num_sms``,
     defaulting to the default family's), so a selected ``sm_id`` can never
-    exceed the device that will run the injection.
+    exceed the device that will run the injection.  An explicit ``sm_ids``
+    list is held to the same guarantee (entries must lie in
+    ``[0, num_sms)``), and explicit ``opcodes`` must actually have executed
+    in the profile — a site for an unexecuted opcode can never activate.
     """
+    if num_sms is None:
+        num_sms = arch_by_name(DEFAULT_FAMILY).num_sms
+    if sm_ids is not None:
+        for sm_id in sm_ids:
+            if not 0 <= sm_id < num_sms:
+                raise ParamError(
+                    f"sm_id {sm_id} outside the device's SM range "
+                    f"0..{num_sms - 1}"
+                )
+    if opcodes is not None:
+        executed = profile.executed_opcodes()
+        for name in opcodes:
+            if name not in executed:
+                raise ProfileError(
+                    f"opcode {name!r} never executed in the profile; a "
+                    "permanent fault on it cannot activate"
+                )
     names = opcodes if opcodes is not None else sorted(profile.executed_opcodes())
     if not names:
         raise ProfileError("profile contains no executed opcodes")
-    if num_sms is None:
-        num_sms = arch_by_name(DEFAULT_FAMILY).num_sms
     sites = []
     for name in names:
         info = opcode_info(name)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 import re
 import warnings
 from pathlib import Path
@@ -84,6 +85,33 @@ class CampaignStore:
         """
         self.root.mkdir(parents=True, exist_ok=True)
         return self.root / "replay.bin"
+
+    # -- adaptive state --------------------------------------------------------
+
+    def save_adaptive_state(self, state: dict) -> None:
+        """Persist the adaptive drive loop's decision tape (``adaptive.json``).
+
+        Written after every batch, next to the injections it covers, so a
+        resumed campaign can verify it is continuing the *same* decision
+        sequence (same plan, rule, seed and batch allocations) instead of
+        silently re-sizing the campaign.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "adaptive.json").write_text(
+            json.dumps(state, indent=2) + "\n"
+        )
+
+    def load_adaptive_state(self) -> dict | None:
+        """The stored decision tape, or ``None`` for non-adaptive campaigns."""
+        path = self.root / "adaptive.json"
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"malformed adaptive state in {path}: {exc}"
+            ) from None
 
     # -- profile -------------------------------------------------------------
 

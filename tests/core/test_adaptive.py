@@ -1,0 +1,413 @@
+"""Adaptive campaign tests: stopping rules, sampling plans, determinism.
+
+The contract under test (docs/statistics.md):
+
+* every adaptive decision is a pure function of (seed, profile, plan,
+  rule, outcomes so far), so the same seed stops at the same injection —
+  serial, parallel or resumed;
+* uniform adaptive draws consume the fixed-N path's RNG stream, so a
+  budget-exhausted adaptive campaign is byte-identical to the fixed one;
+* stratified/importance estimates stay unbiased through per-site weights.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.adaptive import (
+    MIN_STRATUM_SAMPLES,
+    AdaptiveState,
+    SamplingPlan,
+    StoppingRule,
+    _largest_remainder,
+)
+from repro.core.campaign import CampaignConfig
+from repro.core.engine import CampaignEngine, ParallelExecutor
+from repro.core.outcomes import Outcome, OutcomeRecord
+from repro.core.store import CampaignStore
+from repro.errors import ParamError, ReproError
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+
+_WORKLOAD = "303.ostencil"
+_SEED = 3
+
+# A rule the 303.ostencil campaign satisfies well before this budget
+# (SDC is far from 0.5 there), so early stopping actually engages.
+_RULE = StoppingRule(
+    target_outcome="SDC", confidence=0.90, half_width=0.12, min_injections=10
+)
+_BUDGET = 60
+
+
+def _sdc(n):
+    return [OutcomeRecord(Outcome.SDC, "x") for _ in range(n)]
+
+
+def _masked(n):
+    return [OutcomeRecord(Outcome.MASKED, "x") for _ in range(n)]
+
+
+class TestStoppingRule:
+    def test_accepts_outcome_string(self):
+        assert StoppingRule(target_outcome="DUE").target_outcome is Outcome.DUE
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ParamError):
+            StoppingRule(confidence=1.0)
+        with pytest.raises(ParamError):
+            StoppingRule(confidence=0.0)
+
+    def test_invalid_half_width(self):
+        with pytest.raises(ParamError, match="half-width"):
+            StoppingRule(half_width=0.0)
+        with pytest.raises(ParamError, match="half-width"):
+            StoppingRule(half_width=0.5)
+
+    def test_invalid_min_injections(self):
+        with pytest.raises(ParamError, match="min_injections"):
+            StoppingRule(min_injections=0)
+
+    def test_fixed_n_is_the_worst_case_inversion(self):
+        """The paper's own table: 0.95/±3% needs ~1000, 0.90/±8% ~100."""
+        assert StoppingRule(confidence=0.95, half_width=0.05).fixed_n() == 385
+        assert StoppingRule(confidence=0.95, half_width=0.03).fixed_n() == 1068
+        assert StoppingRule(confidence=0.90, half_width=0.08).fixed_n() == 106
+
+    def test_adaptive_never_needs_more_than_fixed_n(self):
+        """At n = fixed_n the worst-case (p = 0.5) half-width already meets
+        the target, so the rule must fire whatever the observed rate."""
+        rule = StoppingRule(confidence=0.95, half_width=0.05)
+        state = AdaptiveState(SamplingPlan(), rule, None)
+        n = rule.fixed_n()
+        for record in _sdc(n // 2) + _masked(n - n // 2):
+            state.record("k", record)
+        assert state.should_stop()
+
+
+class TestSamplingPlan:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ParamError, match="sampling mode"):
+            SamplingPlan(mode="quantum")
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ParamError, match="batch size"):
+            SamplingPlan(batch_size=0)
+
+
+class TestLargestRemainder:
+    def test_sums_to_size_and_tracks_quotas(self):
+        alloc = _largest_remainder({"a": 60.0, "b": 30.0, "c": 10.0}, 10)
+        assert alloc == {"a": 6, "b": 3, "c": 1}
+
+    def test_fractional_slots_go_to_largest_remainders(self):
+        alloc = _largest_remainder({"a": 2.0, "b": 1.0}, 2)
+        assert sum(alloc.values()) == 2
+        assert alloc["a"] >= alloc["b"]
+
+    def test_zero_total_splits_evenly(self):
+        assert _largest_remainder({"a": 0.0, "b": 0.0}, 3) == {"a": 2, "b": 1}
+
+    def test_deterministic(self):
+        quotas = {"a": 1.5, "b": 1.5, "c": 1.0}
+        assert all(
+            _largest_remainder(quotas, 4) == _largest_remainder(quotas, 4)
+            for _ in range(10)
+        )
+
+
+class TestAdaptiveState:
+    def test_uniform_mode_has_no_allocation(self):
+        state = AdaptiveState(SamplingPlan(), _RULE, None)
+        assert state.allocate(10) is None
+        assert state.site_weights() is None
+
+    def test_proportional_allocation_matches_weights(self):
+        state = AdaptiveState(
+            SamplingPlan(mode="stratified"), None, {"a": 60, "b": 30, "c": 10}
+        )
+        assert state.allocate(10) == {"a": 6, "b": 3, "c": 1}
+
+    def test_cumulative_deficit_repays_starved_strata(self):
+        """A stratum short-changed in one batch is repaid in the next: the
+        allocation targets cumulative W_h * drawn, not per-batch shares."""
+        state = AdaptiveState(
+            SamplingPlan(mode="stratified"), None, {"a": 60, "b": 30, "c": 10}
+        )
+        # Simulate a skewed first batch: everything went to "a".
+        for record in _sdc(10):
+            state.record("a", record)
+        state.record_batch(0, 10, {"a": 10, "b": 0, "c": 0})
+        alloc = state.allocate(10)
+        assert sum(alloc.values()) == 10
+        # Cumulative targets at n=20: a=12, b=6, c=2 → deficits 2, 6, 2.
+        assert alloc == {"a": 2, "b": 6, "c": 2}
+
+    def test_importance_seeds_unsampled_strata(self):
+        state = AdaptiveState(
+            SamplingPlan(mode="importance"), _RULE, {"a": 90, "b": 10}
+        )
+        for record in _sdc(5):
+            state.record("a", record)
+        state.record_batch(0, 5, {"a": 5, "b": 0})
+        alloc = state.allocate(6)
+        assert alloc["b"] >= 1  # an estimator term can't stay unknown
+        assert sum(alloc.values()) == 6
+
+    def test_importance_steers_toward_hot_strata(self):
+        state = AdaptiveState(
+            SamplingPlan(mode="importance"), _RULE, {"a": 50, "b": 50}
+        )
+        for record in _sdc(5):  # "a" is all-SDC
+            state.record("a", record)
+        for record in _masked(5):  # "b" is all-masked
+            state.record("b", record)
+        state.record_batch(0, 10, {"a": 5, "b": 5})
+        alloc = state.allocate(10)
+        assert alloc["a"] > alloc["b"]
+
+    def test_record_outside_strata_rejected(self):
+        state = AdaptiveState(
+            SamplingPlan(mode="stratified"), None, {"a": 1}
+        )
+        with pytest.raises(ParamError, match="outside"):
+            state.record("ghost", _sdc(1)[0])
+
+    def test_uniform_estimate_matches_closed_form(self):
+        state = AdaptiveState(SamplingPlan(), _RULE, None)
+        for record in _sdc(30) + _masked(70):
+            state.record("k", record)
+        est = state.estimate(Outcome.SDC, 0.95)
+        assert est.p_hat == pytest.approx(0.3)
+        assert est.half_width == pytest.approx(
+            1.9600 * np.sqrt(0.3 * 0.7 / 100), abs=1e-4
+        )
+
+    def test_stratified_estimator_weights_by_population(self):
+        """p̂ = Σ W_h·p̂_h: equal sample sizes, unequal populations."""
+        state = AdaptiveState(
+            SamplingPlan(mode="stratified"), _RULE, {"a": 90, "b": 10}
+        )
+        for record in _sdc(10):  # a: 100% SDC
+            state.record("a", record)
+        for record in _masked(10):  # b: 0% SDC
+            state.record("b", record)
+        est = state.estimate(Outcome.SDC, 0.95)
+        assert est.p_hat == pytest.approx(0.9)
+
+    def test_weighted_tally_is_unbiased_under_any_allocation(self):
+        """Per-site weights W_h/n_h make the weighted tally's fraction equal
+        the stratified estimator, however the budget was steered."""
+        for n_a, n_b in ((10, 10), (18, 2), (3, 17)):
+            state = AdaptiveState(
+                SamplingPlan(mode="importance"), _RULE, {"a": 60, "b": 40}
+            )
+            for record in _sdc(n_a):
+                state.record("a", record)
+            for record in _masked(n_b):
+                state.record("b", record)
+            summary = state.summary(budget=40, stopped_early_at=None)
+            # a is all-SDC, b all-masked: the unbiased estimate is W_a = 0.6
+            # regardless of the (deliberately skewed) allocation.
+            assert summary.weighted_tally.fraction(Outcome.SDC) == (
+                pytest.approx(0.6)
+            )
+            assert summary.weighted_tally.total == pytest.approx(1.0)
+
+    def test_min_injections_gates_the_rule(self):
+        state = AdaptiveState(SamplingPlan(), _RULE, None)
+        for record in _masked(_RULE.min_injections - 1):
+            state.record("k", record)
+        assert not state.should_stop()  # p̂=0 has zero width, but n too small
+        state.record("k", _masked(1)[0])
+        assert state.should_stop()
+
+    def test_min_stratum_samples_gate(self):
+        state = AdaptiveState(
+            SamplingPlan(mode="stratified"), _RULE, {"a": 99, "b": 1}
+        )
+        for record in _masked(50):
+            state.record("a", record)
+        assert not state.should_stop()  # "b" still unsampled
+        for record in _masked(MIN_STRATUM_SAMPLES):
+            state.record("b", record)
+        assert state.should_stop()
+
+
+def _run(tmp_path, label, budget=_BUDGET, rule=_RULE, plan=None,
+         executor=None, seed=_SEED):
+    store = CampaignStore(tmp_path / label)
+    config = CampaignConfig(
+        workload=_WORKLOAD, num_transient=budget, seed=seed,
+        stopping=rule, sampling=plan,
+    )
+    result = repro.run_campaign(config, executor=executor, store=store)
+    return result, (tmp_path / label / "results.csv").read_bytes()
+
+
+class TestAdaptiveCampaign:
+    def test_stops_early_and_meets_target(self, tmp_path):
+        result, _ = _run(tmp_path, "early")
+        summary = result.adaptive
+        assert summary.stopped_early_at is not None
+        assert summary.stopped_early_at < _BUDGET
+        assert summary.injections_saved > 0
+        assert summary.estimate.half_width <= _RULE.half_width
+
+    def test_budget_exhausted_matches_fixed_n_bytes(self, tmp_path):
+        """stopping set but never satisfied → exactly the fixed-N campaign."""
+        strict = StoppingRule(confidence=0.99, half_width=0.01)
+        _, adaptive = _run(tmp_path, "strict", budget=20, rule=strict)
+        _, fixed = _run(tmp_path, "fixed", budget=20, rule=None)
+        assert adaptive == fixed
+
+    def test_early_stop_rows_are_prefix_of_fixed_plan(self, tmp_path):
+        result, early = _run(tmp_path, "prefix-early")
+        _, fixed = _run(tmp_path, "prefix-fixed", rule=None)
+        early_lines = early.decode().splitlines()
+        fixed_lines = fixed.decode().splitlines()
+        assert len(early_lines) - 1 == result.adaptive.injections
+        assert fixed_lines[: len(early_lines)] == early_lines
+
+    def test_same_seed_same_stop_point(self, tmp_path):
+        a, bytes_a = _run(tmp_path, "det-a")
+        b, bytes_b = _run(tmp_path, "det-b")
+        assert a.adaptive.stopped_early_at == b.adaptive.stopped_early_at
+        assert bytes_a == bytes_b
+
+    @pytest.mark.slow
+    def test_parallel_identical_stop_and_bytes(self, tmp_path):
+        serial, serial_bytes = _run(tmp_path, "ser")
+        parallel, parallel_bytes = _run(
+            tmp_path, "par", executor=ParallelExecutor(max_workers=2)
+        )
+        assert parallel.adaptive.stopped_early_at == (
+            serial.adaptive.stopped_early_at
+        )
+        assert parallel_bytes == serial_bytes
+
+    def test_resumed_identical_stop_and_bytes(self, tmp_path):
+        """Delete a suffix of the stored runs and re-run: the campaign
+        re-derives the same decision sequence and rewrites identical bytes."""
+        import shutil
+
+        first, first_bytes = _run(tmp_path, "resume")
+        run_dirs = sorted((tmp_path / "resume" / "injections").iterdir())
+        assert len(run_dirs) > 6
+        for run_dir in run_dirs[-5:]:
+            shutil.rmtree(run_dir)
+        resumed, resumed_bytes = _run(tmp_path, "resume")
+        assert resumed.adaptive.stopped_early_at == (
+            first.adaptive.stopped_early_at
+        )
+        assert resumed_bytes == first_bytes
+
+    def test_fully_resumed_campaign_reruns_nothing(self, tmp_path):
+        _run(tmp_path, "full-resume")
+        store = CampaignStore(tmp_path / "full-resume")
+        config = CampaignConfig(
+            workload=_WORKLOAD, num_transient=_BUDGET, seed=_SEED,
+            stopping=_RULE,
+        )
+        engine = CampaignEngine(_WORKLOAD, config, store=store)
+        result = engine.run_transient()
+        assert engine.metrics.injections_done == 0
+        assert engine.metrics.injections_loaded == result.adaptive.injections
+
+    def test_resume_with_different_parameters_rejected(self, tmp_path):
+        _run(tmp_path, "tape")
+        with pytest.raises(ReproError, match="different parameters"):
+            _run(tmp_path, "tape", seed=_SEED + 1)
+
+    def test_adaptive_json_written(self, tmp_path):
+        result, _ = _run(tmp_path, "tape-file")
+        store = CampaignStore(tmp_path / "tape-file")
+        tape = store.load_adaptive_state()
+        assert tape is not None
+        assert len(tape["batches"]) == result.adaptive.batches
+        assert tape["stopped_early_at"] == result.adaptive.stopped_early_at
+
+    def test_stratified_campaign_covers_every_stratum(self, tmp_path):
+        result, _ = _run(
+            tmp_path, "strat", plan=SamplingPlan(mode="stratified",
+                                                 batch_size=10)
+        )
+        summary = result.adaptive
+        names = {s.name for s in summary.strata}
+        assert names == {"heat_step", "field_copy"}
+        assert all(s.injections >= MIN_STRATUM_SAMPLES for s in summary.strata)
+        assert summary.weighted_tally.total == pytest.approx(1.0)
+
+    def test_importance_campaign_unbiased_vs_uniform(self, tmp_path):
+        """Importance steering must not bias the estimate: its weighted
+        estimate and the uniform estimate agree within their intervals."""
+        uniform, _ = _run(tmp_path, "u")
+        importance, _ = _run(
+            tmp_path, "i", plan=SamplingPlan(mode="importance", batch_size=10)
+        )
+        u, i = uniform.adaptive.estimate, importance.adaptive.estimate
+        assert abs(u.p_hat - i.p_hat) <= u.half_width + i.half_width
+
+    def test_sampling_without_stopping_runs_full_budget(self, tmp_path):
+        result, _ = _run(
+            tmp_path, "no-rule", rule=None,
+            plan=SamplingPlan(mode="stratified", batch_size=10), budget=20,
+        )
+        assert result.adaptive.injections == 20
+        assert result.adaptive.stopped_early_at is None
+        assert result.adaptive.rule is None
+
+
+class TestAdaptiveObservability:
+    def _traced_run(self, tmp_path):
+        sink = MemorySink()
+        registry = MetricsRegistry()
+        config = CampaignConfig(
+            workload=_WORKLOAD, num_transient=_BUDGET, seed=_SEED,
+            stopping=_RULE,
+        )
+        result = repro.run_campaign(
+            config, store=CampaignStore(tmp_path / "obs"),
+            tracer=Tracer(sink=sink), metrics=registry,
+        )
+        return result, sink.events, registry
+
+    def test_counters(self, tmp_path):
+        result, _, registry = self._traced_run(tmp_path)
+        assert registry.counter("engine.adaptive.batches").value == (
+            result.adaptive.batches
+        )
+        assert registry.counter("engine.adaptive.injections_saved").value == (
+            result.adaptive.injections_saved
+        )
+
+    def test_campaign_span_carries_stop_attrs(self, tmp_path):
+        result, events, _ = self._traced_run(tmp_path)
+        spans = [
+            e for e in events
+            if e.get("type") == "span" and e.get("name") == "campaign"
+        ]
+        assert len(spans) == 1
+        attrs = spans[0]["attrs"]
+        assert attrs["adaptive"] is True
+        assert attrs["stopped_early_at"] == result.adaptive.stopped_early_at
+        assert attrs["injections_saved"] == result.adaptive.injections_saved
+        assert attrs["budget"] == _BUDGET
+
+    def test_adaptive_batch_events(self, tmp_path):
+        result, events, _ = self._traced_run(tmp_path)
+        batches = [
+            e for e in events
+            if e.get("type") == "event" and e.get("name") == "adaptive_batch"
+        ]
+        assert len(batches) == result.adaptive.batches
+        assert batches[-1]["attrs"]["half_width"] <= _RULE.half_width
+
+    def test_phase_durations_aggregate_per_batch_spans(self, tmp_path):
+        """The adaptive loop's per-batch select/inject spans must roll up in
+        the standard phase breakdown (the campaign span is not a phase)."""
+        from repro.core.report import phase_breakdown
+
+        result, events, _ = self._traced_run(tmp_path)
+        phases = phase_breakdown(events)
+        assert "select" in phases and "inject" in phases
+        assert "campaign" not in phases

@@ -168,7 +168,7 @@ class TestHelpSnapshots:
     def test_top_level_lists_every_subcommand(self, capsys):
         out = self._help(capsys)
         for sub in ("list", "profile", "select", "inject", "campaign",
-                    "trace", "dump"):
+                    "trace", "report", "dump"):
             assert sub in out
 
     def test_campaign_lists_every_knob(self, capsys):
@@ -180,8 +180,21 @@ class TestHelpSnapshots:
             "--fast-forward", "--no-fast-forward",
             "--tail-fast-forward", "--no-tail-fast-forward",
             "--seed", "--trace", "--metrics",
+            "--target-outcome", "--confidence", "--half-width",
+            "--sampling", "--batch-size",
         ):
             assert flag in out, f"{flag} missing from campaign --help"
+
+    def test_campaign_adaptive_choices_advertised(self, capsys):
+        out = self._help(capsys, "campaign")
+        for choice in ("SDC", "DUE", "Masked",
+                       "uniform", "stratified", "importance"):
+            assert choice in out
+
+    def test_report_lists_every_knob(self, capsys):
+        out = self._help(capsys, "report")
+        assert "ci" in out
+        assert "--confidence" in out
 
     def test_tail_help_states_the_contract(self, capsys):
         """The tail knob's help must say what makes it safe to leave on.
@@ -214,6 +227,94 @@ class TestCampaignCommand:
     def test_unknown_workload(self):
         with pytest.raises(KeyError, match="unknown workload"):
             main(["profile", "999.nope"])
+
+
+class TestAdaptiveCampaignCommand:
+    _ADAPTIVE = [
+        "campaign", "303.ostencil", "--seed", "3",
+        "--target-outcome", "SDC", "--confidence", "0.9",
+        "--half-width", "0.12", "--batch-size", "10", "--injections", "60",
+    ]
+
+    def test_adaptive_summary_printed(self, capsys):
+        assert main(self._ADAPTIVE) == 0
+        out = capsys.readouterr().out
+        assert "sampling=uniform" in out
+        assert "stopped early at" in out
+
+    def test_adaptive_json_document(self, capsys):
+        assert main([*self._ADAPTIVE, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        adaptive = doc["adaptive"]
+        assert adaptive["budget"] == 60
+        assert adaptive["stopped_early_at"] is not None
+        assert adaptive["injections_saved"] > 0
+        assert adaptive["estimate"]["half_width"] <= 0.12
+
+    def test_budget_defaults_to_fixed_n(self, capsys):
+        """--target-outcome without --injections caps the campaign at the
+        rule's fixed-N equivalent (0.90/±0.12 → 47)."""
+        assert main([
+            "campaign", "303.ostencil", "--seed", "3",
+            "--target-outcome", "SDC", "--confidence", "0.9",
+            "--half-width", "0.12", "--batch-size", "10",
+            "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["adaptive"]["budget"] == 47
+
+    def test_stratified_sampling_flag(self, capsys):
+        assert main([
+            "campaign", "303.ostencil", "--seed", "3", "--injections", "20",
+            "--sampling", "stratified", "--batch-size", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampling=stratified" in out
+        assert "per-stratum injections" in out
+
+
+class TestReportCommand:
+    def _store(self, tmp_path):
+        store = tmp_path / "study"
+        main([
+            "campaign", "303.ostencil", "--seed", "3", "--injections", "6",
+            "--store", str(store),
+        ])
+        return store
+
+    def test_report_ci_renders_strata(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "ci", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "confidence level: 95%" in out
+        assert "(all)" in out
+        assert "heat_step" in out
+
+    def test_report_ci_custom_confidence(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "ci", str(store), "--confidence", "0.8"]) == 0
+        assert "confidence level: 80%" in capsys.readouterr().out
+
+    def test_report_ci_empty_partial_results(self, tmp_path, capsys):
+        """An interrupted campaign's header-only results.csv renders n/a."""
+        store = tmp_path / "empty"
+        store.mkdir()
+        (store / "results.csv").write_text(
+            "index,kernel,kernel_count,instruction_count,group,model,"
+            "outcome,symptom,potential_due,injected,instructions\n"
+        )
+        assert main(["report", "ci", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+        assert "no completed injections" in out
+
+    def test_report_ci_missing_store(self, tmp_path):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="no results.csv"):
+            main(["report", "ci", str(tmp_path / "nowhere")])
 
 
 class TestDump:

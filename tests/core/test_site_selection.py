@@ -8,10 +8,12 @@ from repro.core.groups import InstructionGroup
 from repro.core.profile_data import KernelProfile, ProgramProfile
 from repro.core.site_selection import (
     select_permanent_sites,
+    select_stratified_sites,
     select_transient_site,
     select_transient_sites,
+    stratum_weights,
 )
-from repro.errors import ProfileError
+from repro.errors import ParamError, ProfileError
 from repro.sass.isa import opcode_by_id
 
 G = InstructionGroup
@@ -88,6 +90,75 @@ class TestTransientSelection:
         )
         assert sites_a == sites_b
 
+    def test_default_path_unchanged_by_kernels_parameter(self):
+        """kernels=None must be bit-identical to the historic draw (the
+        fixed-N byte-parity guarantee rides on this)."""
+        legacy = select_transient_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, 20,
+            np.random.default_rng(7),
+        )
+        explicit = select_transient_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, 20,
+            np.random.default_rng(7), kernels=None,
+        )
+        assert legacy == explicit
+
+
+class TestStratifiedSelection:
+    def test_stratum_weights_are_per_static_kernel(self):
+        assert stratum_weights(_profile(), G.G_GP) == {"alpha": 70, "beta": 30}
+
+    def test_stratum_weights_empty_group_raises(self):
+        with pytest.raises(ProfileError, match="to stratify"):
+            stratum_weights(_profile(), G.G_FP64)
+
+    def test_kernels_restricts_the_draw(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            site = select_transient_site(
+                _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng,
+                kernels=frozenset(("beta",)),
+            )
+            assert site.kernel_name == "beta"
+
+    def test_kernels_spanning_invocations(self):
+        """A stratum is a *static* kernel: both alpha invocations qualify."""
+        rng = np.random.default_rng(1)
+        seen = set()
+        for _ in range(100):
+            site = select_transient_site(
+                _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT, rng,
+                kernels=frozenset(("alpha",)),
+            )
+            seen.add((site.kernel_name, site.kernel_count))
+        assert seen == {("alpha", 0), ("alpha", 1)}
+
+    def test_empty_stratum_raises_with_kernel_names(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ProfileError, match=r"in kernels \['beta'\]"):
+            select_transient_site(
+                _profile(), G.G_FP32, BitFlipModel.FLIP_SINGLE_BIT, rng,
+                kernels=frozenset(("beta",)),  # beta has no FP32
+            )
+
+    def test_select_stratified_sites_follows_allocation(self):
+        rng = np.random.default_rng(3)
+        sites = select_stratified_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT,
+            {"alpha": 3, "beta": 2}, rng,
+        )
+        assert [site.kernel_name for site in sites] == (
+            ["alpha"] * 3 + ["beta"] * 2
+        )
+
+    def test_zero_slot_strata_skipped(self):
+        rng = np.random.default_rng(4)
+        sites = select_stratified_sites(
+            _profile(), G.G_GP, BitFlipModel.FLIP_SINGLE_BIT,
+            {"alpha": 0, "beta": 2}, rng,
+        )
+        assert [site.kernel_name for site in sites] == ["beta", "beta"]
+
 
 class TestPermanentSelection:
     def test_one_site_per_executed_opcode(self):
@@ -140,3 +211,27 @@ class TestPermanentSelection:
         rng = np.random.default_rng(0)
         with pytest.raises(ProfileError, match="no executed opcodes"):
             select_permanent_sites(ProgramProfile(), rng)
+
+    def test_explicit_sm_id_beyond_device_rejected(self):
+        """Regression: an explicit sm_ids list used to be accepted verbatim,
+        so a site could target an SM the device doesn't have."""
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParamError, match="sm_id 7 outside"):
+            select_permanent_sites(_profile(), rng, sm_ids=[2, 7], num_sms=4)
+
+    def test_negative_sm_id_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParamError, match="sm_id -1 outside"):
+            select_permanent_sites(_profile(), rng, sm_ids=[-1], num_sms=4)
+
+    def test_explicit_sm_ids_within_device_accepted(self):
+        rng = np.random.default_rng(0)
+        sites = select_permanent_sites(_profile(), rng, sm_ids=[0, 3], num_sms=4)
+        assert {site.sm_id for site in sites} <= {0, 3}
+
+    def test_unexecuted_opcode_rejected(self):
+        """Regression: an explicit opcode that never executed was silently
+        accepted, producing a permanent site that can never activate."""
+        rng = np.random.default_rng(0)
+        with pytest.raises(ProfileError, match="'LDG' never executed"):
+            select_permanent_sites(_profile(), rng, opcodes=["FADD", "LDG"])

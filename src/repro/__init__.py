@@ -33,6 +33,7 @@ from repro.core import (
     BitFlipModel,
     Campaign,
     CampaignConfig,
+    CampaignKind,
     FaultDictionary,
     InstructionGroup,
     IntermittentInjectorTool,
@@ -68,6 +69,7 @@ __all__ = [
     "InjectResult",
     "Campaign",
     "CampaignConfig",
+    "CampaignKind",
     "InstructionGroup",
     "BitFlipModel",
     "TransientParams",

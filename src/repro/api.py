@@ -29,6 +29,7 @@ shims over the same engine.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 
 from repro.core.adaptive import SamplingPlan, StoppingRule
@@ -48,13 +49,15 @@ from repro.core.engine import (
 )
 from repro.core.groups import InstructionGroup
 from repro.core.injector import InjectionRecord
+from repro.core.kinds import CampaignKind
 from repro.core.outcomes import OutcomeRecord, classify
 from repro.core.params import IntermittentParams, PermanentParams, TransientParams
 from repro.core.profile_data import ProgramProfile
 from repro.core.profiler import ProfilingMode
 from repro.core.resilience import RetryPolicy
+from repro.core.result_store import ResultStore
 from repro.core.site_selection import select_transient_sites
-from repro.errors import ReproError
+from repro.errors import ParamError, ReproError
 from repro.obs import MetricsRegistry, Tracer
 from repro.runner.app import Application
 from repro.runner.artifacts import RunArtifacts
@@ -92,10 +95,22 @@ def select_sites(
     Selection is deterministic from ``seed`` and the profile's ``workload``
     stamp, and matches the engine's own selection bit-for-bit: a campaign
     run with the same knobs injects exactly these sites in this order.
+
+    An unstamped profile (``workload`` empty) raises
+    :class:`~repro.errors.ParamError` immediately: silently seeding the RNG
+    from a placeholder would produce sites that *look* valid but can never
+    match any campaign's, which historically surfaced only as a downstream
+    parity mismatch.
     """
-    stream = SeedSequenceStream(
-        seed, path=program_profile.workload or "root"
-    )
+    if not program_profile.workload:
+        raise ParamError(
+            "profile has no workload stamp; site selection seeds its RNG "
+            "from (seed, workload), so an unstamped profile cannot "
+            "reproduce any campaign's sites. Use repro.profile(...) (which "
+            "stamps the profile) or set profile.workload to the registered "
+            "workload name."
+        )
+    stream = SeedSequenceStream(seed, path=program_profile.workload)
     rng = stream.child("sites").generator()
     return select_transient_sites(program_profile, group, model, count, rng)
 
@@ -153,16 +168,27 @@ def inject(
     )
 
 
+#: The historic ad-hoc override kwargs of :func:`run_campaign`, now shims
+#: over :meth:`~repro.core.campaign.CampaignConfig.with_overrides`.
+_LEGACY_OVERRIDE_KWARGS = (
+    "retry",
+    "fast_forward",
+    "tail_fast_forward",
+    "stopping",
+    "sampling",
+)
+
+
 def run_campaign(
     config: CampaignConfig,
     *,
     executor: Executor | None = None,
-    store=None,  # CampaignStore | None
+    store: ResultStore | None = None,
     hooks: EngineHooks | None = None,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    kind: CampaignKind | str = CampaignKind.TRANSIENT,
     retry: RetryPolicy | None = None,
-    kind: str = "transient",
     fast_forward: bool | None = None,
     tail_fast_forward: bool | None = None,
     stopping: StoppingRule | None = None,
@@ -171,51 +197,54 @@ def run_campaign(
     """Run (or resume) a full campaign described by ``config``.
 
     ``config.workload`` names the registered application.  Plug in a
-    :class:`~repro.core.engine.ParallelExecutor` for multi-process runs, a
-    :class:`~repro.core.store.CampaignStore` for checkpoint/resume, and a
+    :class:`~repro.core.engine.ParallelExecutor` for multi-process runs,
+    any :class:`~repro.core.result_store.ResultStore` for
+    checkpoint/resume (the directory-backed
+    :class:`~repro.core.store.CampaignStore` or a
+    :class:`~repro.service.faultdb.FaultDB` campaign store), and a
     :class:`~repro.obs.Tracer` / :class:`~repro.obs.MetricsRegistry` for
     observability.
 
-    ``retry`` overrides ``config.retry``: the
-    :class:`~repro.core.resilience.RetryPolicy` deciding how injection
-    tasks whose worker raises, dies or hangs are re-attempted, and whether
-    exhausted tasks are quarantined as synthesized DUE outcomes (the
-    default) or abort the campaign (``on_failure="raise"``).
+    ``kind`` selects what the campaign injects — a
+    :class:`~repro.CampaignKind` member or its string value
+    (``"transient"`` / ``"permanent"``); anything else raises
+    :class:`~repro.errors.ReproError` naming the accepted set.
 
-    ``fast_forward`` overrides ``config.fast_forward``: golden-replay
-    fast-forward, which skips simulating launches before each injection
-    target by applying write deltas recorded during the golden run.
-    ``tail_fast_forward`` overrides ``config.tail_fast_forward``: once an
-    injection run's state re-converges with the golden run at a launch
-    boundary, the remaining launches replay from the same recording
-    (effective only while ``fast_forward`` is on).  ``results.csv`` is
-    byte-identical either way (see ``docs/performance.md``).
+    Per-call config overrides belong in the config itself::
 
-    ``stopping`` / ``sampling`` override ``config.stopping`` /
-    ``config.sampling`` and make a transient campaign *adaptive* (see
-    :mod:`repro.core.adaptive` and ``docs/statistics.md``): sites are
-    drawn and injected in batches, the
-    :class:`~repro.core.adaptive.StoppingRule` is re-evaluated after each
-    batch, and the campaign stops as soon as the target outcome's
-    confidence interval is tight enough — ``num_transient`` becomes the
-    budget ceiling.  With both left unset the campaign is the fixed-N loop,
-    byte-identical to previous releases.
+        run_campaign(config.with_overrides(retry=policy, stopping=rule))
+
+    The historic override kwargs (``retry=``, ``fast_forward=``,
+    ``tail_fast_forward=``, ``stopping=``, ``sampling=``) still work but
+    emit :class:`DeprecationWarning` and are routed through
+    :meth:`~repro.core.campaign.CampaignConfig.with_overrides`, so their
+    semantics are identical.  See the stability policy in ``DESIGN.md``
+    for the removal timeline.
     """
     if not config.workload:
         raise ReproError(
             "run_campaign needs CampaignConfig.workload to name a "
             "registered workload"
         )
-    if retry is not None:
-        config = replace(config, retry=retry)
-    if fast_forward is not None:
-        config = replace(config, fast_forward=fast_forward)
-    if tail_fast_forward is not None:
-        config = replace(config, tail_fast_forward=tail_fast_forward)
-    if stopping is not None:
-        config = replace(config, stopping=stopping)
-    if sampling is not None:
-        config = replace(config, sampling=sampling)
+    legacy = {
+        "retry": retry,
+        "fast_forward": fast_forward,
+        "tail_fast_forward": tail_fast_forward,
+        "stopping": stopping,
+        "sampling": sampling,
+    }
+    used = sorted(name for name, value in legacy.items() if value is not None)
+    if used:
+        warnings.warn(
+            f"run_campaign override kwarg(s) {used} are deprecated; use "
+            "config.with_overrides("
+            + ", ".join(f"{name}=..." for name in used)
+            + ") instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = config.with_overrides(**legacy)
+    campaign_kind = CampaignKind.coerce(kind)
     engine = CampaignEngine(
         config.workload,
         config,
@@ -225,11 +254,14 @@ def run_campaign(
         tracer=tracer,
         metrics=metrics,
     )
-    if kind == "transient":
+    if campaign_kind is CampaignKind.TRANSIENT:
         return engine.run_transient()
-    if kind == "permanent":
+    if campaign_kind is CampaignKind.PERMANENT:
         return engine.run_permanent()
-    raise ReproError(f"unknown campaign kind {kind!r}")
+    raise ReproError(
+        f"campaign kind {campaign_kind.value!r} has no campaign entry "
+        "point; use repro.inject for single intermittent runs"
+    )
 
 
 # -- helpers -------------------------------------------------------------------
@@ -249,9 +281,9 @@ def _engine(
 
 def _kind(params) -> str:
     if isinstance(params, TransientParams):
-        return "transient"
+        return CampaignKind.TRANSIENT.value
     if isinstance(params, IntermittentParams):
-        return "intermittent"
+        return CampaignKind.INTERMITTENT.value
     if isinstance(params, PermanentParams):
-        return "permanent"
+        return CampaignKind.PERMANENT.value
     raise ReproError(f"unsupported parameter type {type(params).__name__}")

@@ -33,6 +33,7 @@ from repro.core.engine import (
 )
 from repro.core.groups import InstructionGroup, base_group, in_group
 from repro.core.injector import InjectionRecord, TransientInjectorTool
+from repro.core.kinds import CampaignKind
 from repro.core.parallel import run_transient_parallel
 from repro.core.propagation import (
     MemoryTraceTool,
@@ -46,6 +47,11 @@ from repro.core.resilience import (
     RetryPolicy,
     TaskFailure,
     quarantine_outcome,
+)
+from repro.core.result_store import (
+    RESULTS_CSV_COLUMNS,
+    ResultStore,
+    render_results_csv,
 )
 from repro.core.store import CampaignStore, run_resumable_campaign
 from repro.core.thread_target import ThreadTarget, ThreadTargetedInjectorTool
@@ -93,6 +99,7 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignEngine",
+    "CampaignKind",
     "EngineHooks",
     "EngineMetrics",
     "SerialExecutor",
@@ -107,6 +114,9 @@ __all__ = [
     "HARNESS_FAILURE_SYMPTOM",
     "quarantine_outcome",
     "CampaignStore",
+    "ResultStore",
+    "RESULTS_CSV_COLUMNS",
+    "render_results_csv",
     "run_resumable_campaign",
     "run_transient_parallel",
     "AvfEstimate",

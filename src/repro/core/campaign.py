@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import statistics
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from repro.core.adaptive import AdaptiveSummary, SamplingPlan, StoppingRule
 from repro.core.bitflip import BitFlipModel
@@ -32,6 +32,7 @@ from repro.core.profile_data import ProgramProfile
 from repro.core.profiler import ProfilingMode
 from repro.core.report import OutcomeTally
 from repro.core.resilience import RetryPolicy
+from repro.errors import ParamError
 from repro.runner.app import Application
 from repro.runner.artifacts import RunArtifacts
 from repro.runner.sandbox import SandboxConfig
@@ -90,6 +91,35 @@ class CampaignConfig:
     tail_fast_forward: bool = True
     stopping: StoppingRule | None = None
     sampling: SamplingPlan | None = None  # None == the historic uniform draw
+
+    def with_overrides(self, **overrides) -> "CampaignConfig":
+        """A copy of this config with the given knobs replaced.
+
+        The one typed way to layer per-call overrides on a base config —
+        used by :func:`repro.api.run_campaign`, the CLI and service
+        submissions, replacing the historic pile of ad-hoc keyword
+        arguments (``retry=``, ``fast_forward=``, ``tail_fast_forward=``,
+        ``stopping=``, ``sampling=``).
+
+        ``None`` values mean "keep the base config's value", matching the
+        historic override semantics (an unset CLI flag or API kwarg never
+        clobbers the config).  To *clear* an optional knob such as
+        ``stopping``, construct the config directly.  Unknown names raise
+        :class:`~repro.errors.ParamError` naming the valid fields.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ParamError(
+                f"unknown campaign config override(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        effective = {
+            name: value for name, value in overrides.items() if value is not None
+        }
+        if not effective:
+            return self
+        return replace(self, **effective)
 
 
 @dataclass

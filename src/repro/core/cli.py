@@ -20,6 +20,7 @@ import sys
 from repro.core.bitflip import BitFlipModel
 from repro.core.campaign import CampaignConfig
 from repro.core.groups import InstructionGroup
+from repro.core.kinds import CampaignKind
 from repro.core.params import TransientParams
 from repro.core.profiler import ProfilingMode
 from repro.errors import ReproError
@@ -138,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="injections per adaptive batch (the stopping "
                                "rule is re-evaluated at batch boundaries)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: HTTP submit/status/results over "
+             "one FaultDB (see docs/service.md)",
+    )
+    serve.add_argument("--db", required=True, metavar="FILE",
+                       help="SQLite FaultDB path (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="default worker processes per submitted "
+                            "campaign (submissions can override)")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="work-unit lease duration; a worker that stops "
+                            "heartbeating for this long forfeits its unit")
+
     trace = sub.add_parser(
         "trace", help="summarise a campaign trace file (per-phase times)"
     )
@@ -244,6 +261,27 @@ def _main(argv: list[str] | None = None) -> int:
         from repro.core.report import render_ci_report
 
         print(render_ci_report(args.store, confidence=args.confidence), end="")
+        return 0
+
+    if args.command == "serve":
+        from repro.service import FaultService
+
+        service = FaultService(
+            args.db,
+            host=args.host,
+            port=args.port,
+            default_workers=args.workers,
+            lease_seconds=args.lease_seconds,
+        )
+        host, port = service.address
+        print(f"repro serve: FaultDB {args.db} on http://{host}:{port}",
+              file=sys.stderr)
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            service.shutdown()
         return 0
 
     app = get_workload(args.workload)
@@ -358,16 +396,20 @@ def _main(argv: list[str] | None = None) -> int:
         if budget is None:
             budget = stopping.fixed_n() if stopping is not None else 100
 
+        # Base config from the positional knobs, per-run tweaks layered on
+        # through the one typed override path (shared with the API facade
+        # and service submissions).
         config = CampaignConfig(
             workload=args.workload,
             seed=args.seed,
             num_transient=budget,
-            stopping=stopping,
-            sampling=sampling,
             group=InstructionGroup(args.group),
             model=BitFlipModel(args.model),
             profiling=ProfilingMode(args.profiling),
             sandbox=_sandbox_config(args),
+        ).with_overrides(
+            stopping=stopping,
+            sampling=sampling,
             retry=RetryPolicy(
                 max_attempts=args.max_attempts,
                 task_timeout=args.task_timeout,
@@ -405,7 +447,7 @@ def _main(argv: list[str] | None = None) -> int:
                     store=CampaignStore(args.store) if args.store else None,
                     tracer=tracer,
                     metrics=registry,
-                    kind="permanent",
+                    kind=CampaignKind.PERMANENT,
                 )
         except KeyboardInterrupt:
             # Completed injections are already checkpointed (and, with

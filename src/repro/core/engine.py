@@ -69,6 +69,7 @@ from repro.core.campaign import (
     _median,
 )
 from repro.core.injector import InjectionRecord, TransientInjectorTool
+from repro.core.kinds import CampaignKind
 from repro.core.outcomes import classify
 from repro.core.params import IntermittentParams, PermanentParams, TransientParams
 from repro.core.pf_injector import IntermittentInjectorTool, PermanentInjectorTool
@@ -82,6 +83,7 @@ from repro.core.resilience import (
     format_error,
     quarantine_outcome,
 )
+from repro.core.result_store import ResultStore
 from repro.core.site_selection import (
     select_permanent_sites,
     select_stratified_sites,
@@ -649,7 +651,7 @@ class CampaignEngine:
         app: Application | str,
         config: CampaignConfig | None = None,
         executor: Executor | None = None,
-        store=None,  # CampaignStore | None (kept untyped to avoid an import cycle)
+        store: ResultStore | None = None,
         hooks: EngineHooks | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -665,6 +667,10 @@ class CampaignEngine:
         self._stream = SeedSequenceStream(self.config.seed, path=self.app.name)
         self.golden: RunArtifacts | None = None
         self.profile: ProgramProfile | None = None
+        # The cached fixed-N transient site plan (the v2 pump API draws
+        # batches against it; selection is deterministic, so caching it
+        # cannot perturb the RNG stream).
+        self._plan: list[TransientParams] | None = None
         self.golden_time = 0.0
         self.profile_time = 0.0
         # Golden-replay fast-forward state (config.fast_forward): the golden
@@ -808,22 +814,15 @@ class CampaignEngine:
 
     # -- campaigns --------------------------------------------------------------
 
-    def run_transient(
-        self, sites: list[TransientParams] | None = None
-    ) -> TransientCampaignResult:
-        """The full transient campaign (Figure 1 for N faults)."""
-        if sites is None:
-            if self._adaptive_enabled():
-                return self._run_transient_adaptive()
-            sites = self.select_sites()
-        if self.golden is None:
-            self.run_golden()
+    def _transient_builders(self, sites: Sequence[TransientParams]):
+        """The classify/quarantine result builders for a transient site plan.
 
-        loaded = self._load_completed(
-            sites,
-            completed=self.store.completed_injections() if self.store else [],
-            load=lambda index: self.store.load_injection(index),
-        )
+        ``sites`` is captured by reference, so the adaptive drive loop's
+        growing plan stays visible to builders created before a batch was
+        appended.  Quarantined runs carry only deterministic fields, so
+        campaigns containing failures still produce byte-identical
+        results.csv files across serial, parallel and resumed execution.
+        """
 
         def build(output: InjectionOutput) -> TransientResult:
             outcome = classify(self.app, self.golden, output.artifacts)
@@ -836,9 +835,6 @@ class CampaignEngine:
             )
 
         def build_failure(failure: TaskFailure) -> TransientResult:
-            # Quarantined runs carry only deterministic fields, so campaigns
-            # containing failures still produce byte-identical results.csv
-            # files across serial, parallel and resumed execution.
             return TransientResult(
                 params=sites[failure.index],
                 record=InjectionRecord(injected=False),
@@ -846,6 +842,26 @@ class CampaignEngine:
                 wall_time=0.0,
                 instructions=0,
             )
+
+        return build, build_failure
+
+    def run_transient(
+        self, sites: list[TransientParams] | None = None
+    ) -> TransientCampaignResult:
+        """The full transient campaign (Figure 1 for N faults)."""
+        if sites is None:
+            if self._adaptive_enabled():
+                return self._run_transient_adaptive()
+            sites = self.plan_transient()
+        if self.golden is None:
+            self.run_golden()
+
+        loaded = self._load_completed(
+            sites,
+            completed=self.store.completed_injections() if self.store else [],
+            load=lambda index: self.store.load_injection(index),
+        )
+        build, build_failure = self._transient_builders(sites)
 
         try:
             results = self._inject(
@@ -877,6 +893,155 @@ class CampaignEngine:
         if self.store is not None:
             self.store.save_results_csv(result)
         return result
+
+    # -- the v2 pump API (external drivers, e.g. the service scheduler) --------
+
+    def plan_transient(self) -> list[TransientParams]:
+        """The fixed-N transient site plan (golden + profile + select), cached.
+
+        Site selection is a pure function of the campaign seed and the
+        workload, so every process that plans the same config derives the
+        same plan — the property the service scheduler's sharded workers
+        rest on: N workers each call :meth:`plan_transient` independently
+        and then execute disjoint index ranges of the *same* plan.
+        """
+        if self._plan is None:
+            self._plan = self.select_sites()
+            if self.golden is None:
+                self.run_golden()
+        return self._plan
+
+    def draw_batch(
+        self, indices: Iterable[int] | None = None
+    ) -> list[InjectionTask]:
+        """Frozen, executor-ready tasks for the given plan indices.
+
+        Defaults to the whole plan.  Indices whose results are already in
+        the store are skipped (exactly the resume rule of
+        :meth:`run_transient`), and tasks are grouped by fast-forward
+        target launch so neighbours share the replay log's page cache.
+        Results are keyed by index, so the ordering cannot change
+        ``results.csv``.
+        """
+        sites = self.plan_transient()
+        if indices is None:
+            indices = range(len(sites))
+        wanted = list(indices)
+        for index in wanted:
+            if not 0 <= index < len(sites):
+                raise ReproError(
+                    f"site index {index} outside the plan "
+                    f"(0..{len(sites) - 1})"
+                )
+        completed = (
+            set(self.store.completed_injections()) if self.store else set()
+        )
+        spec = self._injection_spec()
+        fast_forward = self._replay_path is not None
+        tasks = [
+            InjectionTask(
+                index,
+                self.app.name,
+                CampaignKind.TRANSIENT.value,
+                sites[index],
+                spec,
+                replay=(
+                    self._replay_ref_for(sites[index]) if fast_forward else None
+                ),
+            )
+            for index in wanted
+            if index not in completed
+        ]
+        tasks.sort(
+            key=lambda t: (
+                t.replay.stop_launch if t.replay is not None else -1,
+                t.index,
+            )
+        )
+        return tasks
+
+    def ingest_results(
+        self, results: Iterable[InjectionOutput | TaskFailure]
+    ) -> dict[int, TransientResult]:
+        """Classify, persist and account raw executor output, as it arrives.
+
+        The streaming half of the pump API: an external driver runs
+        :meth:`draw_batch` tasks through any executor (in-process or not)
+        and feeds the outputs here.  Each result is checkpointed the moment
+        it is ingested, emits the same ``injection`` trace event and
+        counters as :meth:`run_transient`, and failures follow the
+        configured retry policy's terminal action (quarantine or raise).
+        Returns results keyed by plan index, in completion order.
+        """
+        sites = self.plan_transient()
+        build, build_failure = self._transient_builders(sites)
+        policy = self.config.retry
+        kind = CampaignKind.TRANSIENT.value
+        ingested: dict[int, TransientResult] = {}
+        for output in results:
+            if isinstance(output, TaskFailure):
+                if policy.on_failure == "raise":
+                    raise ReproError(
+                        f"injection task {output.index} failed after "
+                        f"{output.attempts} attempt(s) "
+                        f"[{output.reason}]: {output.error}"
+                    )
+                item = self._quarantine(output, build_failure, kind)
+            else:
+                item = build(output)
+                self.tracer.ingest(output.events)
+                self._record_run_metrics(output.artifacts, injection=True)
+            index = output.index
+            ingested[index] = item
+            if self.store is not None:
+                self.store.save_injection(index, item)
+            self._emit_injection_event(
+                index,
+                item,
+                kind,
+                output=output if isinstance(output, InjectionOutput) else None,
+            )
+            self._count_outcome(item)
+            self.metrics.injections_done += 1
+            self.metrics.tally.add(item.outcome)
+            self.hooks.on_injection(
+                index,
+                item.outcome,
+                self.metrics.injections_done,
+                len(sites),
+                self.metrics.tally,
+            )
+        return ingested
+
+    def run_batch(
+        self, indices: Iterable[int] | None = None
+    ) -> dict[int, TransientResult]:
+        """Draw the given plan indices and pump them through the executor.
+
+        ``draw_batch`` + ``executor.run`` + ``ingest_results`` in one call —
+        what a scheduler worker runs per leased shard.  Already-completed
+        indices are skipped; everything else flows through the engine's
+        normal retry, fast-forward and checkpoint machinery.
+        """
+        tasks = self.draw_batch(indices)
+        self.metrics.injections_total = len(self.plan_transient())
+        started = time.perf_counter()
+        with self.tracer.span(
+            "inject",
+            kind=CampaignKind.TRANSIENT.value,
+            total=len(tasks),
+            fresh=len(tasks),
+        ):
+            runs = self.executor.run(
+                tasks,
+                app=self.app,
+                tracer=self.tracer,
+                retry=self.config.retry,
+                on_retry=self._make_on_retry(CampaignKind.TRANSIENT.value),
+            )
+            results = self.ingest_results(runs)
+        self._phase("inject", time.perf_counter() - started)
+        return results
 
     def _adaptive_enabled(self) -> bool:
         """Any adaptive knob set? Both ``None`` keeps the fixed-N fast path."""
@@ -938,24 +1103,7 @@ class CampaignEngine:
         total_loaded = 0
         stopped_early_at: int | None = None
 
-        def build(output: InjectionOutput) -> TransientResult:
-            outcome = classify(self.app, self.golden, output.artifacts)
-            return TransientResult(
-                params=sites[output.index],
-                record=output.record,
-                outcome=outcome,
-                wall_time=output.artifacts.wall_time,
-                instructions=output.artifacts.instructions_executed,
-            )
-
-        def build_failure(failure: TaskFailure) -> TransientResult:
-            return TransientResult(
-                params=sites[failure.index],
-                record=InjectionRecord(injected=False),
-                outcome=quarantine_outcome(failure),
-                wall_time=0.0,
-                instructions=0,
-            )
+        build, build_failure = self._transient_builders(sites)
 
         with self.tracer.span(
             "campaign",
@@ -1266,19 +1414,7 @@ class CampaignEngine:
         self.metrics.injections_total = len(sites)
         self.metrics.injections_loaded = len(loaded)
         started = time.perf_counter()
-
-        def on_retry(failure: TaskFailure, delay: float) -> None:
-            self.registry.counter("engine.retries").inc()
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "injection_retry",
-                    index=failure.index,
-                    kind=kind,
-                    attempt=failure.attempts,
-                    reason=failure.reason,
-                    error=failure.error,
-                    delay=delay,
-                )
+        on_retry = self._make_on_retry(kind)
 
         with self.tracer.span(
             "inject", kind=kind, total=len(sites), fresh=len(tasks)
@@ -1341,6 +1477,24 @@ class CampaignEngine:
                 raise CampaignInterrupted(by_index, len(sites)) from None
         self._phase("inject", time.perf_counter() - started)
         return [by_index[index] for index in range(start, len(sites))]
+
+    def _make_on_retry(self, kind: str) -> OnRetry:
+        """The retry-accounting callback handed to the executor."""
+
+        def on_retry(failure: TaskFailure, delay: float) -> None:
+            self.registry.counter("engine.retries").inc()
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "injection_retry",
+                    index=failure.index,
+                    kind=kind,
+                    attempt=failure.attempts,
+                    reason=failure.reason,
+                    error=failure.error,
+                    delay=delay,
+                )
+
+        return on_retry
 
     def _quarantine(
         self,

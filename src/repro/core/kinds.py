@@ -1,0 +1,41 @@
+"""Campaign kinds: the one enum naming what a campaign injects.
+
+Historically ``repro.api.run_campaign`` took a stringly ``kind="transient"``
+parameter and every layer (CLI, store records, engine tasks) spelled the
+same three strings by hand.  :class:`CampaignKind` is the typed replacement,
+accepted *and* serialized uniformly: it is a ``str`` subclass, so existing
+``"transient"`` / ``"permanent"`` literals keep working wherever a kind is
+compared or persisted, and ``.value`` is the canonical wire/on-disk form
+(store ``outcome.txt`` records, the FaultDB ``kind`` columns, service
+submissions).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+
+class CampaignKind(str, enum.Enum):
+    """What a campaign (or one injection task) injects."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    INTERMITTENT = "intermittent"
+
+    @classmethod
+    def coerce(cls, value: "CampaignKind | str") -> "CampaignKind":
+        """Accept an enum member or its string value; reject anything else.
+
+        The error names the offending value and the accepted set, so a bad
+        ``kind`` in an API call or service submission is immediately
+        diagnosable.
+        """
+        try:
+            return cls(value)
+        except ValueError:
+            raise ReproError(
+                f"unknown campaign kind {value!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            ) from None

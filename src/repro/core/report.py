@@ -118,6 +118,32 @@ class OutcomeTally:
         return "  ".join(parts)
 
 
+def summarize_tally(tally: OutcomeTally, confidence: float = 0.95) -> dict:
+    """A JSON-friendly summary of a tally: counts, fractions, intervals.
+
+    The ``repro serve`` status endpoint's payload shape — everything a
+    client needs to render live campaign progress without parsing the
+    human-readable :meth:`OutcomeTally.report` line.  A zero-sample tally
+    yields empty intervals rather than raising.
+    """
+    n = int(tally.total)
+    summary = {
+        "n": n,
+        "counts": {o.value: tally.counts[o] for o in Outcome},
+        "fractions": tally.fractions(),
+        "potential_due_fraction": tally.potential_due_fraction(),
+        "confidence": confidence,
+        "ci": {},
+    }
+    if n > 0:
+        for outcome in Outcome:
+            low, high = confidence_interval(
+                tally.fraction(outcome), n, confidence
+            )
+            summary["ci"][outcome.value] = [low, high]
+    return summary
+
+
 # -- results.csv analysis (the ``repro report`` surface) ----------------------
 
 

@@ -1,0 +1,116 @@
+"""The :class:`ResultStore` protocol: what the engine needs from persistence.
+
+Historically :class:`~repro.core.engine.CampaignEngine` typed its store as
+``store=None  # CampaignStore | None`` — a comment, not a contract.  Two
+implementations now exist (the directory-backed
+:class:`~repro.core.store.CampaignStore` and the SQLite-backed
+:class:`~repro.service.faultdb.FaultDB` campaign store), so the contract is
+explicit: any object satisfying this protocol can back a campaign —
+checkpoint-per-injection, resume, partial results and adaptive decision
+tapes included.
+
+This module also owns :func:`render_results_csv`, the one place the
+``results.csv`` byte format is defined.  Both store implementations call
+it, so "the DB export is byte-identical to the directory store's file" is
+true by construction (and pinned by parity tests, not just construction).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # import cycle guard: campaign.py never imports us back
+    from repro.core.campaign import (
+        PermanentResult,
+        TransientCampaignResult,
+        TransientResult,
+    )
+    from repro.core.profile_data import ProgramProfile
+    from repro.runner.artifacts import RunArtifacts
+
+#: Column order of ``results.csv`` — deterministic fields only (simulated
+#: instruction counts, never host wall-clock), so serial, parallel and
+#: resumed campaigns produce byte-identical files.
+RESULTS_CSV_COLUMNS = (
+    "index", "kernel", "kernel_count", "instruction_count",
+    "group", "model", "outcome", "symptom", "potential_due",
+    "injected", "instructions",
+)
+
+
+def render_results_csv(rows: Iterable[tuple[int, "TransientResult"]]) -> str:
+    """The canonical ``results.csv`` text for ``(index, result)`` rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(RESULTS_CSV_COLUMNS))
+    for index, item in rows:
+        writer.writerow([
+            index,
+            item.params.kernel_name,
+            item.params.kernel_count,
+            item.params.instruction_count,
+            item.params.group.name,
+            item.params.model.name,
+            item.outcome.outcome.value,
+            item.outcome.symptom,
+            item.outcome.potential_due,
+            item.record.injected,
+            item.instructions,
+        ])
+    return buffer.getvalue()
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """Durable campaign state, as the engine consumes it.
+
+    Implementations persist each injection the moment it completes (the
+    engine calls ``save_injection`` per result, not per campaign), report
+    which indices are already done so a resumed campaign skips them, and
+    export the deterministic ``results.csv``.  ``replay_path`` names a
+    filesystem location for the golden run's fast-forward tape — workers
+    load it by path, so even database-backed stores hand out a real file.
+    """
+
+    # -- golden + profile -----------------------------------------------------
+
+    def save_golden(self, golden: "RunArtifacts") -> None: ...
+
+    def save_profile(self, profile: "ProgramProfile") -> None: ...
+
+    def replay_path(self) -> Path: ...
+
+    # -- adaptive decision tape ----------------------------------------------
+
+    def save_adaptive_state(self, state: dict) -> None: ...
+
+    def load_adaptive_state(self) -> dict | None: ...
+
+    # -- transient injections -------------------------------------------------
+
+    def save_injection(self, index: int, result: "TransientResult") -> None: ...
+
+    def load_injection(self, index: int) -> "TransientResult": ...
+
+    def completed_injections(self) -> list[int]: ...
+
+    # -- permanent injections -------------------------------------------------
+
+    def save_permanent_injection(
+        self, index: int, result: "PermanentResult"
+    ) -> None: ...
+
+    def load_permanent_injection(self, index: int) -> "PermanentResult": ...
+
+    def completed_permanent_injections(self) -> list[int]: ...
+
+    # -- aggregate results -----------------------------------------------------
+
+    def save_results_csv(self, result: "TransientCampaignResult") -> None: ...
+
+    def save_partial_results_csv(
+        self, by_index: dict[int, "TransientResult"]
+    ) -> None: ...

@@ -24,8 +24,6 @@ resume scan.
 
 from __future__ import annotations
 
-import csv
-import io
 import json
 import re
 import warnings
@@ -37,6 +35,8 @@ from repro.core.campaign import (
     TransientResult,
 )
 from repro.core.injector import InjectionRecord
+from repro.core.kinds import CampaignKind
+from repro.core.result_store import render_results_csv
 from repro.core.outcomes import Outcome, OutcomeRecord
 from repro.core.params import PermanentParams, TransientParams
 from repro.core.profile_data import ProgramProfile
@@ -134,6 +134,7 @@ class CampaignStore:
         (run_dir / "record.txt").write_text(result.record.to_text())
         (run_dir / "outcome.txt").write_text(
             f"{result.outcome.outcome.value}\n{result.outcome.symptom}\n"
+            f"kind={CampaignKind.TRANSIENT.value}\n"
             f"potential_due={result.outcome.potential_due}\n"
             f"wall_time={result.wall_time!r}\n"
             f"instructions={result.instructions}\n"
@@ -159,6 +160,7 @@ class CampaignStore:
         (run_dir / "params.txt").write_text(result.params.to_text())
         (run_dir / "outcome.txt").write_text(
             f"{result.outcome.outcome.value}\n{result.outcome.symptom}\n"
+            f"kind={CampaignKind.PERMANENT.value}\n"
             f"potential_due={result.outcome.potential_due}\n"
             f"wall_time={result.wall_time!r}\n"
             f"opcode={result.opcode}\n"
@@ -251,29 +253,8 @@ class CampaignStore:
         self._write_results_csv(sorted(by_index.items()))
 
     def _write_results_csv(self, rows) -> None:
-        buffer = io.StringIO()
-        writer = csv.writer(buffer)
-        writer.writerow(
-            ["index", "kernel", "kernel_count", "instruction_count",
-             "group", "model", "outcome", "symptom", "potential_due",
-             "injected", "instructions"]
-        )
-        for index, item in rows:
-            writer.writerow([
-                index,
-                item.params.kernel_name,
-                item.params.kernel_count,
-                item.params.instruction_count,
-                item.params.group.name,
-                item.params.model.name,
-                item.outcome.outcome.value,
-                item.outcome.symptom,
-                item.outcome.potential_due,
-                item.record.injected,
-                item.instructions,
-            ])
         self.root.mkdir(parents=True, exist_ok=True)
-        (self.root / "results.csv").write_text(buffer.getvalue())
+        (self.root / "results.csv").write_text(render_results_csv(rows))
 
     def load_tally(self) -> OutcomeTally:
         """Rebuild the outcome tally from stored per-injection records."""

@@ -1,0 +1,266 @@
+"""``repro serve``: the stdlib-HTTP front end over one FaultDB.
+
+A :class:`~http.server.ThreadingHTTPServer` (no dependencies beyond the
+standard library) exposing multi-tenant campaign submission against one
+:class:`~repro.service.faultdb.FaultDB`:
+
+* ``POST /campaigns`` — submit ``{"workload": ..., "config": {...},
+  "workers": N}``; the config object is a *partial*
+  :mod:`repro.service.codec` payload layered over the base config with
+  ``CampaignConfig.with_overrides`` (the same override mechanism the API
+  and CLI use).  Returns ``{"campaign_id": ...}`` immediately; a
+  coordinator thread runs the :class:`~repro.service.scheduler.CampaignScheduler`
+  to completion in the background.  Concurrent submissions run
+  concurrently — each campaign gets its own coordinator and workers, all
+  sharing the one database;
+* ``GET /campaigns`` — every campaign's lifecycle row;
+* ``GET /campaigns/<id>`` — live progress: state, completed/total
+  injection counts, work-unit states and the running outcome tally with
+  confidence intervals (:func:`repro.core.report.summarize_tally`);
+* ``GET /campaigns/<id>/results`` — the deterministic ``results.csv``
+  (409 until the campaign is done, so a partial file can never be
+  mistaken for the final export);
+* ``GET /healthz``, ``GET /metrics`` — liveness and the text metrics
+  dump (``service.*`` counters).
+
+Permanent-fault submissions are rejected with 400: the scheduler shards
+transient plans only (a permanent campaign's per-opcode weighting is a
+whole-plan property).  Run those through :func:`repro.api.run_campaign`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.campaign import CampaignConfig
+from repro.core.kinds import CampaignKind
+from repro.core.report import OutcomeTally, summarize_tally
+from repro.errors import ReproError
+from repro.obs import MetricsRegistry
+from repro.service.codec import decode_overrides
+from repro.service.faultdb import FaultDB
+from repro.service.scheduler import LEASE_SECONDS, CampaignScheduler
+from repro.workloads import WORKLOADS
+
+
+class FaultService:
+    """The campaign service: one FaultDB, many concurrent campaigns."""
+
+    def __init__(
+        self,
+        db_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_workers: int = 2,
+        lease_seconds: float = LEASE_SECONDS,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.db = FaultDB(db_path)
+        self.db_path = str(db_path)
+        self.default_workers = default_workers
+        self.lease_seconds = lease_seconds
+        self.registry = metrics if metrics is not None else MetricsRegistry()
+        self._coordinators: dict[str, threading.Thread] = {}
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self)
+        )
+        self._httpd.daemon_threads = True
+        self._serve_thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    def start(self) -> None:
+        """Serve requests on a background thread (returns immediately)."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._serve_thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+        self._httpd.server_close()
+        self.db.close()
+
+    def join_campaign(self, campaign_id: str, timeout: float | None = None) -> None:
+        """Block until a submitted campaign's coordinator finishes (tests)."""
+        thread = self._coordinators.get(campaign_id)
+        if thread is not None:
+            thread.join(timeout)
+
+    # -- operations (handlers call these) --------------------------------------
+
+    def submit(self, payload: dict) -> str:
+        workload = payload.get("workload")
+        if not workload:
+            raise ReproError("submission needs a 'workload' field")
+        if workload not in WORKLOADS:
+            raise ReproError(
+                f"unknown workload {workload!r}; see GET /workloads"
+            )
+        kind = CampaignKind.coerce(payload.get("kind", CampaignKind.TRANSIENT))
+        if kind is not CampaignKind.TRANSIENT:
+            raise ReproError(
+                f"the service runs transient campaigns only, got "
+                f"{kind.value!r}; run permanent campaigns through "
+                "repro.api.run_campaign"
+            )
+        overrides = decode_overrides(payload.get("config", {}))
+        overrides.pop("workload", None)
+        config = CampaignConfig(workload=workload).with_overrides(**overrides)
+        workers = int(payload.get("workers", self.default_workers))
+        campaign_id = uuid.uuid4().hex[:12]
+        self.db.create_campaign(campaign_id, config, kind)
+        scheduler = CampaignScheduler(
+            self.db,
+            campaign_id,
+            workers=workers,
+            lease_seconds=self.lease_seconds,
+        )
+        thread = threading.Thread(
+            target=self._run_coordinator, args=(scheduler,), daemon=True
+        )
+        self._coordinators[campaign_id] = thread
+        thread.start()
+        self.registry.counter("service.campaigns_submitted").inc()
+        return campaign_id
+
+    def _run_coordinator(self, scheduler: CampaignScheduler) -> None:
+        try:
+            scheduler.run()
+            self.registry.counter("service.campaigns_completed").inc()
+        except BaseException:
+            # State and error text are already recorded on the campaign row.
+            self.registry.counter("service.campaigns_failed").inc()
+
+    def status(self, campaign_id: str) -> dict:
+        row = self.db.campaign_row(campaign_id)
+        config = self.db.campaign_config(campaign_id)
+        completed = self.db.completed_injections(campaign_id)
+        tally = OutcomeTally()
+        for index in completed:
+            result = self.db.load_transient_outcome(campaign_id, index)
+            tally.add(result.outcome)
+        return {
+            **row,
+            "total": config.num_transient,
+            "completed": len(completed),
+            "units": self.db.unit_states(campaign_id),
+            "tally": summarize_tally(tally),
+        }
+
+    def results_csv(self, campaign_id: str) -> str:
+        row = self.db.campaign_row(campaign_id)
+        if row["state"] != "done":
+            raise _NotReady(
+                f"campaign {campaign_id!r} is {row['state']}; results.csv "
+                "is exported when it reaches 'done'"
+            )
+        payload = self.db.load_artifact(campaign_id, "results.csv")
+        if payload is None:
+            return self.db.export_results_csv(campaign_id)
+        return payload.decode()
+
+
+class _NotReady(Exception):
+    """Results requested before the campaign finished (HTTP 409)."""
+
+
+def _make_handler(service: FaultService):
+    class Handler(BaseHTTPRequestHandler):
+        # Quiet: the service logs through metrics, not stderr chatter.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def do_GET(self) -> None:
+            service.registry.counter("service.requests").inc()
+            try:
+                self._route_get()
+            except ReproError as exc:
+                self._send_json({"error": str(exc)}, status=404)
+            except _NotReady as exc:
+                self._send_json({"error": str(exc)}, status=409)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json({"error": str(exc)}, status=500)
+
+        def do_POST(self) -> None:
+            service.registry.counter("service.requests").inc()
+            try:
+                self._route_post()
+            except ReproError as exc:
+                self._send_json({"error": str(exc)}, status=400)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json({"error": str(exc)}, status=500)
+
+        # -- routing -----------------------------------------------------------
+
+        def _route_get(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts == ["healthz"]:
+                self._send_json({"ok": True})
+            elif parts == ["metrics"]:
+                self._send_text(service.registry.render_text())
+            elif parts == ["workloads"]:
+                self._send_json({"workloads": sorted(WORKLOADS)})
+            elif parts == ["campaigns"]:
+                self._send_json({"campaigns": service.db.list_campaigns()})
+            elif len(parts) == 2 and parts[0] == "campaigns":
+                self._send_json(service.status(parts[1]))
+            elif (
+                len(parts) == 3
+                and parts[0] == "campaigns"
+                and parts[2] == "results"
+            ):
+                self._send_text(
+                    service.results_csv(parts[1]), content_type="text/csv"
+                )
+            else:
+                self._send_json({"error": f"no route {self.path!r}"}, status=404)
+
+        def _route_post(self) -> None:
+            parts = [p for p in self.path.split("?")[0].split("/") if p]
+            if parts != ["campaigns"]:
+                self._send_json({"error": f"no route {self.path!r}"}, status=404)
+                return
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                self._send_json({"error": f"bad JSON: {exc}"}, status=400)
+                return
+            campaign_id = service.submit(payload)
+            self._send_json({"campaign_id": campaign_id}, status=202)
+
+        # -- responses ---------------------------------------------------------
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(
+            self, text: str, status: int = 200, content_type: str = "text/plain"
+        ) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler

@@ -149,3 +149,67 @@ class TestTopLevelExports:
         assert repro.run_campaign is api.run_campaign
         for name in ("profile", "select_sites", "inject", "run_campaign"):
             assert name in repro.__all__
+
+
+class TestCampaignKinds:
+    def test_enum_and_string_kinds_are_equivalent(self):
+        config = CampaignConfig(workload=WORKLOAD, num_transient=2, seed=7)
+        by_enum = api.run_campaign(config, kind=repro.CampaignKind.TRANSIENT)
+        by_string = api.run_campaign(config, kind="transient")
+        assert by_enum.tally.counts == by_string.tally.counts
+        assert [r.outcome for r in by_enum.results] == [
+            r.outcome for r in by_string.results
+        ]
+
+    def test_coerce_names_the_valid_kinds(self):
+        with pytest.raises(ReproError, match="expected one of"):
+            repro.CampaignKind.coerce("cosmic")
+
+    def test_intermittent_has_no_campaign_entry_point(self):
+        with pytest.raises(ReproError, match="inject"):
+            api.run_campaign(
+                CampaignConfig(workload=WORKLOAD),
+                kind=repro.CampaignKind.INTERMITTENT,
+            )
+
+
+class TestLegacyOverrideKwargs:
+    def test_each_legacy_kwarg_warns(self):
+        from repro.core.resilience import RetryPolicy
+
+        for kwarg, value in [
+            ("retry", RetryPolicy(max_attempts=2)),
+            ("fast_forward", False),
+            ("tail_fast_forward", False),
+        ]:
+            config = CampaignConfig(workload=WORKLOAD, num_transient=1, seed=1)
+            with pytest.warns(DeprecationWarning, match="with_overrides"):
+                api.run_campaign(config, **{kwarg: value})
+
+    def test_legacy_kwargs_match_with_overrides(self, tmp_path):
+        config = CampaignConfig(workload=WORKLOAD, num_transient=3, seed=5)
+
+        legacy_store = CampaignStore(tmp_path / "legacy")
+        with pytest.warns(DeprecationWarning, match="with_overrides"):
+            api.run_campaign(config, store=legacy_store, fast_forward=False)
+
+        modern_store = CampaignStore(tmp_path / "modern")
+        api.run_campaign(
+            config.with_overrides(fast_forward=False), store=modern_store
+        )
+
+        assert (tmp_path / "legacy" / "results.csv").read_bytes() == (
+            tmp_path / "modern" / "results.csv"
+        ).read_bytes()
+
+
+class TestUnstampedProfiles:
+    def test_select_sites_rejects_unstamped_profile(self):
+        from dataclasses import replace
+
+        from repro.errors import ParamError
+
+        profile = api.profile(WORKLOAD)
+        unstamped = replace(profile, workload="")
+        with pytest.raises(ParamError, match="workload stamp"):
+            api.select_sites(unstamped, count=2, seed=1)

@@ -117,3 +117,26 @@ class TestGoldenValidation:
         campaign = Campaign(get_workload("314.omriq"), config)
         with pytest.raises(GoldenError, match="budget"):
             campaign.run_golden()
+
+
+class TestWithOverrides:
+    def test_unknown_key_rejected(self):
+        from repro.errors import ParamError
+
+        with pytest.raises(ParamError, match="unknown campaign config override"):
+            CampaignConfig().with_overrides(num_transiet=5)
+
+    def test_none_values_keep_the_base(self):
+        base = CampaignConfig(num_transient=7, seed=4)
+        assert base.with_overrides(num_transient=None, seed=None) == base
+
+    def test_overrides_apply_without_mutating_the_base(self):
+        base = CampaignConfig(num_transient=7, seed=4)
+        bumped = base.with_overrides(num_transient=9, fast_forward=False)
+        assert (bumped.num_transient, bumped.fast_forward) == (9, False)
+        assert bumped.seed == 4
+        assert (base.num_transient, base.fast_forward) == (7, True)
+
+    def test_empty_overrides_return_self(self):
+        base = CampaignConfig()
+        assert base.with_overrides() is base

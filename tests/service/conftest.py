@@ -1,0 +1,31 @@
+"""Shared fixtures for the service tests.
+
+One tiny reference campaign (serial, directory-backed) is run once per
+session; its ``results.csv`` bytes are the parity oracle every FaultDB
+export is checked against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.store import CampaignStore
+
+WORKLOAD = "360.ilbdc"
+NUM_INJECTIONS = 4
+SEED = 3
+
+
+def make_config(**overrides) -> repro.CampaignConfig:
+    return repro.CampaignConfig(
+        workload=WORKLOAD, num_transient=NUM_INJECTIONS, seed=SEED
+    ).with_overrides(**overrides)
+
+
+@pytest.fixture(scope="session")
+def reference(tmp_path_factory):
+    """The single-process reference run: (campaign result, results.csv bytes)."""
+    root = tmp_path_factory.mktemp("reference-store")
+    result = repro.run_campaign(make_config(), store=CampaignStore(root))
+    return result, (root / "results.csv").read_bytes()

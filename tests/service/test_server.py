@@ -1,0 +1,171 @@
+"""``repro serve``: endpoints, multi-tenant submissions, acceptance parity."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.core.store import CampaignStore
+from repro.service import FaultService
+
+from tests.service.conftest import make_config
+
+
+@pytest.fixture
+def service(tmp_path):
+    handle = FaultService(
+        tmp_path / "faults.sqlite",
+        port=0,
+        default_workers=0,  # inline coordinator: fast, deterministic tests
+        lease_seconds=10.0,
+    )
+    handle.start()
+    yield handle
+    handle.shutdown()
+
+
+def _url(service, path):
+    host, port = service.address
+    return f"http://{host}:{port}{path}"
+
+
+def _get(service, path):
+    with urllib.request.urlopen(_url(service, path)) as response:
+        return response.status, response.read()
+
+
+def _post(service, path, payload):
+    request = urllib.request.Request(
+        _url(service, path),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _submit(service, **payload):
+    status, body = _post(service, "/campaigns", payload)
+    assert status == 202
+    return body["campaign_id"]
+
+
+def test_healthz_metrics_and_workloads(service):
+    status, body = _get(service, "/healthz")
+    assert (status, json.loads(body)) == (200, {"ok": True})
+    status, body = _get(service, "/workloads")
+    assert status == 200 and "360.ilbdc" in json.loads(body)["workloads"]
+    status, body = _get(service, "/metrics")
+    assert status == 200
+
+
+def test_submit_runs_to_completion_with_live_status(service, reference):
+    _, reference_bytes = reference
+    campaign_id = _submit(
+        service,
+        workload="360.ilbdc",
+        config={"num_transient": 4, "seed": 3},
+    )
+    service.join_campaign(campaign_id, timeout=300)
+
+    status, body = _get(service, f"/campaigns/{campaign_id}")
+    doc = json.loads(body)
+    assert status == 200
+    assert doc["state"] == "done"
+    assert (doc["completed"], doc["total"]) == (4, 4)
+    assert doc["tally"]["n"] == 4
+    assert set(doc["tally"]["fractions"]) == {"SDC", "DUE", "Masked"}
+
+    status, body = _get(service, f"/campaigns/{campaign_id}/results")
+    assert status == 200
+    assert body == reference_bytes
+
+    status, body = _get(service, "/campaigns")
+    listed = json.loads(body)["campaigns"]
+    assert [c["campaign_id"] for c in listed] == [campaign_id]
+
+
+def test_results_blocked_until_done(service):
+    # A campaign row with no coordinator stays pending forever: the 409
+    # path without a race.
+    service.db.create_campaign("stuck", make_config())
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(service, "/campaigns/stuck/results")
+    assert excinfo.value.code == 409
+
+
+def test_submission_validation(service):
+    for payload, fragment in [
+        ({}, "workload"),
+        ({"workload": "no.such"}, "unknown workload"),
+        (
+            {"workload": "360.ilbdc", "kind": "permanent"},
+            "transient campaigns only",
+        ),
+        (
+            {"workload": "360.ilbdc", "config": {"bogus_knob": 1}},
+            "unknown campaign config key",
+        ),
+        ({"workload": "360.ilbdc", "kind": "exotic"}, "unknown campaign kind"),
+    ]:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(service, "/campaigns", payload)
+        assert excinfo.value.code == 400
+        assert fragment in json.loads(excinfo.value.read())["error"]
+
+
+def test_unknown_routes_are_404(service):
+    for path in ["/nope", "/campaigns/missing"]:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(service, path)
+        assert excinfo.value.code == 404
+
+
+@pytest.mark.slow
+def test_two_concurrent_campaigns_with_workers_each_reach_parity(tmp_path):
+    """The acceptance scenario: two tenants, one FaultDB, 2 workers each."""
+    service = FaultService(
+        tmp_path / "faults.sqlite", port=0, default_workers=2, lease_seconds=10.0
+    )
+    service.start()
+    try:
+        first = _submit(
+            service,
+            workload="360.ilbdc",
+            config={"num_transient": 6, "seed": 11},
+            workers=2,
+        )
+        second = _submit(
+            service,
+            workload="360.ilbdc",
+            config={"num_transient": 6, "seed": 12},
+            workers=2,
+        )
+        service.join_campaign(first, timeout=600)
+        service.join_campaign(second, timeout=600)
+
+        for campaign_id, seed in [(first, 11), (second, 12)]:
+            status, body = _get(service, f"/campaigns/{campaign_id}")
+            doc = json.loads(body)
+            assert doc["state"] == "done", doc
+            assert doc["completed"] == 6
+
+            root = tmp_path / f"reference-{seed}"
+            repro.run_campaign(
+                make_config(num_transient=6, seed=seed),
+                store=CampaignStore(root),
+            )
+            status, body = _get(service, f"/campaigns/{campaign_id}/results")
+            assert status == 200
+            assert body == (root / "results.csv").read_bytes()
+
+        # One deduplicated FaultDB: both campaigns' outcomes live in it,
+        # correctly keyed, with no cross-campaign bleed.
+        assert len(service.db.completed_injections(first)) == 6
+        assert len(service.db.completed_injections(second)) == 6
+    finally:
+        service.shutdown()

@@ -3,17 +3,21 @@
 The repo's perf north-star is campaign throughput: NVBitFI's headline
 claim (paper §III-C, Figures 4–5) is that injection runs cost barely more
 than uninstrumented runs.  This benchmark measures a real transient
-campaign end-to-end (golden + profile + select + inject) in five
-configurations — serial {full, pre-target replay only, pre + tail replay}
-and parallel {full, pre + tail} — and persists the numbers to
+campaign end-to-end (golden + profile + select + inject) across serial
+{full, pre-target replay, pre + tail replay, snapshot execution with a
+cold/warm replay cache, resumed}, and parallel {full, pre + tail,
+snapshot × {2, 8} workers} configurations — and persists the numbers to
 ``BENCH_campaign.json`` at the repo root so the trajectory is tracked
 across PRs.
 
-Fast-forward (see :mod:`repro.gpusim.replay` and ``docs/performance.md``)
-must never change results: every configuration's ``results.csv`` is
-asserted byte-identical against the serial full-simulation baseline.
-The tail rows additionally report how many faults re-converged with the
-golden run and how many launches the re-armed tape skipped.
+Fast-forward, snapshot forking and the persistent replay cache (see
+:mod:`repro.gpusim.replay`, :mod:`repro.core.snapshot` and
+``docs/performance.md``) must never change results: every
+configuration's ``results.csv`` is asserted byte-identical against the
+serial full-simulation baseline — snapshot on/off, cache cold/warm,
+serial/parallel/resumed alike.  The tail rows additionally report how
+many faults re-converged with the golden run; snapshot rows report fork
+and cache counters.
 
 Knobs: ``REPRO_QUICK=1`` shrinks to a CI-smoke size (parity still
 asserted); ``REPRO_BENCH_WORKLOAD`` / ``REPRO_BENCH_FAULTS`` override the
@@ -31,6 +35,7 @@ from pathlib import Path
 from benchmarks.harness import campaign_seed, emit, quick_mode
 from repro.core.campaign import CampaignConfig
 from repro.core.engine import CampaignEngine, ParallelExecutor
+from repro.core.snapshot import SnapshotExecutor
 from repro.core.store import CampaignStore
 from repro.obs import MetricsRegistry
 from repro.utils.text import format_table
@@ -38,11 +43,19 @@ from repro.utils.text import format_table
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
 # Wall-clock floors on the default (late-kernel-heavy) campaign: pre-target
-# replay vs full simulation, and the additional factor the tail must buy on
-# top of pre-target replay.  Quick/CI runs are too small to amortize the
-# fixed phases, so they assert parity only.
+# replay vs full simulation, the additional factor the tail must buy on
+# top of pre-target replay, and the total the snapshot executor + warm
+# replay cache must clear (the PR-8 headline: past the previous 3.36x).
+# Quick/CI runs are too small to amortize the fixed phases, so they assert
+# parity only.
 _MIN_SPEEDUP = 2.0
 _MIN_TAIL_SPEEDUP = 1.3
+_MIN_SNAPSHOT_SPEEDUP = 3.36
+# 8-worker wall clock vs 2-worker, normalized by how many of those workers
+# the machine can actually run concurrently (min(workers, cpu_count)):
+# on a box with >= 8 CPUs this demands real scaling; on smaller boxes it
+# asserts that oversubscription does not collapse throughput.
+_MIN_SCALING_EFFICIENCY = 0.8
 
 
 def _workload() -> str:
@@ -57,21 +70,35 @@ def _faults() -> int:
     return int(os.environ.get("REPRO_BENCH_FAULTS", "50"))
 
 
-def _run_campaign(tmp_path, label, fast_forward, tail, workers):
+def _config(fast_forward=True, tail=True, cache_dir=None):
+    return CampaignConfig(
+        workload=_workload(),
+        num_transient=_faults(),
+        seed=campaign_seed(),
+        fast_forward=fast_forward,
+        tail_fast_forward=tail,
+        replay_cache=str(cache_dir) if cache_dir else None,
+    )
+
+
+def _make_executor(kind, workers):
+    if kind == "snapshot":
+        return SnapshotExecutor(max_workers=workers)
+    if workers:
+        return ParallelExecutor(max_workers=workers)
+    return None
+
+
+def _run_campaign(tmp_path, label, fast_forward, tail, workers,
+                  executor_kind="plain", cache_dir=None):
     """One full campaign; returns (seconds, counters-snapshot, results.csv)."""
     store_dir = tmp_path / label
     registry = MetricsRegistry()
     engine = CampaignEngine(
         _workload(),
-        CampaignConfig(
-            workload=_workload(),
-            num_transient=_faults(),
-            seed=campaign_seed(),
-            fast_forward=fast_forward,
-            tail_fast_forward=tail,
-        ),
+        _config(fast_forward, tail, cache_dir),
         store=CampaignStore(store_dir),
-        executor=ParallelExecutor(max_workers=workers) if workers else None,
+        executor=_make_executor(executor_kind, workers),
         metrics=registry,
     )
     started = time.perf_counter()
@@ -81,25 +108,94 @@ def _run_campaign(tmp_path, label, fast_forward, tail, workers):
     return seconds, counters, (store_dir / "results.csv").read_bytes()
 
 
+def _run_resumed(tmp_path, cache_dir):
+    """Half the campaign, then a fresh engine resuming the same store."""
+    store_dir = tmp_path / "serial-resumed"
+    first = CampaignEngine(
+        _workload(),
+        _config(cache_dir=cache_dir),
+        store=CampaignStore(store_dir),
+        executor=SnapshotExecutor(),
+    )
+    first.plan_transient()
+    first.run_batch(range(_faults() // 2))
+    resumed = CampaignEngine(
+        _workload(),
+        _config(cache_dir=cache_dir),
+        store=CampaignStore(store_dir),
+        executor=SnapshotExecutor(),
+    )
+    resumed.run_transient()
+    return (store_dir / "results.csv").read_bytes()
+
+
 def test_campaign_wall_clock(benchmark, tmp_path):
     matrix = [
-        # (executor, mode, fast_forward, tail_fast_forward, workers)
-        ("serial", "full", False, False, 0),
-        ("serial", "ff", True, False, 0),
-        ("serial", "ff+tail", True, True, 0),
-        ("parallel", "full", False, False, 2),
-        ("parallel", "ff+tail", True, True, 2),
+        # (executor, mode, fast_forward, tail_ff, workers, kind, cached)
+        ("serial", "full", False, False, 0, "plain", False),
+        ("serial", "ff", True, False, 0, "plain", False),
+        ("serial", "ff+tail", True, True, 0, "plain", False),
+        # Cold first, warm second: the cold row stores the golden tape the
+        # warm row (and the parallel snapshot rows below) replay.
+        ("serial", "snap+cache-cold", True, True, 0, "snapshot", True),
+        ("serial", "snap+cache-warm", True, True, 0, "snapshot", True),
+        ("parallel", "full", False, False, 2, "plain", False),
+        ("parallel", "ff+tail", True, True, 2, "plain", False),
+        ("parallel", "snap-2w", True, True, 2, "snapshot", True),
+        ("parallel", "snap-8w", True, True, 8, "snapshot", True),
     ]
+    # Single-shot wall clocks on a loaded box swing by tens of percent —
+    # enough to flip the floor assertions either way.  Repeat the whole
+    # matrix (fresh stores and a fresh cache each round, so cold stays
+    # cold) and keep the per-row minimum: the min is the run least
+    # disturbed by unrelated system load.
+    rounds = 1 if quick_mode() else 3
+
+    def run_round(round_dir):
+        cache_dir = round_dir / "replay-cache"
+        measured = {
+            (executor, mode): _run_campaign(
+                round_dir, f"{executor}-{mode}", fast_forward, tail, workers,
+                executor_kind=kind, cache_dir=cache_dir if cached else None,
+            )
+            for executor, mode, fast_forward, tail, workers, kind, cached
+            in matrix
+        }
+        measured[("serial", "resumed")] = (
+            None, {}, _run_resumed(round_dir, cache_dir)
+        )
+        return measured
 
     def run_all():
-        return {
-            (executor, mode): _run_campaign(
-                tmp_path, f"{executor}-{mode}", fast_forward, tail, workers
+        per_round = [run_round(tmp_path / f"round{n}") for n in range(rounds)]
+        baseline = per_round[0][("serial", "full")][2]
+        for n, round_runs in enumerate(per_round):
+            for key, (_, _, csv) in round_runs.items():
+                assert csv == baseline, f"round {n}: csv diverged for {key}"
+        best = {}
+        for key in per_round[0]:
+            seconds = [r[key][0] for r in per_round]
+            best[key] = (
+                None if seconds[0] is None else min(seconds),
+                per_round[0][key][1],
+                per_round[0][key][2],
             )
-            for executor, mode, fast_forward, tail, workers in matrix
-        }
+        round_seconds = [
+            {key: value[0] for key, value in round_runs.items()
+             if value[0] is not None}
+            for round_runs in per_round
+        ]
+        return best, round_seconds
 
-    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    measured, round_seconds = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    def best_ratio(numerator, denominator):
+        """Matched-pair speedup: both sides from the same round, best round
+        kept — the within-round pairing cancels load drift the same way
+        min wall-clock does for a single row."""
+        return round(
+            max(r[numerator] / r[denominator] for r in round_seconds), 2
+        )
 
     # Fast-forward parity: every configuration reproduces the serial
     # full-simulation results.csv byte for byte.
@@ -108,7 +204,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         assert csv == baseline, f"results.csv diverged for {key}"
 
     runs = []
-    for executor, mode, fast_forward, tail, workers in matrix:
+    for executor, mode, fast_forward, tail, workers, kind, _cache in matrix:
         seconds, counters, _ = measured[(executor, mode)]
         runs.append({
             "executor": executor,
@@ -116,6 +212,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             "workers": workers or 1,
             "fast_forward": fast_forward,
             "tail_fast_forward": tail,
+            "snapshot": kind == "snapshot",
             "seconds": round(seconds, 3),
             "simulated_cycles": int(counters.get("gpusim.cycles", 0)),
             "replay_hits": int(counters.get("engine.replay.hits", 0)),
@@ -126,30 +223,47 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             "tail_launches_skipped": int(
                 counters.get("engine.replay.tail_launches_skipped", 0)
             ),
+            "snapshot_forks": int(counters.get("engine.snapshot.forks", 0)),
+            "cache_hits": int(counters.get("engine.cache.hits", 0)),
+            "cache_misses": int(counters.get("engine.cache.misses", 0)),
         })
 
+    by_mode = {(r["executor"], r["mode"]): r for r in runs}
     # Replayed launches (pre-target and tail alike) reconstruct their cycle
     # accounting from the golden recording, so every configuration reports
-    # the identical simulated-cycle total.
+    # the identical simulated-cycle total.  (Warm-cache rows replay the
+    # golden run itself from the tape — same recorded cycle deltas.)
     cycle_totals = {r["simulated_cycles"] for r in runs}
     assert len(cycle_totals) == 1, f"simulated cycles diverged: {cycle_totals}"
-    by_mode = {(r["executor"], r["mode"]): r for r in runs}
     assert by_mode[("serial", "ff")]["replay_launches_skipped"] > 0
     assert by_mode[("serial", "ff")]["faults_converged"] == 0  # tail off
     assert by_mode[("serial", "ff+tail")]["faults_converged"] > 0
     assert by_mode[("serial", "ff+tail")]["tail_launches_skipped"] > 0
+    # The snapshot rows must actually fork (not silently fall back), and
+    # the replay cache must go exactly cold -> warm.
+    assert by_mode[("serial", "snap+cache-cold")]["snapshot_forks"] > 0
+    assert by_mode[("serial", "snap+cache-cold")]["cache_misses"] == 1
+    assert by_mode[("serial", "snap+cache-warm")]["cache_hits"] == 1
+    assert by_mode[("serial", "snap+cache-warm")]["cache_misses"] == 0
 
-    serial_full = measured[("serial", "full")][0]
-    serial_ff = measured[("serial", "ff")][0]
-    serial_tail = measured[("serial", "ff+tail")][0]
+    cpus = os.cpu_count() or 1
+    # Ideal 8-vs-2-worker ratio, capped by physical CPUs: on an 8+-core
+    # box the 8-worker run should be ~4x faster; on a single core both
+    # runs serialize and the ideal ratio is 1.
+    ideal = min(8, cpus) / min(2, cpus)
+    scaling_efficiency = round(
+        best_ratio(("parallel", "snap-2w"), ("parallel", "snap-8w")) / ideal, 2
+    )
     speedup = {
-        "serial": round(serial_full / serial_ff, 2),
-        "serial_tail": round(serial_ff / serial_tail, 2),
-        "serial_total": round(serial_full / serial_tail, 2),
-        "parallel": round(
-            measured[("parallel", "full")][0]
-            / measured[("parallel", "ff+tail")][0],
-            2,
+        "serial": best_ratio(("serial", "full"), ("serial", "ff")),
+        "serial_tail": best_ratio(("serial", "ff"), ("serial", "ff+tail")),
+        "serial_total": best_ratio(("serial", "full"), ("serial", "ff+tail")),
+        "serial_snapshot": best_ratio(
+            ("serial", "full"), ("serial", "snap+cache-warm")
+        ),
+        "parallel": best_ratio(("parallel", "full"), ("parallel", "ff+tail")),
+        "parallel_snapshot": best_ratio(
+            ("parallel", "full"), ("parallel", "snap-2w")
         ),
     }
     payload = {
@@ -158,8 +272,10 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         "faults": _faults(),
         "seed": campaign_seed(),
         "quick": quick_mode(),
+        "cpu_count": cpus,
         "runs": runs,
         "fast_forward_speedup": speedup,
+        "scaling_efficiency_8v2": scaling_efficiency,
         "results_csv_byte_identical": True,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -172,31 +288,24 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             f"{r['simulated_cycles'] / 1e6:.1f} Mcyc",
             r["replay_launches_skipped"],
             r["faults_converged"],
-            r["tail_launches_skipped"],
+            r["snapshot_forks"],
         ]
         for r in runs
     ]
-    rows.append([
-        "speedup (serial ff/full)", "-", f"{speedup['serial']:.2f}x",
-        "-", "-", "-", "-",
-    ])
-    rows.append([
-        "speedup (serial tail/ff)", "-", f"{speedup['serial_tail']:.2f}x",
-        "-", "-", "-", "-",
-    ])
-    rows.append([
-        "speedup (serial total)", "-", f"{speedup['serial_total']:.2f}x",
-        "-", "-", "-", "-",
-    ])
-    rows.append([
-        "speedup (parallel)", "-", f"{speedup['parallel']:.2f}x",
-        "-", "-", "-", "-",
-    ])
+    for title, value in [
+        ("speedup (serial ff/full)", f"{speedup['serial']:.2f}x"),
+        ("speedup (serial tail/ff)", f"{speedup['serial_tail']:.2f}x"),
+        ("speedup (serial total)", f"{speedup['serial_total']:.2f}x"),
+        ("speedup (serial snapshot)", f"{speedup['serial_snapshot']:.2f}x"),
+        ("speedup (parallel)", f"{speedup['parallel']:.2f}x"),
+        ("scaling efficiency (8w vs 2w)", f"{scaling_efficiency:.2f}"),
+    ]:
+        rows.append([title, "-", value, "-", "-", "-", "-"])
     emit(
         "campaign_wall_clock",
         format_table(
             ["Executor", "Mode", "Wall clock", "Simulated cycles",
-             "Pre-replayed", "Faults converged", "Tail-replayed"],
+             "Pre-replayed", "Faults converged", "Forks"],
             rows,
             title=f"Campaign wall clock: {_faults()} transient faults on "
                   f"{_workload()} (results.csv byte-identical throughout)",
@@ -212,4 +321,13 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             f"tail fast-forward speedup regressed: "
             f"{speedup['serial_tail']:.2f}x < {_MIN_TAIL_SPEEDUP}x "
             f"(see {BENCH_PATH})"
+        )
+        assert speedup["serial_snapshot"] > _MIN_SNAPSHOT_SPEEDUP, (
+            f"snapshot + warm-cache speedup regressed: "
+            f"{speedup['serial_snapshot']:.2f}x <= {_MIN_SNAPSHOT_SPEEDUP}x "
+            f"(see {BENCH_PATH})"
+        )
+        assert scaling_efficiency >= _MIN_SCALING_EFFICIENCY, (
+            f"8-worker scaling efficiency regressed: {scaling_efficiency} < "
+            f"{_MIN_SCALING_EFFICIENCY} (see {BENCH_PATH})"
         )

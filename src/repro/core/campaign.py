@@ -66,6 +66,23 @@ class CampaignConfig:
     ``fast_forward`` is on — ``fast_forward=False`` is the global kill
     switch that disables recording entirely.
 
+    ``snapshot`` executes grouped transient injections as copy-on-write
+    ``os.fork`` children of one replayed checkpoint (see
+    :class:`~repro.core.snapshot.SnapshotExecutor`): sites sharing a
+    fast-forward stop launch pay for the pre-target replay once instead of
+    once per injection.  Results stay byte-identical; on platforms without
+    ``os.fork`` the knob silently falls back to the ordinary executors.
+    It only takes effect when no explicit ``executor`` is passed.
+
+    ``replay_cache`` persists the golden replay tape across campaigns:
+    ``True`` uses ``~/.cache/repro/replay`` (or ``$REPRO_REPLAY_CACHE``),
+    a path string uses that directory, ``None`` (default) disables
+    caching.  A repeated campaign with the same workload + sandbox
+    fingerprint + code version replays its golden run from the cached
+    tape instead of simulating it; entries are content-hash validated and
+    any mismatch falls back to re-recording.  ``repro serve`` defaults
+    this to a FaultDB-adjacent directory so all tenants share one cache.
+
     ``stopping`` / ``sampling`` make the campaign *adaptive* (see
     :mod:`repro.core.adaptive` and ``docs/statistics.md``): sites are drawn
     and injected in batches, the :class:`~repro.core.adaptive.StoppingRule`
@@ -89,6 +106,8 @@ class CampaignConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fast_forward: bool = True
     tail_fast_forward: bool = True
+    snapshot: bool = False
+    replay_cache: bool | str | None = None
     stopping: StoppingRule | None = None
     sampling: SamplingPlan | None = None  # None == the historic uniform draw
 

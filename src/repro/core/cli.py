@@ -115,6 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "launches from the golden recording (needs "
                                "--fast-forward; results are byte-identical "
                                "either way)")
+    campaign.add_argument("--snapshot", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="snapshot execution: fork copy-on-write "
+                               "children off one replayed checkpoint per "
+                               "fast-forward stop launch instead of "
+                               "replaying per injection (POSIX only; "
+                               "results are byte-identical either way)")
+    campaign.add_argument("--replay-cache", nargs="?", const=True,
+                          default=None, metavar="DIR",
+                          help="persist the golden replay tape across "
+                               "campaigns: with no value, cache under "
+                               "~/.cache/repro/replay (or "
+                               "$REPRO_REPLAY_CACHE); with DIR, cache "
+                               "there (entries are content-hash validated)")
 
     campaign.add_argument("--target-outcome",
                           choices=["SDC", "DUE", "Masked"], default=None,
@@ -418,7 +432,20 @@ def _main(argv: list[str] | None = None) -> int:
             ),
             fast_forward=args.fast_forward,
             tail_fast_forward=args.tail_fast_forward,
+            snapshot=args.snapshot,
+            replay_cache=args.replay_cache,
         )
+
+        if args.snapshot:
+            from repro.core.snapshot import SnapshotExecutor
+
+            executor = SnapshotExecutor(max_workers=args.workers)
+        elif args.workers:
+            executor = ParallelExecutor(
+                max_workers=args.workers, chunksize=args.chunksize
+            )
+        else:
+            executor = None
 
         class _Progress(EngineHooks):
             def on_injection(self, index, outcome, completed, total, tally):
@@ -430,11 +457,7 @@ def _main(argv: list[str] | None = None) -> int:
         try:
             result = api.run_campaign(
                 config,
-                executor=(
-                    ParallelExecutor(max_workers=args.workers, chunksize=args.chunksize)
-                    if args.workers
-                    else None
-                ),
+                executor=executor,
                 store=CampaignStore(args.store) if args.store else None,
                 hooks=_Progress() if args.progress else None,
                 tracer=tracer,

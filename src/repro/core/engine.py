@@ -47,6 +47,7 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 import time
 import weakref
 from collections import deque
@@ -91,7 +92,12 @@ from repro.core.site_selection import (
     stratum_weights,
 )
 from repro.errors import ReproError
-from repro.gpusim.replay import ReplayRecorder, ReplayRef, save_replay_log
+from repro.gpusim.replay import (
+    ReplayCursor,
+    ReplayRecorder,
+    ReplayRef,
+    save_replay_log,
+)
 from repro.obs import (
     INSTRUCTION_BUCKETS,
     LAUNCH_BUCKETS,
@@ -148,6 +154,10 @@ class InjectionOutput:
     activations: int
     artifacts: RunArtifacts
     events: list[dict] = field(default_factory=list)
+    #: True when the run was serviced by a snapshot fork child (a
+    #: copy-on-write resume from a shared replayed checkpoint); feeds the
+    #: ``engine.snapshot.forks`` counter.
+    forked: bool = False
 
 
 def execute_task(
@@ -640,6 +650,23 @@ class EngineMetrics:
         )
 
 
+def _stop_when(
+    results: Iterable, stop: threading.Event
+) -> Iterator:
+    """Pass executor results through until ``stop`` is set.
+
+    Checked before the first item and after each yielded one: a completed
+    result is never dropped (it is already checkpointed downstream), but
+    no further task starts once the signal fires.
+    """
+    if stop.is_set():
+        return
+    for item in results:
+        yield item
+        if stop.is_set():
+            return
+
+
 # -- the engine ---------------------------------------------------------------
 
 
@@ -658,7 +685,7 @@ class CampaignEngine:
     ) -> None:
         self.app = get_workload(app) if isinstance(app, str) else app
         self.config = config or CampaignConfig()
-        self.executor = executor or SerialExecutor()
+        self.executor = executor or self._default_executor()
         self.store = store
         self.hooks = hooks or EngineHooks()
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -679,11 +706,37 @@ class CampaignEngine:
         self._replay_log = None  # repro.gpusim.replay.ReplayLog | None
         self._replay_path: str | None = None
 
+    def _default_executor(self) -> "Executor":
+        """Serial unless ``config.snapshot`` asks for fork-based snapshots."""
+        if getattr(self.config, "snapshot", False):
+            from repro.core.snapshot import SnapshotExecutor, snapshot_supported
+
+            if snapshot_supported():
+                return SnapshotExecutor()
+        return SerialExecutor()
+
+    def _replay_cache(self):
+        """The persistent cross-campaign replay cache, if configured.
+
+        Only meaningful with fast-forward on: the cache stores replay
+        tapes, and without a recorder there is nothing to cache.
+        """
+        if not self.config.fast_forward:
+            return None
+        from repro.core.snapshot import ReplayCache
+
+        return ReplayCache.resolve(getattr(self.config, "replay_cache", None))
+
     # -- pipeline phases --------------------------------------------------------
 
     def run_golden(self) -> RunArtifacts:
+        cache = self._replay_cache()
+        if cache is not None and self._run_golden_cached(cache):
+            return self.golden
         recorder = ReplayRecorder() if self.config.fast_forward else None
-        with self.tracer.span("golden", workload=self.app.name):
+        with self.tracer.span("golden", workload=self.app.name) as span:
+            if span is not None and cache is not None:
+                span.attrs["replay_cache"] = "miss"
             self.golden = capture_golden(
                 self.app, self._sandbox_config(), tracer=self.tracer,
                 recorder=recorder,
@@ -694,16 +747,61 @@ class CampaignEngine:
             self.store.save_golden(self.golden)
         self._phase("golden", self.golden_time)
         if recorder is not None:
-            self._save_replay_log(recorder)
+            self._save_replay_log(recorder, cache=cache)
         return self.golden
 
-    def _save_replay_log(self, recorder: ReplayRecorder) -> None:
+    def _run_golden_cached(self, cache) -> bool:
+        """Service the golden run from the persistent replay cache.
+
+        On a hit the host program still runs, but every launch replays
+        from the cached tape — reference artifacts (reads come from
+        restored memory) and device counters (recorded deltas) are
+        identical to a simulated golden run at a fraction of the cost.  A
+        missing, invalid (content hash) or stale (launch mismatch — the
+        cursor disarms and the run simulates) entry counts a miss and
+        falls back to the recording path.
+        """
+        log = cache.lookup(self.app.name, self._sandbox_config())
+        if log is None:
+            self.registry.counter("engine.cache.misses").inc()
+            return False
+        cursor = ReplayCursor(log, stop_launch=len(log), pre=True, tail=False)
+        with self.tracer.span("golden", workload=self.app.name) as span:
+            if span is not None:
+                span.attrs["replay_cache"] = "hit"
+            golden = capture_golden(
+                self.app, self._sandbox_config(), tracer=self.tracer,
+                replay=cursor,
+            )
+        if cursor.skipped != len(log):
+            # The tape no longer describes this run (e.g. an edited
+            # workload under an unchanged cache key); the artifacts are
+            # still correct — the cursor degraded to simulation — but the
+            # tape must be re-recorded, so treat the lookup as a miss.
+            self.registry.counter("engine.cache.misses").inc()
+            return False
+        self.registry.counter("engine.cache.hits").inc()
+        self.golden = golden
+        self.golden_time = golden.wall_time
+        self._record_run_metrics(golden)
+        if self.store is not None:
+            self.store.save_golden(golden)
+        self._phase("golden", self.golden_time)
+        self._replay_log = log
+        self._replay_path = str(cache.path_for(self.app.name, self._sandbox_config()))
+        return True
+
+    def _save_replay_log(self, recorder: ReplayRecorder, cache=None) -> None:
         """Serialize the golden run's replay log where every worker can read it.
 
-        Stored campaigns put it under the study directory (next to the
-        golden artifacts); store-less campaigns use a private temp
-        directory cleaned up when the engine is collected.  A recorder
-        that aborted (or taped nothing) simply leaves fast-forward off.
+        With a persistent :class:`~repro.core.snapshot.ReplayCache`
+        configured, the log lands in the cache (shared across campaigns —
+        and across ``repro serve`` tenants when the cache dir is
+        DB-adjacent).  Otherwise stored campaigns put it under the study
+        directory (next to the golden artifacts) and store-less campaigns
+        use a private temp directory cleaned up when the engine is
+        collected.  A recorder that aborted (or taped nothing) simply
+        leaves fast-forward off.
         """
         log = recorder.log()
         if log is None or not log.launches:
@@ -720,8 +818,15 @@ class CampaignEngine:
             workload=self.app.name,
             launches=len(log.launches),
             pages=log.total_pages,
-        ):
-            save_replay_log(log, path)
+        ) as span:
+            if cache is not None:
+                path = str(
+                    cache.store(self.app.name, self._sandbox_config(), log)
+                )
+                if span is not None:
+                    span.attrs["replay_cache"] = "store"
+            else:
+                save_replay_log(log, path)
         self._replay_log = log
         self._replay_path = path
         self._phase("replay", time.perf_counter() - started)
@@ -756,8 +861,15 @@ class CampaignEngine:
         if self.golden is None:
             self.run_golden()
         mode = mode or self.config.profiling
+        cache = self._replay_cache()
+        if cache is not None and self._cached_profile(cache, mode):
+            return self.profile
         profiler = ProfilerTool(mode)
-        with self.tracer.span("profile", workload=self.app.name, mode=mode.value):
+        with self.tracer.span(
+            "profile", workload=self.app.name, mode=mode.value
+        ) as span:
+            if span is not None and cache is not None:
+                span.attrs["replay_cache"] = "miss"
             artifacts = run_app(
                 self.app,
                 preload=[profiler],
@@ -775,7 +887,64 @@ class CampaignEngine:
         if self.store is not None:
             self.store.save_profile(self.profile)
         self._phase("profile", self.profile_time)
+        if cache is not None and self._replay_log is not None:
+            cache.store_profile(
+                self.app.name,
+                self._sandbox_config(),
+                mode.value,
+                self._replay_log.content_hash,
+                self.profile,
+                counters={
+                    "gpusim.instructions_retired": artifacts.instructions_executed,
+                    "gpusim.cycles": artifacts.cycles,
+                    "gpusim.warps_launched": artifacts.warps_launched,
+                },
+            )
         return self.profile
+
+    def _cached_profile(self, cache, mode: ProfilingMode) -> bool:
+        """Service the profiling pass from the persistent replay cache.
+
+        Profiling is the one plan phase a cached tape cannot speed up
+        (instruction counting must simulate under instrumentation), so
+        its output is cached alongside the tape and validated against the
+        tape's content hash — a profile counted over a different golden
+        run never matches.  The restored profile round-trips through the
+        same text codec the store artifact uses, so site selection (and
+        therefore ``results.csv``) is byte-identical to a freshly
+        profiled run.
+        """
+        if self._replay_log is None:
+            return False
+        started = time.perf_counter()
+        cached = cache.lookup_profile(
+            self.app.name,
+            self._sandbox_config(),
+            mode.value,
+            self._replay_log.content_hash,
+        )
+        if cached is None:
+            return False
+        profile, counters = cached
+        with self.tracer.span(
+            "profile", workload=self.app.name, mode=mode.value
+        ) as span:
+            if span is not None:
+                span.attrs["replay_cache"] = "hit"
+        self.registry.counter("engine.cache.profile_hits").inc()
+        # Re-report the profiling run's recorded device totals, exactly as
+        # replayed launches fold their recorded cycle deltas back in: the
+        # simulated-cycle trajectory stays identical whether the profile
+        # was counted or restored.
+        for name, value in counters.items():
+            self.registry.counter(name).inc(value)
+        self.profile = profile
+        self.profile.workload = self.app.name
+        self.profile_time = time.perf_counter() - started
+        if self.store is not None:
+            self.store.save_profile(self.profile)
+        self._phase("profile", self.profile_time)
+        return True
 
     def select_sites(self, count: int | None = None) -> list[TransientParams]:
         if self.profile is None:
@@ -990,7 +1159,9 @@ class CampaignEngine:
             else:
                 item = build(output)
                 self.tracer.ingest(output.events)
-                self._record_run_metrics(output.artifacts, injection=True)
+                self._record_run_metrics(
+                    output.artifacts, injection=True, forked=output.forked
+                )
             index = output.index
             ingested[index] = item
             if self.store is not None:
@@ -1014,7 +1185,9 @@ class CampaignEngine:
         return ingested
 
     def run_batch(
-        self, indices: Iterable[int] | None = None
+        self,
+        indices: Iterable[int] | None = None,
+        stop: "threading.Event | None" = None,
     ) -> dict[int, TransientResult]:
         """Draw the given plan indices and pump them through the executor.
 
@@ -1022,6 +1195,12 @@ class CampaignEngine:
         what a scheduler worker runs per leased shard.  Already-completed
         indices are skipped; everything else flows through the engine's
         normal retry, fast-forward and checkpoint machinery.
+
+        ``stop`` is a cooperative abandon signal (a ``threading.Event``):
+        once set, the completed result in flight is still ingested (it is
+        already checkpointed) but no further task starts.  The scheduler
+        sets it when a worker's unit lease is lost, so the worker stops
+        burning duplicate work the moment it is presumed dead.
         """
         tasks = self.draw_batch(indices)
         self.metrics.injections_total = len(self.plan_transient())
@@ -1031,6 +1210,7 @@ class CampaignEngine:
             kind=CampaignKind.TRANSIENT.value,
             total=len(tasks),
             fresh=len(tasks),
+            snapshot=getattr(self.executor, "snapshot_executor", False),
         ):
             runs = self.executor.run(
                 tasks,
@@ -1039,9 +1219,34 @@ class CampaignEngine:
                 retry=self.config.retry,
                 on_retry=self._make_on_retry(CampaignKind.TRANSIENT.value),
             )
+            if stop is not None:
+                runs = _stop_when(runs, stop)
             results = self.ingest_results(runs)
         self._phase("inject", time.perf_counter() - started)
         return results
+
+    def snapshot_order(self, indices: Iterable[int]) -> list[int]:
+        """Order plan indices so launch-coherent sites sit contiguously.
+
+        The scheduler shards this ordering into units, so every leased
+        unit's sites cluster around the same fast-forward stop launches —
+        the grouping :class:`~repro.core.snapshot.SnapshotExecutor` turns
+        into shared fork checkpoints.  Without a replay log (fast-forward
+        off, or the golden run taped nothing) the order is unchanged.
+        Pure reordering: results are keyed by index, so unit composition
+        never changes ``results.csv``.
+        """
+        sites = self.plan_transient()
+        log = self._replay_log
+
+        def key(index: int) -> tuple[int, int]:
+            stop = None
+            if log is not None and 0 <= index < len(sites):
+                site = sites[index]
+                stop = log.stop_launch_for(site.kernel_name, site.kernel_count)
+            return (stop if stop is not None else -1, index)
+
+        return sorted(indices, key=key)
 
     def _adaptive_enabled(self) -> bool:
         """Any adaptive knob set? Both ``None`` keeps the fixed-N fast path."""
@@ -1446,7 +1651,11 @@ class CampaignEngine:
                     else:
                         item = build(output)
                         self.tracer.ingest(output.events)
-                        self._record_run_metrics(output.artifacts, injection=True)
+                        self._record_run_metrics(
+                            output.artifacts,
+                            injection=True,
+                            forked=getattr(output, "forked", False),
+                        )
                     index = output.index
                     by_index[index] = item
                     if save is not None:
@@ -1581,10 +1790,19 @@ class CampaignEngine:
         if item.outcome.potential_due:
             self.registry.counter("campaign.outcome.potential_due").inc(weight)
 
-    def _record_run_metrics(self, artifacts: RunArtifacts, injection: bool = False) -> None:
+    def _record_run_metrics(
+        self,
+        artifacts: RunArtifacts,
+        injection: bool = False,
+        forked: bool = False,
+    ) -> None:
         """Fold one sandboxed run's device counters into the registry."""
         reg = self.registry
         reg.counter("sandbox.runs").inc()
+        if forked:
+            # The run was serviced by a snapshot fork child resuming from
+            # a shared replayed checkpoint.
+            reg.counter("engine.snapshot.forks").inc()
         reg.counter("gpusim.instructions_retired").inc(
             artifacts.instructions_executed
         )

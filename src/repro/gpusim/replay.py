@@ -58,6 +58,7 @@ Figure 4/5 overhead numbers stay exact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -129,6 +130,10 @@ class ReplayLog:
         self.mem_size = mem_size
         self.launches = launches
         self.workload = workload
+        #: sha256 hex digest of the serialised blob section; set by the
+        #: loader (and by ``save_replay_log``) so callers such as the
+        #: persistent replay cache can validate content identity.
+        self.content_hash: str | None = None
         self._by_instance: dict[tuple[str, int], int] | None = None
 
     def __len__(self) -> int:
@@ -557,14 +562,26 @@ class ReplayCursor:
 # launch in order, the int64 little-endian page-index array followed by the
 # raw page contents.  Everything after the header is offset-computable, so
 # the loader is a single sequential read.
+#
+# The header also embeds ``sha256``, the hex digest of the blob section:
+# the loader rejects a log whose blobs do not match (torn write, bit rot,
+# or a rewrite that kept the header), and the persistent replay cache uses
+# the digest as its content-identity check.  Logs written before the field
+# existed still load (no digest, no validation).
 
 
 def save_replay_log(log: ReplayLog, path: str | os.PathLike) -> None:
     """Serialise ``log`` to ``path`` (atomically, via a temp file)."""
+    digest = hashlib.sha256()
+    for rec in log.launches:
+        digest.update(rec.pages.astype("<i8").tobytes())
+        digest.update(rec.data.tobytes())
+    content_hash = digest.hexdigest()
     header = {
         "page_size": PAGE_SIZE,
         "mem_size": log.mem_size,
         "workload": log.workload,
+        "sha256": content_hash,
         "launches": [
             {
                 "kernel": rec.kernel_name,
@@ -584,7 +601,9 @@ def save_replay_log(log: ReplayLog, path: str | os.PathLike) -> None:
         ],
     }
     blob = json.dumps(header, separators=(",", ":")).encode()
-    tmp = f"{path}.tmp.{os.getpid()}"
+    # Unique per process *and* thread: `repro serve` coordinators write
+    # shared-cache entries concurrently from threads of one process.
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
     with open(tmp, "wb") as handle:
         handle.write(_MAGIC)
         handle.write(struct.pack("<I", len(blob)))
@@ -593,6 +612,7 @@ def save_replay_log(log: ReplayLog, path: str | os.PathLike) -> None:
             handle.write(rec.pages.astype("<i8").tobytes())
             handle.write(rec.data.tobytes())
     os.replace(tmp, path)
+    log.content_hash = content_hash
 
 
 def _read_replay_log(path: str | os.PathLike) -> ReplayLog:
@@ -610,6 +630,14 @@ def _read_replay_log(path: str | os.PathLike) -> ReplayLog:
             f"{path} was recorded with page size {header.get('page_size')}, "
             f"this build uses {PAGE_SIZE}"
         )
+    expected_hash = header.get("sha256")
+    if expected_hash is not None:
+        actual = hashlib.sha256(raw[offset:]).hexdigest()
+        if actual != expected_hash:
+            raise ReproError(
+                f"{path} failed content validation: blob sha256 {actual} "
+                f"does not match recorded {expected_hash}"
+            )
     launches = []
     for meta in header["launches"]:
         num_pages = meta["num_pages"]
@@ -635,23 +663,52 @@ def _read_replay_log(path: str | os.PathLike) -> ReplayLog:
                 data=data,
             )
         )
-    return ReplayLog(
+    log = ReplayLog(
         header["mem_size"], launches, workload=header.get("workload", "")
     )
+    log.content_hash = expected_hash
+    return log
+
+
+def _peek_content_hash(path: str | os.PathLike) -> str | None:
+    """The header-embedded blob digest, read without parsing the blobs.
+
+    Returns ``None`` for pre-digest logs; I/O or parse errors also return
+    ``None`` and are left for the full read to report properly.
+    """
+    try:
+        with open(path, "rb") as handle:
+            if handle.read(len(_MAGIC)) != _MAGIC:
+                return None
+            prefix = handle.read(4)
+            if len(prefix) < 4:
+                return None
+            (header_len,) = struct.unpack("<I", prefix)
+            header = json.loads(handle.read(header_len).decode())
+    except (OSError, ValueError):
+        return None
+    return header.get("sha256")
 
 
 # One read-only copy per process: parallel campaign workers (and a serial
 # engine re-running against the same store) all share the cached log.  The
-# key includes file identity so an overwritten log is reloaded, never
-# served stale.
-_LOG_CACHE: dict[tuple[str, int, int], ReplayLog] = {}
+# key includes file identity (path, mtime_ns, size) *and* the
+# header-embedded content digest, so an overwritten log is reloaded even
+# when the rewrite preserves mtime and size (e.g. a golden re-run after a
+# workload edit restored with ``os.utime``) — never served stale.
+_LOG_CACHE: dict[tuple[str, int, int, str | None], ReplayLog] = {}
 _LOG_CACHE_LOCK = threading.Lock()
 
 
 def load_replay_log(path: str | os.PathLike) -> ReplayLog:
     """Load (with per-process caching) the replay log at ``path``."""
     stat = os.stat(path)
-    key = (os.path.realpath(path), stat.st_mtime_ns, stat.st_size)
+    key = (
+        os.path.realpath(path),
+        stat.st_mtime_ns,
+        stat.st_size,
+        _peek_content_hash(path),
+    )
     with _LOG_CACHE_LOCK:
         cached = _LOG_CACHE.get(key)
         if cached is not None:

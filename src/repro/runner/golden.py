@@ -17,14 +17,21 @@ def capture_golden(
     config: SandboxConfig | None = None,
     tracer=None,
     recorder=None,  # repro.gpusim.replay.ReplayRecorder | None
+    replay=None,  # repro.gpusim.replay.ReplayCursor | None
 ) -> RunArtifacts:
     """Run the application fault-free and validate the reference artifacts.
 
     With a ``recorder`` attached, the run also tapes every launch's
     global-memory write delta and device counters for golden-replay
-    fast-forward (see :mod:`repro.gpusim.replay`).
+    fast-forward (see :mod:`repro.gpusim.replay`).  With a ``replay``
+    cursor (a cached tape from a previous campaign), every launch is
+    fast-forwarded from the recording instead of simulated — the host
+    program still runs, so the reference artifacts are identical.
     """
-    golden = run_app(app, preload=None, config=config, tracer=tracer, recorder=recorder)
+    golden = run_app(
+        app, preload=None, config=config, tracer=tracer, recorder=recorder,
+        replay=replay,
+    )
     if golden.timed_out:
         raise GoldenError(
             f"golden run of {app.name!r} exhausted its instruction budget; "

@@ -33,6 +33,8 @@ def config_to_dict(config: CampaignConfig) -> dict:
         "hang_budget_factor": config.hang_budget_factor,
         "fast_forward": config.fast_forward,
         "tail_fast_forward": config.tail_fast_forward,
+        "snapshot": config.snapshot,
+        "replay_cache": config.replay_cache,
         "sandbox": _sandbox_to_dict(config.sandbox),
         "retry": _retry_to_dict(config.retry),
         "stopping": _stopping_to_dict(config.stopping),
@@ -58,6 +60,8 @@ def config_from_dict(payload: dict) -> CampaignConfig:
         "hang_budget_factor": int,
         "fast_forward": bool,
         "tail_fast_forward": bool,
+        "snapshot": bool,
+        "replay_cache": _decode_replay_cache,
         "sandbox": _sandbox_from_dict,
         "retry": _retry_from_dict,
         "stopping": _stopping_from_dict,
@@ -111,6 +115,17 @@ def _decode_model(value: str) -> BitFlipModel:
             f"unknown bit-flip model {value!r}; expected one of "
             f"{[member.name for member in BitFlipModel]}"
         ) from None
+
+
+def _decode_replay_cache(value: bool | str | None) -> bool | str | None:
+    """``replay_cache`` is tri-state: off (None/False), default dir (True),
+    or an explicit cache directory (string)."""
+    if value is None or isinstance(value, bool) or isinstance(value, str):
+        return value
+    raise ValueError(
+        f"replay_cache must be null, a boolean or a directory string, "
+        f"got {value!r}"
+    )
 
 
 def _sandbox_to_dict(sandbox: SandboxConfig) -> dict:

@@ -156,11 +156,24 @@ class FaultDB:
     (``check_same_thread=False`` + :class:`threading.Lock`, the idiom WAL
     mode expects).  Cross-process writers coordinate through WAL and a
     generous ``busy_timeout``.
+
+    **Lease clock.** Unit lease deadlines are epoch-valued but derived
+    from :meth:`_now` — the wall clock sampled once at connection open
+    plus the monotonic delta since — so an NTP step during a process's
+    lifetime can neither mass-expire live leases nor immortalize dead
+    ones.  Across processes (and hosts) the stored values compare as
+    ordinary epoch timestamps; the protocol therefore assumes
+    inter-worker clock skew is small relative to ``lease_seconds``
+    (seconds of skew against the default 30 s lease), the standard
+    assumption for lease-based coordination on NTP-disciplined fleets.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Monotonic-safe lease clock anchor (see the class docstring).
+        self._epoch_origin = time.time()
+        self._mono_origin = time.monotonic()
         # Autocommit (isolation_level=None): transactions are explicit
         # (BEGIN IMMEDIATE in lease_unit and the batch inserts), never
         # implicitly opened by the driver — the implicit mode would leave a
@@ -174,6 +187,25 @@ class FaultDB:
             self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+
+    def _now(self) -> float:
+        """Epoch-like seconds immune to wall-clock steps after open.
+
+        All lease arithmetic (claim, heartbeat, expiry checks) goes
+        through this, so a forward NTP step cannot mass-expire every live
+        lease and a backward step cannot immortalize a dead worker's.
+        """
+        return self._epoch_origin + (time.monotonic() - self._mono_origin)
+
+    def replay_cache_dir(self) -> Path:
+        """The DB-adjacent persistent replay-cache directory.
+
+        ``repro serve`` points every scheduler worker's engine here (via
+        ``CampaignConfig.replay_cache``), so the first worker to record a
+        workload's golden tape shares it with every other worker and
+        tenant on this database.
+        """
+        return self.path.with_name(self.path.name + ".replay")
 
     def close(self) -> None:
         with self._lock:
@@ -572,7 +604,7 @@ class FaultDB:
         picks the next one.  Returns ``(unit_id, indices)`` or ``None``
         when nothing is currently runnable (all done or leased-and-alive).
         """
-        now = time.time()
+        now = self._now()
         with self._lock:
             try:
                 self._conn.execute("BEGIN IMMEDIATE")
@@ -611,7 +643,7 @@ class FaultDB:
             cursor = self._conn.execute(
                 "UPDATE units SET lease_expires = ? WHERE campaign_id = ? "
                 "AND unit_id = ? AND worker = ? AND state = 'leased'",
-                (time.time() + lease_seconds, campaign_id, unit_id, worker),
+                (self._now() + lease_seconds, campaign_id, unit_id, worker),
             )
             return cursor.rowcount == 1
 
@@ -641,7 +673,7 @@ class FaultDB:
                 "SELECT 1 FROM units WHERE campaign_id = ? AND "
                 "(state = 'pending' OR (state = 'leased' AND "
                 "lease_expires < ?)) LIMIT 1",
-                (campaign_id, time.time()),
+                (campaign_id, self._now()),
             )
             is not None
         )

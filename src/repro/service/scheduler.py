@@ -63,6 +63,22 @@ def shard_units(
     ]
 
 
+def _service_config(db: FaultDB, campaign_id: str):
+    """The stored config with service defaults applied.
+
+    Campaigns that did not choose a ``replay_cache`` get the DB-adjacent
+    shared cache dir: the first worker (usually the coordinator, during
+    planning) records the workload's golden tape and every other
+    worker/tenant on this database replays it instead of re-recording.
+    """
+    config = db.campaign_config(campaign_id)
+    if config.replay_cache is None and config.fast_forward:
+        config = config.with_overrides(
+            replay_cache=str(db.replay_cache_dir())
+        )
+    return config
+
+
 def worker_main(
     db_path: str,
     campaign_id: str,
@@ -74,10 +90,14 @@ def worker_main(
     Runs in its own process.  The engine is rebuilt from the campaign's
     stored config with a FaultDB-backed store, so ``run_batch`` skips
     indices other workers (or the dedup pass) already completed and
-    checkpoints each injection the moment it finishes.
+    checkpoints each injection the moment it finishes.  When the
+    heartbeat thread discovers the lease was lost (this worker was
+    presumed dead and the unit requeued), it signals ``run_batch`` to
+    abandon the unit after the in-flight injection — the new lease holder
+    owns the rest, so finishing it here would be wasted duplicate work.
     """
     db = FaultDB(db_path)
-    config = db.campaign_config(campaign_id)
+    config = _service_config(db, campaign_id)
     store = db.campaign_store(campaign_id)
     engine = CampaignEngine(config.workload, config, store=store)
     engine.plan_transient()  # deterministic: same plan in every worker
@@ -87,6 +107,7 @@ def worker_main(
             break
         unit_id, indices = lease
         stop_heartbeat = threading.Event()
+        lease_lost = threading.Event()
         beat = threading.Thread(
             target=_heartbeat_loop,
             args=(
@@ -96,15 +117,20 @@ def worker_main(
                 worker_id,
                 lease_seconds,
                 stop_heartbeat,
+                lease_lost,
             ),
             daemon=True,
         )
         beat.start()
         try:
-            engine.run_batch(indices)
+            engine.run_batch(indices, stop=lease_lost)
         finally:
             stop_heartbeat.set()
             beat.join()
+        if lease_lost.is_set():
+            # Completed injections were checkpointed; the unit itself now
+            # belongs to whoever re-leased it.  Move on to the next lease.
+            continue
         db.complete_unit(campaign_id, unit_id, worker_id)
     db.close()
 
@@ -116,10 +142,16 @@ def _heartbeat_loop(
     worker_id: str,
     lease_seconds: float,
     stop: threading.Event,
+    lost: threading.Event | None = None,
 ) -> None:
     while not stop.wait(lease_seconds / 3.0):
         if not db.heartbeat_unit(campaign_id, unit_id, worker_id, lease_seconds):
-            return  # lease lost (we were presumed dead); stop renewing
+            # Lease lost (we were presumed dead): stop renewing and tell
+            # the worker to abandon the unit instead of finishing it as
+            # duplicate work.
+            if lost is not None:
+                lost.set()
+            return
 
 
 class CampaignScheduler:
@@ -149,7 +181,7 @@ class CampaignScheduler:
     def run(self) -> None:
         """Plan, dedup, shard, drive workers to completion, export."""
         campaign = self.db.campaign_row(self.campaign_id)
-        config = self.db.campaign_config(self.campaign_id)
+        config = _service_config(self.db, self.campaign_id)
         store = self.db.campaign_store(self.campaign_id)
         self.db.set_campaign_state(self.campaign_id, "running")
         try:
@@ -177,6 +209,10 @@ class CampaignScheduler:
                 set(range(len(sites)))
                 - set(self.db.completed_injections(self.campaign_id))
             )
+            # Order units stop-launch-coherently: sites sharing a
+            # fast-forward checkpoint land in the same unit, so snapshot
+            # workers fork siblings off one restored state.
+            remaining = engine.snapshot_order(remaining)
             shards = shard_units(len(remaining), self.workers)
             units = [[remaining[i] for i in shard] for shard in shards]
             self.db.insert_units(self.campaign_id, units)

@@ -179,6 +179,7 @@ class TestHelpSnapshots:
             "--format", "--max-attempts", "--task-timeout", "--on-failure",
             "--fast-forward", "--no-fast-forward",
             "--tail-fast-forward", "--no-tail-fast-forward",
+            "--snapshot", "--no-snapshot", "--replay-cache",
             "--seed", "--trace", "--metrics",
             "--target-outcome", "--confidence", "--half-width",
             "--sampling", "--batch-size",

@@ -211,6 +211,46 @@ def test_campaign_lifecycle_rows(db):
     assert [c["campaign_id"] for c in db.list_campaigns()] == ["c"]
 
 
+def test_replay_cache_dir_is_db_adjacent(db):
+    assert db.replay_cache_dir() == db.path.with_name(db.path.name + ".replay")
+
+
+# -- lease clock vs wall-clock steps -------------------------------------------
+
+
+def test_forward_ntp_step_does_not_mass_expire_live_leases(db, monkeypatch):
+    """Regression: lease math used raw ``time.time()``, so a forward NTP
+    step instantly expired every live lease and handed units to a second
+    worker while the first was still running them."""
+    import time as time_mod
+
+    db.create_campaign("c", make_config())
+    db.insert_units("c", [[0, 1]])
+    assert db.lease_unit("c", "w0", lease_seconds=30.0) is not None
+
+    real = time_mod.time()
+    monkeypatch.setattr(time_mod, "time", lambda: real + 3600.0)
+    assert db.heartbeat_unit("c", 0, "w0", lease_seconds=30.0)
+    assert not db.has_runnable_unit("c")
+    assert db.lease_unit("c", "thief", lease_seconds=30.0) is None
+
+
+def test_backward_ntp_step_does_not_immortalize_dead_leases(db, monkeypatch):
+    """The mirror image: a backward step used to push ``now`` behind every
+    ``lease_expires``, so a dead worker's unit was never requeued."""
+    import time as time_mod
+
+    db.create_campaign("c", make_config())
+    db.insert_units("c", [[0, 1]])
+    assert db.lease_unit("c", "doomed", lease_seconds=0.01) is not None
+
+    real = time_mod.time()
+    monkeypatch.setattr(time_mod, "time", lambda: real - 3600.0)
+    time_mod.sleep(0.05)  # the monotonic clock, not the wall clock, decides
+    assert db.has_runnable_unit("c")
+    assert db.lease_unit("c", "heir", lease_seconds=30.0) == (0, [0, 1])
+
+
 # -- the config codec ----------------------------------------------------------
 
 
@@ -225,6 +265,8 @@ def test_codec_round_trips_default_and_rich_configs():
         seed=9,
         hang_budget_factor=12,
         fast_forward=False,
+        snapshot=True,
+        replay_cache="/tmp/replay-cache",
         sandbox=SandboxConfig(seed=4, num_sms=2, extra_env={"X": "1"}),
         retry=RetryPolicy(max_attempts=5, task_timeout=1.5, on_failure="raise"),
         stopping=StoppingRule(target_outcome=Outcome.DUE, half_width=0.02),

@@ -124,6 +124,42 @@ def test_scheduler_dedups_against_a_finished_campaign(db, reference):
     assert donors == {"first"}
 
 
+def test_worker_abandons_unit_when_lease_is_lost(db, monkeypatch):
+    """Regression: ``_heartbeat_loop`` noticed ``heartbeat_unit(...) ==
+    False`` but only stopped renewing — the worker finished the whole unit
+    as wasted duplicate work and even marked it done over the new lease
+    holder's claim.  The loop must signal the worker to abandon the unit."""
+    db.create_campaign("c", make_config())
+    db.insert_units("c", [[0, 1, 2, 3]])
+
+    real_heartbeat = FaultDB.heartbeat_unit
+    beats = []
+
+    def lost_first_beat(self, campaign_id, unit_id, worker, lease_seconds):
+        beats.append(unit_id)
+        if len(beats) == 1:
+            return False  # simulate lease expiry mid-unit
+        return real_heartbeat(self, campaign_id, unit_id, worker, lease_seconds)
+
+    monkeypatch.setattr(FaultDB, "heartbeat_unit", lost_first_beat)
+    # A tiny lease makes the first beat fire while the unit is mid-flight.
+    worker_main(str(db.path), "c", "w0", lease_seconds=0.05)
+
+    # The abandoned unit was NOT completed by w0; at least one beat fired,
+    # the unit went back to runnable, and w0's second lease of the same
+    # unit (attempts == 2) finished only the leftover injections.
+    assert beats
+    assert db.all_units_done("c")
+    states = db.unit_states("c")
+    assert states == {"done": 1}
+    with db._lock:
+        attempts = db._conn.execute(
+            "SELECT attempts FROM units WHERE campaign_id = 'c'"
+        ).fetchone()[0]
+    assert attempts >= 2  # re-leased after the abandon, not finished on lease 1
+    assert len(db.completed_injections("c")) == 4
+
+
 @pytest.mark.slow
 def test_two_worker_campaign_is_byte_identical(db, tmp_path):
     import repro

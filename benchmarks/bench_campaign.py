@@ -5,8 +5,9 @@ claim (paper §III-C, Figures 4–5) is that injection runs cost barely more
 than uninstrumented runs.  This benchmark measures a real transient
 campaign end-to-end (golden + profile + select + inject) across serial
 {full, pre-target replay, pre + tail replay, snapshot execution with a
-cold/warm replay cache, resumed}, and parallel {full, pre + tail,
-snapshot × {2, 8} workers} configurations — and persists the numbers to
+cold/warm replay cache, batched multi-fault passes, resumed}, and
+parallel {full, pre + tail, snapshot × {2, 8} workers, batch × 2
+workers} configurations — and persists the numbers to
 ``BENCH_campaign.json`` at the repo root so the trajectory is tracked
 across PRs.
 
@@ -33,6 +34,7 @@ import time
 from pathlib import Path
 
 from benchmarks.harness import campaign_seed, emit, quick_mode
+from repro.core.batch_injector import BatchExecutor
 from repro.core.campaign import CampaignConfig
 from repro.core.engine import CampaignEngine, ParallelExecutor
 from repro.core.snapshot import SnapshotExecutor
@@ -44,13 +46,21 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
 # Wall-clock floors on the default (late-kernel-heavy) campaign: pre-target
 # replay vs full simulation, the additional factor the tail must buy on
-# top of pre-target replay, and the total the snapshot executor + warm
-# replay cache must clear (the PR-8 headline: past the previous 3.36x).
-# Quick/CI runs are too small to amortize the fixed phases, so they assert
-# parity only.
+# top of pre-target replay, the total the snapshot executor + warm
+# replay cache must clear (the PR-8 headline: past the previous 3.36x),
+# and the total the batched multi-fault pass must clear (this PR's
+# headline: strictly past the snapshot executor's previous 4.27x —
+# batching amortizes the per-group host run and tape replay into one
+# chained counting pass, and pipelines every fault's divergent suffix
+# against it as concurrent copy-on-write children).  The pipelined
+# children need a second CPU to actually overlap; on a single-CPU box
+# they serialize behind the pass and the batch row is held to the
+# snapshot bar instead.  Quick/CI runs are too small to amortize the
+# fixed phases, so they assert parity only.
 _MIN_SPEEDUP = 2.0
 _MIN_TAIL_SPEEDUP = 1.3
 _MIN_SNAPSHOT_SPEEDUP = 3.36
+_MIN_BATCH_SPEEDUP = 4.27
 # 8-worker wall clock vs 2-worker, normalized by how many of those workers
 # the machine can actually run concurrently (min(workers, cpu_count)):
 # on a box with >= 8 CPUs this demands real scaling; on smaller boxes it
@@ -70,18 +80,25 @@ def _faults() -> int:
     return int(os.environ.get("REPRO_BENCH_FAULTS", "50"))
 
 
-def _config(fast_forward=True, tail=True, cache_dir=None):
+def _config(fast_forward=True, tail=True, cache_dir=None, knobs=False):
     return CampaignConfig(
         workload=_workload(),
         num_transient=_faults(),
         seed=campaign_seed(),
         fast_forward=fast_forward,
         tail_fast_forward=tail,
+        # The "knob" rows exercise the CLI-level combination
+        # (--snapshot --batch-launch with no explicit executor): the
+        # engine's default-executor resolution must pick the batch path.
+        snapshot=knobs,
+        batch_launch=knobs,
         replay_cache=str(cache_dir) if cache_dir else None,
     )
 
 
 def _make_executor(kind, workers):
+    if kind == "batch":
+        return BatchExecutor(max_workers=workers)
     if kind == "snapshot":
         return SnapshotExecutor(max_workers=workers)
     if workers:
@@ -96,9 +113,11 @@ def _run_campaign(tmp_path, label, fast_forward, tail, workers,
     registry = MetricsRegistry()
     engine = CampaignEngine(
         _workload(),
-        _config(fast_forward, tail, cache_dir),
+        _config(fast_forward, tail, cache_dir,
+                knobs=executor_kind == "knob-batch"),
         store=CampaignStore(store_dir),
-        executor=_make_executor(executor_kind, workers),
+        executor=(None if executor_kind == "knob-batch"
+                  else _make_executor(executor_kind, workers)),
         metrics=registry,
     )
     started = time.perf_counter()
@@ -109,13 +128,18 @@ def _run_campaign(tmp_path, label, fast_forward, tail, workers,
 
 
 def _run_resumed(tmp_path, cache_dir):
-    """Half the campaign, then a fresh engine resuming the same store."""
+    """Half the campaign, then a fresh engine resuming the same store.
+
+    Both halves run through the batched executor: a resumed campaign's
+    leftover indices regroup into (smaller) same-launch batches and the
+    stitched results.csv must still match the serial baseline.
+    """
     store_dir = tmp_path / "serial-resumed"
     first = CampaignEngine(
         _workload(),
         _config(cache_dir=cache_dir),
         store=CampaignStore(store_dir),
-        executor=SnapshotExecutor(),
+        executor=BatchExecutor(),
     )
     first.plan_transient()
     first.run_batch(range(_faults() // 2))
@@ -123,7 +147,7 @@ def _run_resumed(tmp_path, cache_dir):
         _workload(),
         _config(cache_dir=cache_dir),
         store=CampaignStore(store_dir),
-        executor=SnapshotExecutor(),
+        executor=BatchExecutor(),
     )
     resumed.run_transient()
     return (store_dir / "results.csv").read_bytes()
@@ -139,10 +163,15 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         # warm row (and the parallel snapshot rows below) replay.
         ("serial", "snap+cache-cold", True, True, 0, "snapshot", True),
         ("serial", "snap+cache-warm", True, True, 0, "snapshot", True),
+        # Batched multi-fault passes ride the warm cache: one counting
+        # pass per target launch, every same-launch fault forked off it.
+        ("serial", "batch+cache-warm", True, True, 0, "batch", True),
+        ("serial", "knob-batch", True, True, 0, "knob-batch", True),
         ("parallel", "full", False, False, 2, "plain", False),
         ("parallel", "ff+tail", True, True, 2, "plain", False),
         ("parallel", "snap-2w", True, True, 2, "snapshot", True),
         ("parallel", "snap-8w", True, True, 8, "snapshot", True),
+        ("parallel", "batch-2w", True, True, 2, "batch", True),
     ]
     # Single-shot wall clocks on a loaded box swing by tens of percent —
     # enough to flip the floor assertions either way.  Repeat the whole
@@ -224,6 +253,12 @@ def test_campaign_wall_clock(benchmark, tmp_path):
                 counters.get("engine.replay.tail_launches_skipped", 0)
             ),
             "snapshot_forks": int(counters.get("engine.snapshot.forks", 0)),
+            "batch_checkpoints": int(
+                counters.get("engine.batch.checkpoints", 0)
+            ),
+            "batch_launches_shared": int(
+                counters.get("engine.batch.launches_shared", 0)
+            ),
             "cache_hits": int(counters.get("engine.cache.hits", 0)),
             "cache_misses": int(counters.get("engine.cache.misses", 0)),
         })
@@ -245,6 +280,12 @@ def test_campaign_wall_clock(benchmark, tmp_path):
     assert by_mode[("serial", "snap+cache-cold")]["cache_misses"] == 1
     assert by_mode[("serial", "snap+cache-warm")]["cache_hits"] == 1
     assert by_mode[("serial", "snap+cache-warm")]["cache_misses"] == 0
+    # The batch rows must actually checkpoint every fault off a shared
+    # counting pass (explicit executor and config-knob path alike).
+    for batch_key in [("serial", "batch+cache-warm"),
+                      ("serial", "knob-batch"), ("parallel", "batch-2w")]:
+        assert by_mode[batch_key]["batch_checkpoints"] == _faults(), batch_key
+        assert by_mode[batch_key]["batch_launches_shared"] >= 1, batch_key
 
     cpus = os.cpu_count() or 1
     # Ideal 8-vs-2-worker ratio, capped by physical CPUs: on an 8+-core
@@ -261,9 +302,15 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         "serial_snapshot": best_ratio(
             ("serial", "full"), ("serial", "snap+cache-warm")
         ),
+        "serial_batch": best_ratio(
+            ("serial", "full"), ("serial", "batch+cache-warm")
+        ),
         "parallel": best_ratio(("parallel", "full"), ("parallel", "ff+tail")),
         "parallel_snapshot": best_ratio(
             ("parallel", "full"), ("parallel", "snap-2w")
+        ),
+        "parallel_batch": best_ratio(
+            ("parallel", "full"), ("parallel", "batch-2w")
         ),
     }
     payload = {
@@ -297,6 +344,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         ("speedup (serial tail/ff)", f"{speedup['serial_tail']:.2f}x"),
         ("speedup (serial total)", f"{speedup['serial_total']:.2f}x"),
         ("speedup (serial snapshot)", f"{speedup['serial_snapshot']:.2f}x"),
+        ("speedup (serial batch)", f"{speedup['serial_batch']:.2f}x"),
         ("speedup (parallel)", f"{speedup['parallel']:.2f}x"),
         ("scaling efficiency (8w vs 2w)", f"{scaling_efficiency:.2f}"),
     ]:
@@ -326,6 +374,14 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             f"snapshot + warm-cache speedup regressed: "
             f"{speedup['serial_snapshot']:.2f}x <= {_MIN_SNAPSHOT_SPEEDUP}x "
             f"(see {BENCH_PATH})"
+        )
+        batch_floor = (
+            _MIN_BATCH_SPEEDUP if cpus >= 2 else _MIN_SNAPSHOT_SPEEDUP
+        )
+        assert speedup["serial_batch"] > batch_floor, (
+            f"batched multi-fault speedup regressed: "
+            f"{speedup['serial_batch']:.2f}x <= {batch_floor}x "
+            f"on {cpus} CPU(s) (see {BENCH_PATH})"
         )
         assert scaling_efficiency >= _MIN_SCALING_EFFICIENCY, (
             f"8-worker scaling efficiency regressed: {scaling_efficiency} < "

@@ -74,6 +74,17 @@ class CampaignConfig:
     ``os.fork`` the knob silently falls back to the ordinary executors.
     It only takes effect when no explicit ``executor`` is passed.
 
+    ``batch_launch`` goes one step past ``snapshot``: grouped faults that
+    target the same dynamic launch are serviced by **one** simulator pass
+    of that launch (see :mod:`repro.core.batch_injector`).  The shared
+    pass counts group instructions once and takes an in-launch
+    copy-on-write checkpoint at each fault's ``instruction_count``; only
+    each fault's divergent suffix runs in its own fork.  Results stay
+    byte-identical; the same POSIX/fallback rules as ``snapshot`` apply,
+    and when both knobs are set, ``batch_launch`` wins (it subsumes
+    snapshot grouping).  It only takes effect when no explicit
+    ``executor`` is passed.
+
     ``replay_cache`` persists the golden replay tape across campaigns:
     ``True`` uses ``~/.cache/repro/replay`` (or ``$REPRO_REPLAY_CACHE``),
     a path string uses that directory, ``None`` (default) disables
@@ -107,6 +118,7 @@ class CampaignConfig:
     fast_forward: bool = True
     tail_fast_forward: bool = True
     snapshot: bool = False
+    batch_launch: bool = False
     replay_cache: bool | str | None = None
     stopping: StoppingRule | None = None
     sampling: SamplingPlan | None = None  # None == the historic uniform draw

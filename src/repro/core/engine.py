@@ -158,6 +158,14 @@ class InjectionOutput:
     #: copy-on-write resume from a shared replayed checkpoint); feeds the
     #: ``engine.snapshot.forks`` counter.
     forked: bool = False
+    #: True when the fork was an *in-launch* overlay checkpoint (batched
+    #: multi-fault pass, see :mod:`repro.core.batch_injector`); feeds the
+    #: ``engine.batch.checkpoints`` counter.
+    batch: bool = False
+    #: Tagged on exactly one sibling per batch group, marking "this
+    #: group's target launch was simulated once for all its faults";
+    #: feeds the ``engine.batch.launches_shared`` counter.
+    batch_shared: bool = False
 
 
 def execute_task(
@@ -707,7 +715,19 @@ class CampaignEngine:
         self._replay_path: str | None = None
 
     def _default_executor(self) -> "Executor":
-        """Serial unless ``config.snapshot`` asks for fork-based snapshots."""
+        """Serial unless ``config.batch_launch``/``config.snapshot`` ask
+        for fork-based execution.
+
+        ``batch_launch`` wins when both are set: the batch executor *is*
+        a snapshot executor whose groups additionally share the target
+        launch's counting pass, so "snapshot + batch" means batch.
+        """
+        if getattr(self.config, "batch_launch", False):
+            from repro.core.batch_injector import BatchExecutor
+            from repro.core.snapshot import snapshot_supported
+
+            if snapshot_supported():
+                return BatchExecutor()
         if getattr(self.config, "snapshot", False):
             from repro.core.snapshot import SnapshotExecutor, snapshot_supported
 
@@ -1160,7 +1180,11 @@ class CampaignEngine:
                 item = build(output)
                 self.tracer.ingest(output.events)
                 self._record_run_metrics(
-                    output.artifacts, injection=True, forked=output.forked
+                    output.artifacts,
+                    injection=True,
+                    forked=output.forked,
+                    batch=output.batch,
+                    batch_shared=output.batch_shared,
                 )
             index = output.index
             ingested[index] = item
@@ -1211,6 +1235,7 @@ class CampaignEngine:
             total=len(tasks),
             fresh=len(tasks),
             snapshot=getattr(self.executor, "snapshot_executor", False),
+            batch=getattr(self.executor, "batch_executor", False),
         ):
             runs = self.executor.run(
                 tasks,
@@ -1622,7 +1647,12 @@ class CampaignEngine:
         on_retry = self._make_on_retry(kind)
 
         with self.tracer.span(
-            "inject", kind=kind, total=len(sites), fresh=len(tasks)
+            "inject",
+            kind=kind,
+            total=len(sites),
+            fresh=len(tasks),
+            snapshot=getattr(self.executor, "snapshot_executor", False),
+            batch=getattr(self.executor, "batch_executor", False),
         ):
             for index in sorted(loaded):
                 item = loaded[index]
@@ -1655,6 +1685,8 @@ class CampaignEngine:
                             output.artifacts,
                             injection=True,
                             forked=getattr(output, "forked", False),
+                            batch=getattr(output, "batch", False),
+                            batch_shared=getattr(output, "batch_shared", False),
                         )
                     index = output.index
                     by_index[index] = item
@@ -1795,6 +1827,8 @@ class CampaignEngine:
         artifacts: RunArtifacts,
         injection: bool = False,
         forked: bool = False,
+        batch: bool = False,
+        batch_shared: bool = False,
     ) -> None:
         """Fold one sandboxed run's device counters into the registry."""
         reg = self.registry
@@ -1803,6 +1837,15 @@ class CampaignEngine:
             # The run was serviced by a snapshot fork child resuming from
             # a shared replayed checkpoint.
             reg.counter("engine.snapshot.forks").inc()
+        if batch:
+            # ... and the fork was an in-launch overlay checkpoint: the
+            # batched pass counted this run's target launch and forked at
+            # its instruction_count instead of re-simulating the prefix.
+            reg.counter("engine.batch.checkpoints").inc()
+        if batch_shared:
+            # One per batch group: its target launch was simulated once
+            # for every sibling fault.
+            reg.counter("engine.batch.launches_shared").inc()
         reg.counter("gpusim.instructions_retired").inc(
             artifacts.instructions_executed
         )

@@ -121,7 +121,7 @@ class InjectionRecord:
                 ) from None
 
         return cls(
-            injected=get("injected", lambda v: v == "True", False),
+            injected=get("injected", _parse_bool, False),
             kernel_name=get("kernel_name", str, ""),
             pc=get("pc", int, -1),
             opcode=get("opcode", str, ""),
@@ -136,6 +136,24 @@ class InjectionRecord:
             mask=get("mask", int, 0),
             num_regs_corrupted=get("num_regs_corrupted", int, 0),
         )
+
+
+def _parse_bool(value: str) -> bool:
+    """Strict but drift-tolerant booleans for record fields.
+
+    Our own ``to_text`` writes ``True``/``False``, but hand-edited or
+    foreign stores drift to ``true``/``1`` — which ``v == "True"`` used to
+    parse silently as ``False``, flipping an injected run into a
+    never-injected one.  Accept the common spellings; anything else raises
+    ``ValueError`` so ``from_text`` reports a line-numbered
+    :class:`~repro.errors.ReproError` instead of corrupting the record.
+    """
+    norm = value.strip().lower()
+    if norm in ("true", "1"):
+        return True
+    if norm in ("false", "0"):
+        return False
+    raise ValueError(f"expected True/False/true/false/1/0, got {value!r}")
 
 
 class TransientInjectorTool(NVBitTool):
@@ -160,6 +178,21 @@ class TransientInjectorTool(NVBitTool):
         self._instrumented: set[CudaFunction] = set()
         self._armed = False
         self._instr_counter = 0
+
+    @property
+    def params(self) -> TransientParams:
+        return self._params
+
+    @params.setter
+    def params(self, value: TransientParams) -> None:
+        # `_visit` runs once per instrumented site — the hottest Python
+        # path in an injection run — so the target count is cached here
+        # instead of chasing `self.params.instruction_count` per site.
+        # Assignment keeps the cache coherent: the snapshot and batch
+        # executors retarget forked children by swapping `params` on the
+        # already-armed tool.
+        self._params = value
+        self._target_count = getattr(value, "instruction_count", 0)
 
     # -- NVBit event handling ---------------------------------------------------
 
@@ -198,13 +231,13 @@ class TransientInjectorTool(NVBitTool):
         if not self._armed or self.record.injected:
             return
         executed = site.num_executed
-        target = self.params.instruction_count
-        if self._instr_counter + executed <= target:
-            self._instr_counter += executed
+        counter = self._instr_counter
+        target = self._target_count
+        if counter + executed <= target:
+            self._instr_counter = counter + executed
             return
-        offset = target - self._instr_counter
-        self._instr_counter += executed
-        lane = int(site.active_lanes[offset])
+        self._instr_counter = counter + executed
+        lane = int(site.active_lanes[target - counter])
         self._inject(site, lane)
         self._armed = False
 

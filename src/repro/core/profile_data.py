@@ -24,6 +24,12 @@ class KernelProfile:
     invocation: int  # 0-based dynamic instance index of this kernel name
     counts: dict[str, int] = field(default_factory=dict)
     approximated: bool = False  # True if copied from the first instance
+    # Per-group sums, memoized against a snapshot of ``counts`` — site
+    # selection evaluates group_count once per (kernel, site) and the
+    # opcode→group test dominates otherwise.  Excluded from equality.
+    _group_counts: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add(self, opcode: str, executed_threads: int) -> None:
         if executed_threads:
@@ -33,11 +39,17 @@ class KernelProfile:
         return sum(self.counts.values())
 
     def group_count(self, group: InstructionGroup) -> int:
-        return sum(
+        token = tuple(self.counts.items())
+        cached = self._group_counts.get(group)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        value = sum(
             count
             for opcode, count in self.counts.items()
             if in_group(OPCODES_BY_NAME[opcode], group)
         )
+        self._group_counts[group] = (token, value)
+        return value
 
     def to_line(self) -> str:
         pairs = ",".join(

@@ -616,7 +616,7 @@ class SnapshotExecutor:
         procs = [
             multiprocessing.Process(
                 target=_snapshot_worker_main,
-                args=(shard, policy, result_queue),
+                args=(shard, policy, result_queue, type(self)),
                 daemon=True,
             )
             for shard in shards
@@ -670,9 +670,14 @@ def _snapshot_worker_main(
     tasks: list[InjectionTask],
     policy: RetryPolicy,
     result_queue: multiprocessing.Queue,
+    executor_cls: type["SnapshotExecutor"] = SnapshotExecutor,
 ) -> None:
-    """One snapshot shard worker: serial snapshot execution, queued results."""
-    executor = SnapshotExecutor()
+    """One shard worker: serial fork-group execution, queued results.
+
+    ``executor_cls`` is the sharding executor's own class, so subclasses
+    (the batch executor) shard into workers running *their* group logic.
+    """
+    executor = executor_cls()
 
     def notify(failure: TaskFailure, delay: float) -> None:
         result_queue.put(("retry", (failure, delay)))

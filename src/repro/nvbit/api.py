@@ -73,6 +73,16 @@ class NVBitRuntime:
     def is_instrumented_enabled(self, func: CudaFunction) -> bool:
         return self._record(func).enabled
 
+    def invalidate_instrumented(self, func: CudaFunction) -> None:
+        """Force the next enabled launch of ``func`` to JIT a fresh clone.
+
+        A long-lived tool that re-arms a function it already instrumented
+        (the batch injector's cross-launch sweep) uses this so the re-armed
+        launch pays the same simulated JIT-compile charge a fresh process
+        would — keeping cycle totals identical to a serial run.
+        """
+        self._record(func).mark_dirty()
+
     @property
     def jit_compile_count(self) -> int:
         return self._jit.compile_count

@@ -34,6 +34,7 @@ def config_to_dict(config: CampaignConfig) -> dict:
         "fast_forward": config.fast_forward,
         "tail_fast_forward": config.tail_fast_forward,
         "snapshot": config.snapshot,
+        "batch_launch": config.batch_launch,
         "replay_cache": config.replay_cache,
         "sandbox": _sandbox_to_dict(config.sandbox),
         "retry": _retry_to_dict(config.retry),
@@ -61,6 +62,7 @@ def config_from_dict(payload: dict) -> CampaignConfig:
         "fast_forward": bool,
         "tail_fast_forward": bool,
         "snapshot": bool,
+        "batch_launch": bool,
         "replay_cache": _decode_replay_cache,
         "sandbox": _sandbox_from_dict,
         "retry": _retry_from_dict,

@@ -211,7 +211,9 @@ class CampaignScheduler:
             )
             # Order units stop-launch-coherently: sites sharing a
             # fast-forward checkpoint land in the same unit, so snapshot
-            # workers fork siblings off one restored state.
+            # workers fork siblings off one restored state and batch
+            # workers (config.batch_launch) service whole same-launch
+            # groups from one shared counting pass.
             remaining = engine.snapshot_order(remaining)
             shards = shard_units(len(remaining), self.workers)
             units = [[remaining[i] for i in shard] for shard in shards]

@@ -46,6 +46,22 @@ _PRED_KERNEL = """
     EXIT ;
 """
 
+# An FP64 destination writes an even-aligned register *pair* (R4:R5) —
+# the one in-ISA case where len(dest_regs) > 1, which exercises the
+# multi-register wraparound in `_inject`.
+_PAIR_KERNEL = """
+.kernel dchain
+.params 1
+    S2R R1, SR_TID.X ;
+    MOV R2, c[0x0][0x0] ;
+    ISCADD R3, R1, R2, 2 ;
+    MOV R4, R1 ;
+    MOV R5, RZ ;
+    DADD R4, R4, R4 ;
+    STG.32 [R3], R4 ;
+    EXIT ;
+"""
+
 
 class ChainApp(Application):
     name = "chain_app"
@@ -238,6 +254,88 @@ class TestExtensions:
             TransientInjectorTool(_params(), num_regs_to_corrupt=0)
 
 
+class TestVisitOffsetPin:
+    """Pin the `_visit` offset arithmetic across the hot-path rewrite.
+
+    The mapping ``instruction_count = slot * 32 + lane`` (slot = position
+    in the kernel's G_GP stream, one warp of 32) must hit exactly that
+    opcode and lane.  If a micro-optimization of the counting loop skews
+    the offset by even one instruction, this enumeration catches it.
+    """
+
+    _STREAM = ["S2R", "MOV", "ISCADD", "IADD", "IMUL"]
+
+    def test_every_slot_and_edge_lane(self):
+        for slot, opcode in enumerate(self._STREAM):
+            for lane in (0, 13, 31):
+                app = ChainApp()
+                injector, _ = _inject(
+                    app, _params(instruction_count=slot * 32 + lane)
+                )
+                record = injector.record
+                assert record.injected
+                assert (record.opcode, record.lane) == (opcode, lane), (
+                    f"count {slot * 32 + lane} must target {opcode} "
+                    f"lane {lane}, got {record.opcode} lane {record.lane}"
+                )
+
+    def test_boundary_between_instructions(self):
+        # Last lane of one instruction vs first lane of the next — the
+        # exact off-by-one a `counter + executed > target` rewrite risks.
+        app = ChainApp()
+        injector, _ = _inject(app, _params(instruction_count=31))
+        assert (injector.record.opcode, injector.record.lane) == ("S2R", 31)
+        app = ChainApp()
+        injector, _ = _inject(app, _params(instruction_count=32))
+        assert (injector.record.opcode, injector.record.lane) == ("MOV", 0)
+
+
+class TestMultiRegisterWraparound:
+    """`_inject` register-pair handling: the FP64 DADD writes R4:R5."""
+
+    def _pair_params(self, **overrides):
+        return _params(
+            kernel_name="dchain", instruction_count=160, **overrides
+        )
+
+    def _pair_app(self):
+        return ChainApp(text=_PAIR_KERNEL, kernel="dchain")
+
+    def test_corruption_capped_at_pair_width(self):
+        # num_regs_to_corrupt > len(dest_regs): wraps but corrupts each
+        # destination at most once, so the pair caps the count at 2.
+        injector, _ = _inject(
+            self._pair_app(), self._pair_params(), num_regs=5
+        )
+        record = injector.record
+        assert record.opcode == "DADD"
+        assert record.num_regs_corrupted == 2
+
+    def test_selector_walks_into_pair_then_wraps(self):
+        # selector 0.6 over a 2-wide pair picks index 1 (R5) first; a
+        # second corruption wraps back to index 0 (R4).
+        injector, _ = _inject(
+            self._pair_app(),
+            self._pair_params(dest_reg_selector=0.6),
+            num_regs=2,
+        )
+        record = injector.record
+        assert record.dest_index == 5  # the record names the first target
+        assert record.num_regs_corrupted == 2
+
+    def test_selector_at_one_wraps_instead_of_indexing_out(self):
+        # dest_reg_selector == 1.0 is rejected by params validation, but
+        # `_inject` itself must stay total: int(1.0 * 2) == 2 lands past
+        # the pair and the modulo wraps it to R4 instead of raising.
+        params = self._pair_params()
+        object.__setattr__(params, "dest_reg_selector", 1.0)
+        injector, _ = _inject(self._pair_app(), params)
+        record = injector.record
+        assert record.injected
+        assert record.dest_index == 4
+        assert record.num_regs_corrupted == 1
+
+
 class TestSelectiveInstrumentation:
     def test_untargeted_kernels_not_instrumented(self):
         """The NVBitFI overhead claim: only the target dynamic kernel runs
@@ -304,6 +402,41 @@ class TestInjectionRecordParsing:
 
         text = self._record().to_text().replace("ctaid=1,0,0", "ctaid=1,0")
         with pytest.raises(ReproError, match="ctaid='1,0'.*expected 3"):
+            InjectionRecord.from_text(text)
+
+    @pytest.mark.parametrize("text_value", ["true", "1", "TRUE", "True"])
+    def test_lowercase_and_numeric_true_spellings_parse(self, text_value):
+        # Drifted writers (shell wrappers, older logs) emit lowercase or
+        # numeric booleans; these used to silently parse as False.
+        from repro.core.injector import InjectionRecord
+
+        text = self._record().to_text().replace(
+            "injected=True", f"injected={text_value}"
+        )
+        assert InjectionRecord.from_text(text).injected
+
+    @pytest.mark.parametrize("text_value", ["false", "0", "False"])
+    def test_false_spellings_parse(self, text_value):
+        from repro.core.injector import InjectionRecord
+
+        text = self._record().to_text().replace(
+            "injected=True", f"injected={text_value}"
+        )
+        assert not InjectionRecord.from_text(text).injected
+
+    def test_junk_boolean_blames_its_line(self):
+        from repro.core.injector import InjectionRecord
+        from repro.errors import ReproError
+
+        text = self._record().to_text().replace(
+            "injected=True", "injected=yes"
+        )
+        lineno = next(
+            i for i, line in enumerate(text.splitlines(), start=1)
+            if line.startswith("injected=")
+        )
+        with pytest.raises(ReproError,
+                           match=f"line {lineno}.*injected='yes'"):
             InjectionRecord.from_text(text)
 
     def test_legacy_describe_only_text_still_parses(self):

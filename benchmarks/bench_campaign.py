@@ -16,7 +16,9 @@ Fast-forward, snapshot forking and the persistent replay cache (see
 ``docs/performance.md``) must never change results: every
 configuration's ``results.csv`` is asserted byte-identical against the
 serial full-simulation baseline — snapshot on/off, cache cold/warm,
-serial/parallel/resumed alike.  The tail rows additionally report how
+serial/parallel/resumed, and the block-compiled execution tier on/off
+(the ``*-nobc`` rows re-run the full, snapshot and batch configurations
+with ``block_compile=False``) alike.  The tail rows additionally report how
 many faults re-converged with the golden run; snapshot rows report fork
 and cache counters.
 
@@ -80,7 +82,8 @@ def _faults() -> int:
     return int(os.environ.get("REPRO_BENCH_FAULTS", "50"))
 
 
-def _config(fast_forward=True, tail=True, cache_dir=None, knobs=False):
+def _config(fast_forward=True, tail=True, cache_dir=None, knobs=False,
+            block_compile=True):
     return CampaignConfig(
         workload=_workload(),
         num_transient=_faults(),
@@ -92,6 +95,7 @@ def _config(fast_forward=True, tail=True, cache_dir=None, knobs=False):
         # engine's default-executor resolution must pick the batch path.
         snapshot=knobs,
         batch_launch=knobs,
+        block_compile=block_compile,
         replay_cache=str(cache_dir) if cache_dir else None,
     )
 
@@ -107,14 +111,15 @@ def _make_executor(kind, workers):
 
 
 def _run_campaign(tmp_path, label, fast_forward, tail, workers,
-                  executor_kind="plain", cache_dir=None):
+                  executor_kind="plain", cache_dir=None, block_compile=True):
     """One full campaign; returns (seconds, counters-snapshot, results.csv)."""
     store_dir = tmp_path / label
     registry = MetricsRegistry()
     engine = CampaignEngine(
         _workload(),
         _config(fast_forward, tail, cache_dir,
-                knobs=executor_kind == "knob-batch"),
+                knobs=executor_kind == "knob-batch",
+                block_compile=block_compile),
         store=CampaignStore(store_dir),
         executor=(None if executor_kind == "knob-batch"
                   else _make_executor(executor_kind, workers)),
@@ -155,23 +160,28 @@ def _run_resumed(tmp_path, cache_dir):
 
 def test_campaign_wall_clock(benchmark, tmp_path):
     matrix = [
-        # (executor, mode, fast_forward, tail_ff, workers, kind, cached)
-        ("serial", "full", False, False, 0, "plain", False),
-        ("serial", "ff", True, False, 0, "plain", False),
-        ("serial", "ff+tail", True, True, 0, "plain", False),
+        # (executor, mode, fast_forward, tail_ff, workers, kind, cached, bc)
+        ("serial", "full", False, False, 0, "plain", False, True),
+        # Same campaign with the block-compiled tier off: results.csv must
+        # not move, and the default row above must not be slower.
+        ("serial", "full-nobc", False, False, 0, "plain", False, False),
+        ("serial", "ff", True, False, 0, "plain", False, True),
+        ("serial", "ff+tail", True, True, 0, "plain", False, True),
         # Cold first, warm second: the cold row stores the golden tape the
         # warm row (and the parallel snapshot rows below) replay.
-        ("serial", "snap+cache-cold", True, True, 0, "snapshot", True),
-        ("serial", "snap+cache-warm", True, True, 0, "snapshot", True),
+        ("serial", "snap+cache-cold", True, True, 0, "snapshot", True, True),
+        ("serial", "snap+cache-warm", True, True, 0, "snapshot", True, True),
+        ("serial", "snap-warm-nobc", True, True, 0, "snapshot", True, False),
         # Batched multi-fault passes ride the warm cache: one counting
         # pass per target launch, every same-launch fault forked off it.
-        ("serial", "batch+cache-warm", True, True, 0, "batch", True),
-        ("serial", "knob-batch", True, True, 0, "knob-batch", True),
-        ("parallel", "full", False, False, 2, "plain", False),
-        ("parallel", "ff+tail", True, True, 2, "plain", False),
-        ("parallel", "snap-2w", True, True, 2, "snapshot", True),
-        ("parallel", "snap-8w", True, True, 8, "snapshot", True),
-        ("parallel", "batch-2w", True, True, 2, "batch", True),
+        ("serial", "batch+cache-warm", True, True, 0, "batch", True, True),
+        ("serial", "batch-warm-nobc", True, True, 0, "batch", True, False),
+        ("serial", "knob-batch", True, True, 0, "knob-batch", True, True),
+        ("parallel", "full", False, False, 2, "plain", False, True),
+        ("parallel", "ff+tail", True, True, 2, "plain", False, True),
+        ("parallel", "snap-2w", True, True, 2, "snapshot", True, True),
+        ("parallel", "snap-8w", True, True, 8, "snapshot", True, True),
+        ("parallel", "batch-2w", True, True, 2, "batch", True, True),
     ]
     # Single-shot wall clocks on a loaded box swing by tens of percent —
     # enough to flip the floor assertions either way.  Repeat the whole
@@ -186,8 +196,9 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             (executor, mode): _run_campaign(
                 round_dir, f"{executor}-{mode}", fast_forward, tail, workers,
                 executor_kind=kind, cache_dir=cache_dir if cached else None,
+                block_compile=bc,
             )
-            for executor, mode, fast_forward, tail, workers, kind, cached
+            for executor, mode, fast_forward, tail, workers, kind, cached, bc
             in matrix
         }
         measured[("serial", "resumed")] = (
@@ -233,7 +244,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         assert csv == baseline, f"results.csv diverged for {key}"
 
     runs = []
-    for executor, mode, fast_forward, tail, workers, kind, _cache in matrix:
+    for executor, mode, fast_forward, tail, workers, kind, _cache, bc in matrix:
         seconds, counters, _ = measured[(executor, mode)]
         runs.append({
             "executor": executor,
@@ -242,6 +253,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
             "fast_forward": fast_forward,
             "tail_fast_forward": tail,
             "snapshot": kind == "snapshot",
+            "block_compile": bc,
             "seconds": round(seconds, 3),
             "simulated_cycles": int(counters.get("gpusim.cycles", 0)),
             "replay_hits": int(counters.get("engine.replay.hits", 0)),
@@ -283,6 +295,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
     # The batch rows must actually checkpoint every fault off a shared
     # counting pass (explicit executor and config-knob path alike).
     for batch_key in [("serial", "batch+cache-warm"),
+                      ("serial", "batch-warm-nobc"),
                       ("serial", "knob-batch"), ("parallel", "batch-2w")]:
         assert by_mode[batch_key]["batch_checkpoints"] == _faults(), batch_key
         assert by_mode[batch_key]["batch_launches_shared"] >= 1, batch_key
@@ -304,6 +317,11 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         ),
         "serial_batch": best_ratio(
             ("serial", "full"), ("serial", "batch+cache-warm")
+        ),
+        # Block-compiled tier's contribution to the simulated portion:
+        # the identical campaign, per-step vs block-compiled.
+        "serial_blockc": best_ratio(
+            ("serial", "full-nobc"), ("serial", "full")
         ),
         "parallel": best_ratio(("parallel", "full"), ("parallel", "ff+tail")),
         "parallel_snapshot": best_ratio(
@@ -345,6 +363,7 @@ def test_campaign_wall_clock(benchmark, tmp_path):
         ("speedup (serial total)", f"{speedup['serial_total']:.2f}x"),
         ("speedup (serial snapshot)", f"{speedup['serial_snapshot']:.2f}x"),
         ("speedup (serial batch)", f"{speedup['serial_batch']:.2f}x"),
+        ("speedup (serial blockc on/off)", f"{speedup['serial_blockc']:.2f}x"),
         ("speedup (parallel)", f"{speedup['parallel']:.2f}x"),
         ("scaling efficiency (8w vs 2w)", f"{scaling_efficiency:.2f}"),
     ]:

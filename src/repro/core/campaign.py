@@ -85,6 +85,15 @@ class CampaignConfig:
     snapshot grouping).  It only takes effect when no explicit
     ``executor`` is passed.
 
+    ``block_compile`` (default on) runs every sandbox device with the
+    block-compiled interpreter (:mod:`repro.gpusim.blockc`): straight-line
+    SASS runs are fused into code-generated superhandlers on the
+    uninstrumented fast path.  Purely an interpreter-speed knob —
+    ``results.csv`` and simulated-cycle totals are byte-identical either
+    way — kept switchable for differential testing and benchmarking.  It
+    is ANDed with ``sandbox.block_compile``: either knob can turn the
+    tier off.
+
     ``replay_cache`` persists the golden replay tape across campaigns:
     ``True`` uses ``~/.cache/repro/replay`` (or ``$REPRO_REPLAY_CACHE``),
     a path string uses that directory, ``None`` (default) disables
@@ -119,6 +128,7 @@ class CampaignConfig:
     tail_fast_forward: bool = True
     snapshot: bool = False
     batch_launch: bool = False
+    block_compile: bool = True
     replay_cache: bool | str | None = None
     stopping: StoppingRule | None = None
     sampling: SamplingPlan | None = None  # None == the historic uniform draw

@@ -212,6 +212,12 @@ def _add_sandbox(parser: argparse.ArgumentParser) -> None:
                         help="GPU architecture family of the sandbox device")
     parser.add_argument("--num-sms", type=int, default=None,
                         help="override the device's SM count")
+    parser.add_argument("--block-compile", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="block-compiled interpreter: fuse straight-line "
+                             "SASS into pre-compiled superhandlers on the "
+                             "uninstrumented fast path (results are "
+                             "byte-identical either way)")
     parser.add_argument("--env", action="append", default=[], metavar="KEY=VALUE",
                         help="extra sandbox environment entry (repeatable)")
 
@@ -234,6 +240,7 @@ def _sandbox_config(args) -> SandboxConfig:
         seed=args.seed,
         family=args.family,
         num_sms=args.num_sms,
+        block_compile=getattr(args, "block_compile", True),
         extra_env=extra_env,
     )
 
@@ -443,6 +450,7 @@ def _main(argv: list[str] | None = None) -> int:
             tail_fast_forward=args.tail_fast_forward,
             snapshot=args.snapshot,
             batch_launch=args.batch_launch,
+            block_compile=args.block_compile,
             replay_cache=args.replay_cache,
         )
 

@@ -1870,6 +1870,17 @@ class CampaignEngine:
             reg.histogram(
                 "engine.replay.converged_at_launch", LAUNCH_BUCKETS
             ).observe(artifacts.replay_converged_at)
+        if getattr(artifacts, "blockc_blocks_compiled", 0):
+            reg.counter("engine.blockc.blocks_compiled").inc(
+                artifacts.blockc_blocks_compiled
+            )
+            reg.counter("engine.blockc.compile_seconds").inc(
+                artifacts.blockc_compile_seconds
+            )
+        if getattr(artifacts, "blockc_block_hits", 0):
+            reg.counter("engine.blockc.block_hits").inc(
+                artifacts.blockc_block_hits
+            )
         if injection:
             reg.histogram(
                 "campaign.injection.instructions", INSTRUCTION_BUCKETS
@@ -1886,7 +1897,12 @@ class CampaignEngine:
         return arch_by_name(sandbox.family).num_sms
 
     def _sandbox_config(self) -> SandboxConfig:
-        return self.config.sandbox.clone()
+        sandbox = self.config.sandbox.clone()
+        # Either knob disables the block-compiled interpreter; getattr
+        # tolerates configs pickled before the field existed.
+        if not getattr(self.config, "block_compile", True):
+            sandbox.block_compile = False
+        return sandbox
 
     def _injection_config(self) -> SandboxConfig:
         config = self._sandbox_config()

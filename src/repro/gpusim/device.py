@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.arch.families import ArchFamily, arch_by_name
 from repro.errors import DeviceException, LaunchError, WatchdogTimeout
+from repro.gpusim import blockc
 from repro.gpusim.context import ExecContext
 from repro.gpusim.sm import SM, Hooks
 from repro.mem.memory import ConstantBank, GlobalMemory, SharedMemory
@@ -56,6 +57,7 @@ class Device:
         global_mem_bytes: int = 64 * 1024 * 1024,
         num_sms: int | None = None,
         instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET,
+        block_compile: bool = True,
     ) -> None:
         self.arch = family if isinstance(family, ArchFamily) else arch_by_name(family)
         self.num_sms = num_sms if num_sms is not None else self.arch.num_sms
@@ -67,6 +69,14 @@ class Device:
         self.launch_count = 0
         self.active_sms: set[int] = set()
         self.cycles = 0  # simulated GPU time (includes instrumentation cost)
+        # Block-compiled interpreter (repro.gpusim.blockc): uninstrumented
+        # launches execute code-generated basic-block superhandlers instead
+        # of stepping per instruction.  Results are byte-identical either
+        # way; the knob exists for differential testing and benchmarking.
+        self.block_compile = block_compile
+        self.blockc_blocks_compiled = 0
+        self.blockc_block_hits = 0
+        self.blockc_compile_seconds = 0.0
         # Cheap observability counters (flow into repro.obs MetricsRegistry
         # via RunArtifacts): warps ever launched and the deepest SIMT
         # divergence stack seen on any warp.
@@ -90,6 +100,26 @@ class Device:
         if self.instructions_executed > self.instruction_budget:
             self.log_xid(8, "GPU watchdog: kernel execution budget exhausted")
             raise WatchdogTimeout(self.instructions_executed, self.instruction_budget)
+
+    def tick_n(self, n: int, cycles: int | None = None) -> None:
+        """Bulk accounting: exactly equivalent to ``n`` :meth:`tick` calls.
+
+        ``cycles`` overrides the cycle charge when it differs from the
+        instruction count (replayed launches fold back recorded cycle
+        totals that include instrumentation cost).  Callers that must trap
+        at the *exact* crossing instruction (the block-compiled fast path)
+        check headroom first and step instead.
+        """
+        self.instructions_executed += n
+        self.cycles += n if cycles is None else cycles
+        if self.instructions_executed > self.instruction_budget:
+            self.log_xid(8, "GPU watchdog: kernel execution budget exhausted")
+            raise WatchdogTimeout(self.instructions_executed, self.instruction_budget)
+
+    def untick(self, n: int) -> None:
+        """Roll back ``n`` over-charged ticks (mid-block trap recovery)."""
+        self.instructions_executed -= n
+        self.cycles -= n
 
     def charge_instrumentation(self, executed_threads: int) -> None:
         """Simulated cost of one instrumentation callback invocation."""
@@ -143,6 +173,13 @@ class Device:
             )
         grid_id = self.launch_count
         self.launch_count += 1
+        # Resolve the kernel's execution tables once per launch, not once
+        # per thread block.  Compiled blocks are only handed to hooks-free
+        # launches: instrumented launches (injection targets, profiling,
+        # counting passes) must observe every dynamic instruction.
+        use_blocks = self.block_compile and not hooks
+        compiled = blockc.compiled_for(kernel, self, want_blocks=use_blocks)
+        blocks = compiled.blocks if use_blocks else None
         recorder = self.replay_recorder
         if recorder is not None:
             recorder.begin_launch(self)
@@ -174,7 +211,7 @@ class Device:
                         clock=lambda: self.instructions_executed,
                     )
                     try:
-                        sm.run_block(kernel, ctx, hooks)
+                        sm.run_block(kernel, ctx, hooks, compiled.table, blocks)
                     except WatchdogTimeout:
                         raise
                     except DeviceException as exc:

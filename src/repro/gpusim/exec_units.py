@@ -5,6 +5,18 @@ arrays, computed under ``mask`` (the lanes that actually execute), and
 written back masked.  Integer arithmetic is performed in int64/uint64 and
 wrapped to 32 bits, matching hardware wrap-around without numpy overflow
 noise; FP32/FP64 use IEEE float32/float64 views of the register file.
+
+Calling convention (relied on by the block-compiled interpreter,
+:mod:`repro.gpusim.blockc`): every handler is ``handler(warp, instr, mask)``
+where ``mask`` is **read-only** — handlers may index with it but must never
+mutate it or retain a reference past the call.  That contract lets
+block-compiled callers pass ``warp.active`` itself for unguarded
+instructions instead of the defensive copy ``Warp.guard_mask`` makes, and
+lets them skip the per-instruction ``mask.any()`` test (``active`` is
+non-empty whenever a warp is scheduled, and only control opcodes — which
+never appear inside a compiled block — can drain it).  Handlers validate
+before they write, so a handler that raises has not modified warp or
+memory state (the property that makes mid-block trap rollback exact).
 """
 
 from __future__ import annotations
@@ -25,39 +37,93 @@ _LANES = np.arange(WARP_SIZE)
 # Operand access
 # ---------------------------------------------------------------------------
 
+# Broadcast arrays for immediate operands, keyed by (kind, bits).  An
+# immediate's lane values never change, so the historical per-read
+# ``np.full`` + astype chain is pure allocation churn on the interpreter
+# hot path.  The cached arrays are shared across reads and therefore
+# frozen (``writeable = False``): every handler computes into fresh
+# arrays (audited — the in-place ops in this module all target arrays the
+# handler itself allocated), and a future violation fails loudly instead
+# of corrupting unrelated instructions.  The cache is bounded by the
+# number of distinct immediates in loaded programs.
+_IMM_CACHE: dict[tuple[str, int], np.ndarray] = {}
+
+
+def _imm_array(kind: str, bits: int) -> np.ndarray:
+    key = (kind, bits)
+    cached = _IMM_CACHE.get(key)
+    if cached is None:
+        raw = np.full(WARP_SIZE, bits, dtype=_U32)
+        if kind == "u32":
+            cached = raw
+        elif kind == "i64":
+            # Same sign-extension the generic int path performs.
+            cached = raw.astype(np.int32).astype(np.int64)
+        elif kind == "zx64":
+            # Zero-extended int64 (the raw.astype(int64) of a U32 compare).
+            cached = raw.astype(np.int64)
+        else:  # "f32"
+            cached = raw.view(np.float32).copy()
+        cached.flags.writeable = False
+        _IMM_CACHE[key] = cached
+    return cached
+
+
 def read_raw(warp: Warp, op) -> np.ndarray:
-    """Read an operand as raw uint32 bits (no -/|| modifiers applied)."""
+    """Read an operand as raw uint32 bits (no -/|| modifiers applied).
+
+    Immediate reads return a shared **read-only** array; handlers must
+    treat every source read as read-only data (copy before in-place
+    mutation), which the whole-warp compute style already guarantees.
+    """
     if isinstance(op, Reg):
         if op.is_rz:
             return np.zeros(WARP_SIZE, dtype=_U32)
         return warp.regs[op.index].copy()
     if isinstance(op, Imm):
-        return np.full(WARP_SIZE, op.bits, dtype=_U32)
+        return _imm_array("u32", op.bits)
     if isinstance(op, ConstMem):
         return np.full(WARP_SIZE, warp.ctx.const.read32(op.offset), dtype=_U32)
     raise DeviceTrap(f"operand {op!r} cannot be read as a value")
 
 
 def read_int(warp: Warp, op) -> np.ndarray:
-    """Read an operand as signed int64 with integer -/|| modifiers applied."""
-    value = read_raw(warp, op).astype(np.int32).astype(np.int64)
+    """Read an operand as signed int64 with integer -/|| modifiers applied.
+
+    The register fast path reinterprets the uint32 lanes as int32 with a
+    free ``view`` and sign-extends in one ``astype`` — bit-identical to
+    the historical ``copy -> astype(int32) -> astype(int64)`` chain, two
+    array allocations cheaper per operand read.  Immediates come from the
+    shared read-only cache.
+    """
     if isinstance(op, Reg):
+        if op.is_rz:
+            return np.zeros(WARP_SIZE, dtype=np.int64)
+        value = warp.regs[op.index].view(np.int32).astype(np.int64)
         if op.absolute:
-            value = np.abs(value)
+            np.abs(value, out=value)
         if op.negate:
-            value = -value
-    return value
+            np.negative(value, out=value)
+        return value
+    if isinstance(op, Imm):
+        return _imm_array("i64", op.bits)
+    return read_raw(warp, op).astype(np.int32).astype(np.int64)
 
 
 def read_f32(warp: Warp, op) -> np.ndarray:
     """Read an operand as float32 with FP -/|| modifiers applied."""
-    value = read_raw(warp, op).view(np.float32).copy()
     if isinstance(op, Reg):
+        if op.is_rz:
+            return np.zeros(WARP_SIZE, dtype=np.float32)
+        value = warp.regs[op.index].view(np.float32).copy()
         if op.absolute:
-            value = np.abs(value)
+            np.abs(value, out=value)
         if op.negate:
-            value = -value
-    return value
+            np.negative(value, out=value)
+        return value
+    if isinstance(op, Imm):
+        return _imm_array("f32", op.bits)
+    return read_raw(warp, op).view(np.float32).copy()
 
 
 def read_f64(warp: Warp, op) -> np.ndarray:
@@ -88,17 +154,31 @@ def read_pred_src(warp: Warp, op) -> np.ndarray:
 
 
 def write_u32(warp: Warp, instr: Instruction, values: np.ndarray, mask: np.ndarray) -> None:
+    """Write ``values`` truncated to uint32 into the destination register.
+
+    Conversion semantics (must stay bit-identical across refactors): float
+    inputs truncate toward zero into int64 first, then everything keeps its
+    low 32 bits.  ``int64 -> uint32`` is a single C cast with the same
+    result as the historical ``int64 -> uint64 -> uint32`` chain, and
+    ``copy=False`` skips the allocation when values are already int64 —
+    the overwhelmingly common case for integer ALU results.
+    """
     dest = instr.dest
     if not isinstance(dest, Reg) or dest.is_rz:
         return
-    warp.regs[dest.index][mask] = values.astype(np.int64).astype(np.uint64).astype(_U32)[mask]
+    if values.dtype != _U32:
+        values = values.astype(np.int64, copy=False).astype(_U32)
+    np.copyto(warp.regs[dest.index], values, where=mask)
 
 
 def write_f32(warp: Warp, instr: Instruction, values: np.ndarray, mask: np.ndarray) -> None:
     dest = instr.dest
     if not isinstance(dest, Reg) or dest.is_rz:
         return
-    warp.regs[dest.index][mask] = values.astype(np.float32).view(_U32)[mask]
+    np.copyto(
+        warp.regs[dest.index], values.astype(np.float32, copy=False).view(_U32),
+        where=mask,
+    )
 
 
 def write_f64(warp: Warp, instr: Instruction, values: np.ndarray, mask: np.ndarray) -> None:
@@ -106,15 +186,22 @@ def write_f64(warp: Warp, instr: Instruction, values: np.ndarray, mask: np.ndarr
     if not isinstance(dest, Reg) or dest.is_rz:
         return
     bits = values.astype(np.float64).view(np.uint64)
-    warp.regs[dest.index][mask] = (bits & np.uint64(0xFFFFFFFF)).astype(_U32)[mask]
-    warp.regs[dest.index + 1][mask] = (bits >> np.uint64(32)).astype(_U32)[mask]
+    np.copyto(
+        warp.regs[dest.index],
+        (bits & np.uint64(0xFFFFFFFF)).astype(_U32),
+        where=mask,
+    )
+    np.copyto(
+        warp.regs[dest.index + 1], (bits >> np.uint64(32)).astype(_U32),
+        where=mask,
+    )
 
 
 def write_pred(warp: Warp, instr: Instruction, values: np.ndarray, mask: np.ndarray) -> None:
     dest = instr.dest
     if not isinstance(dest, Pred) or dest.is_pt:
         return
-    warp.preds[dest.index][mask] = values[mask]
+    np.copyto(warp.preds[dest.index], values, where=mask, casting="unsafe")
 
 
 # ---------------------------------------------------------------------------
@@ -206,6 +293,19 @@ def _h_s2r(warp, instr, mask):
     if not isinstance(src, SpecialReg):
         raise DeviceTrap("S2R requires a special-register source")
     write_u32(warp, instr, _read_special(warp, src.name), mask)
+
+
+def reads_clock(instr: Instruction) -> bool:
+    """Does this instruction observe the device tick counter (SR_CLOCK)?
+
+    Such instructions see ``instructions_executed`` at their exact dynamic
+    position, so the block compiler must step them individually — a bulk
+    ``tick_n`` charge up front would make the read observably early.
+    """
+    return any(
+        isinstance(op, SpecialReg) and op.name == "SR_CLOCK"
+        for op in instr.sources
+    )
 
 
 def _h_cs2r(warp, instr, mask):
@@ -621,7 +721,7 @@ def _h_load_global(warp, instr, mask):
             warp.regs[dest.index + 1][mask] = (values >> np.uint64(32)).astype(_U32)[mask]
     else:
         values = warp.ctx.global_mem.load32(addresses, mask)
-        write_u32(warp, instr, values.astype(np.int64), mask)
+        write_u32(warp, instr, values, mask)
 
 
 def _h_store_global(warp, instr, mask):
@@ -648,7 +748,7 @@ def _h_load_shared(warp, instr, mask):
             warp.regs[dest.index][mask] = (values & np.uint64(0xFFFFFFFF)).astype(_U32)[mask]
             warp.regs[dest.index + 1][mask] = (values >> np.uint64(32)).astype(_U32)[mask]
     else:
-        write_u32(warp, instr, warp.ctx.shared.load32(addresses, mask).astype(np.int64), mask)
+        write_u32(warp, instr, warp.ctx.shared.load32(addresses, mask), mask)
 
 
 def _h_store_shared(warp, instr, mask):

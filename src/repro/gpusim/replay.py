@@ -527,15 +527,19 @@ class ReplayCursor:
         self.divergent = set()
 
     def apply(self, device, rec: LaunchDelta) -> None:
-        """Fast-forward one launch: restore its write delta and counters."""
+        """Fast-forward one launch: restore its write delta and counters.
+
+        The bulk counter charge goes through :meth:`Device.tick_n` — last,
+        so that when the recorded instructions push the run over its budget
+        the raised :class:`WatchdogTimeout` leaves exactly the same device
+        state (memory, launch/warp counters, skip tallies) as before.
+        """
         mem = device.global_mem
         if rec.pages.size:
             mem.data.reshape(-1, PAGE_SIZE)[rec.pages] = rec.data.reshape(
                 -1, PAGE_SIZE
             )
         device.launch_count += 1
-        device.instructions_executed += rec.instructions
-        device.cycles += rec.cycles
         device.warps_launched += rec.warps
         device.active_sms.update(rec.active_sms)
         if rec.divergence_high_water > device.divergence_depth_high_water:
@@ -544,13 +548,7 @@ class ReplayCursor:
             self.tail_skipped += 1
         else:
             self.skipped += 1
-        if device.instructions_executed > device.instruction_budget:
-            device.log_xid(
-                8, "GPU watchdog: kernel execution budget exhausted"
-            )
-            raise WatchdogTimeout(
-                device.instructions_executed, device.instruction_budget
-            )
+        device.tick_n(rec.instructions, cycles=rec.cycles)
 
 
 # -- on-disk format ------------------------------------------------------------

@@ -11,25 +11,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DeviceTrap
+from repro.gpusim.blockc import _CONTROL, MAX_BLOCK_LEN, compiled_for
 from repro.gpusim.context import ExecContext, InstrSite
-from repro.gpusim.exec_units import CONTROL_OPCODES, HANDLERS
 from repro.gpusim.warp import Warp
 from repro.sass.isa import WARP_SIZE
 from repro.sass.program import Kernel
 
-_QUANTUM = 64  # warp-instructions per scheduling slice
+# Warp-instructions per scheduling slice.  Equal to the maximum compiled
+# block length by construction, so a fresh slice can always run any block
+# whole without changing the round-robin interleaving.
+_QUANTUM = MAX_BLOCK_LEN
 
 Hooks = dict[int, tuple[list, list]]  # pc -> (before callbacks, after callbacks)
-
-
-def _CONTROL(*_args) -> None:  # pragma: no cover - dispatch sentinel, never called
-    """Handler-table sentinel marking a control-flow opcode.
-
-    A module-level function (not ``object()``) so its identity survives
-    pickling, should a kernel with a cached table ever cross a process
-    boundary.
-    """
-    raise AssertionError("_CONTROL is a dispatch sentinel")
 
 
 def _handler_table(kernel: Kernel) -> list:
@@ -38,20 +31,17 @@ def _handler_table(kernel: Kernel) -> list:
     Resolving ``HANDLERS.get(opcode)`` once per *static* instruction at
     first launch (cached on the kernel) replaces a dict lookup plus a
     frozenset membership test per *dynamic* instruction in the hot loop.
-    Entries are the handler function, :func:`_CONTROL` for control-flow
+    Entries are the handler function, ``blockc._CONTROL`` for control-flow
     opcodes, or ``None`` for unknown opcodes — which still trap only when
     (and if) they are actually executed, exactly as before.
+
+    Built and cached by :func:`repro.gpusim.blockc.compiled_for`, which
+    keys on the identity of every instruction object — an in-place rewrite
+    of the instruction list rebuilds the table even when the length is
+    unchanged (the historical cache keyed on length alone and served stale
+    dispatch for same-length rewrites).
     """
-    table = getattr(kernel, "_gpusim_handlers", None)
-    if table is None or len(table) != len(kernel.instructions):
-        table = [
-            _CONTROL
-            if instr.opcode in CONTROL_OPCODES
-            else HANDLERS.get(instr.opcode)
-            for instr in kernel.instructions
-        ]
-        kernel._gpusim_handlers = table
-    return table
+    return compiled_for(kernel, want_blocks=False).table
 
 
 class SM:
@@ -66,12 +56,28 @@ class SM:
         kernel: Kernel,
         ctx: ExecContext,
         hooks: Hooks | None,
+        table: list | None = None,
+        blocks: list | None = None,
     ) -> None:
-        """Execute one thread block to completion."""
+        """Execute one thread block to completion.
+
+        ``table``/``blocks`` are normally resolved once per launch by
+        :meth:`Device.launch` and passed in; direct callers may omit them
+        and pay per-block resolution (cached on the kernel either way).
+        ``blocks`` is only ever non-``None`` on hooks-free launches.
+        """
         warps = _build_warps(kernel, ctx)
         self.device.warps_launched += len(warps)
         instrs = kernel.instructions
-        table = _handler_table(kernel)
+        if table is None:
+            compiled = compiled_for(
+                kernel,
+                self.device,
+                want_blocks=self.device.block_compile and not hooks,
+            )
+            table = compiled.table
+            if not hooks and self.device.block_compile:
+                blocks = compiled.blocks
         # Uninstrumented launches (the overwhelmingly common case: golden
         # runs, and every non-target launch of an injection run) take the
         # hooks-free fast path; ``not hooks`` also covers an empty dict.
@@ -82,7 +88,7 @@ class SM:
                 if warp.done or warp.at_barrier:
                     continue
                 if fast:
-                    self._run_slice_fast(warp, instrs, table)
+                    self._run_slice_fast(warp, instrs, table, blocks)
                 else:
                     self._run_slice(warp, instrs, table, hooks)
                 progressed = True
@@ -99,11 +105,22 @@ class SM:
                     f"(block {ctx.ctaid})"
                 )
 
-    def _run_slice_fast(self, warp: Warp, instrs, table) -> None:
-        """Hooks-free hot loop: no hook lookups, pre-resolved dispatch."""
+    def _run_slice_fast(self, warp: Warp, instrs, table, blocks=None) -> None:
+        """Hooks-free hot loop: pre-resolved dispatch, whole compiled blocks.
+
+        When ``blocks`` is supplied (block compilation enabled), a block at
+        the current pc executes whole **only** when it fits the warp's
+        remaining quantum (so the round-robin interleaving of warps over
+        shared memory and atomics is unchanged) and the watchdog budget has
+        headroom for every instruction in it (so the exact trap instruction
+        of a budget exhaustion is unchanged).  Everything else — mid-block
+        resume points, unknown opcodes, clock readers, budget-edge and
+        quantum-edge cases — steps per-instruction exactly as before.
+        """
         device = self.device
         num_instrs = len(instrs)
-        for _ in range(_QUANTUM):
+        budget = _QUANTUM
+        while budget > 0:
             if warp.done or warp.at_barrier:
                 return
             pc = warp.pc
@@ -111,6 +128,18 @@ class SM:
                 raise DeviceTrap(
                     f"warp {warp.warp_id} fell off the end of the kernel"
                 )
+            if blocks is not None:
+                block = blocks[pc]
+                if (
+                    block is not None
+                    and block.length <= budget
+                    and device.instructions_executed + block.length
+                        <= device.instruction_budget
+                ):
+                    block.run(warp, device)
+                    device.blockc_block_hits += 1
+                    budget -= block.length
+                    continue
             instr = instrs[pc]
             device.tick()
             exec_mask = warp.guard_mask(instr.guard)
@@ -125,6 +154,7 @@ class SM:
                         )
                     handler(warp, instr, exec_mask)
                 warp.pc += 1
+            budget -= 1
 
     def _run_slice(self, warp: Warp, instrs, table, hooks: Hooks) -> None:
         device = self.device

@@ -36,7 +36,25 @@ class StackEntry:
 
 
 class Warp:
-    """One 32-lane warp executing a kernel."""
+    """One 32-lane warp executing a kernel.
+
+    Invariant relied on by the block-compiled interpreter
+    (:mod:`repro.gpusim.blockc`): ``active`` is only reassigned by the
+    control-flow methods below (branch/sync/brk/exit/_refill) and is
+    non-empty whenever the warp is schedulable (``done`` is set the moment
+    it drains).  Between control-flow instructions the ``active`` array —
+    the object itself, not just its contents — is therefore stable, so a
+    compiled block of straight-line instructions may hoist one reference
+    and pass it as the execution mask of every unguarded instruction.
+    ``__slots__`` keeps per-instruction attribute loads on the interpreter
+    hot path cheap (and catches stray attribute writes).
+    """
+
+    __slots__ = (
+        "warp_id", "regs", "preds", "pc", "valid", "active", "exited",
+        "stack", "tid_x", "tid_y", "tid_z", "at_barrier", "done",
+        "local", "local_bytes", "ctx",
+    )
 
     def __init__(
         self,

@@ -37,6 +37,12 @@ class SandboxConfig:
     family: str = "volta"
     num_sms: int | None = None
     global_mem_bytes: int = 64 * 1024 * 1024
+    # Block-compiled interpreter (repro.gpusim.blockc) on the device's
+    # uninstrumented fast path.  Byte-identical results either way; the
+    # knob exists for differential testing and benchmarking.  Deliberately
+    # NOT part of the replay-cache key: a tape recorded under either
+    # setting is valid for both.
+    block_compile: bool = True
     extra_env: dict[str, str] = field(default_factory=dict)
 
     def clone(self, **overrides) -> "SandboxConfig":
@@ -70,6 +76,7 @@ class SandboxConfig:
             family=self.family,
             num_sms=self.num_sms,
             global_mem_bytes=self.global_mem_bytes,
+            block_compile=self.block_compile,
             extra_env=tuple(sorted(self.extra_env.items())),
         )
 
@@ -90,6 +97,7 @@ class SandboxSpec:
     family: str = "volta"
     num_sms: int | None = None
     global_mem_bytes: int = 64 * 1024 * 1024
+    block_compile: bool = True
     extra_env: tuple[tuple[str, str], ...] = ()
 
     def config(self) -> SandboxConfig:
@@ -100,6 +108,7 @@ class SandboxSpec:
             family=self.family,
             num_sms=self.num_sms,
             global_mem_bytes=self.global_mem_bytes,
+            block_compile=self.block_compile,
             extra_env=dict(self.extra_env),
         )
 
@@ -138,6 +147,7 @@ def run_app(
             global_mem_bytes=config.global_mem_bytes,
             num_sms=config.num_sms,
             instruction_budget=config.instruction_budget,
+            block_compile=config.block_compile,
         )
         if recorder is not None:
             recorder.workload = app.name
@@ -180,6 +190,19 @@ def run_app(
         artifacts.active_sms = sorted(device.active_sms)
         artifacts.warps_launched = device.warps_launched
         artifacts.divergence_depth_high_water = device.divergence_depth_high_water
+        artifacts.blockc_blocks_compiled = device.blockc_blocks_compiled
+        artifacts.blockc_block_hits = device.blockc_block_hits
+        artifacts.blockc_compile_seconds = device.blockc_compile_seconds
+        if device.blockc_blocks_compiled:
+            # Compile-phase span: codegen happens lazily inside kernel
+            # launches, so the aggregate is emitted as a zero-width span
+            # carrying the totals once the run is over.
+            with tracer.span(
+                "blockc_compile",
+                blocks_compiled=device.blockc_blocks_compiled,
+                compile_seconds=device.blockc_compile_seconds,
+            ):
+                pass
         if replay is not None:
             artifacts.replay_launches_skipped = replay.skipped
             artifacts.replay_tail_skipped = replay.tail_skipped
@@ -194,6 +217,8 @@ def run_app(
                 cycles=artifacts.cycles,
                 warps_launched=artifacts.warps_launched,
                 divergence_depth_high_water=artifacts.divergence_depth_high_water,
+                blockc_blocks_compiled=artifacts.blockc_blocks_compiled,
+                blockc_block_hits=artifacts.blockc_block_hits,
             )
             if replay is not None:
                 span.attrs["replay_launches_skipped"] = artifacts.replay_launches_skipped

@@ -35,6 +35,7 @@ def config_to_dict(config: CampaignConfig) -> dict:
         "tail_fast_forward": config.tail_fast_forward,
         "snapshot": config.snapshot,
         "batch_launch": config.batch_launch,
+        "block_compile": config.block_compile,
         "replay_cache": config.replay_cache,
         "sandbox": _sandbox_to_dict(config.sandbox),
         "retry": _retry_to_dict(config.retry),
@@ -63,6 +64,7 @@ def config_from_dict(payload: dict) -> CampaignConfig:
         "tail_fast_forward": bool,
         "snapshot": bool,
         "batch_launch": bool,
+        "block_compile": bool,
         "replay_cache": _decode_replay_cache,
         "sandbox": _sandbox_from_dict,
         "retry": _retry_from_dict,
@@ -137,6 +139,7 @@ def _sandbox_to_dict(sandbox: SandboxConfig) -> dict:
         "family": sandbox.family,
         "num_sms": sandbox.num_sms,
         "global_mem_bytes": sandbox.global_mem_bytes,
+        "block_compile": sandbox.block_compile,
         "extra_env": dict(sandbox.extra_env),
     }
 

@@ -24,7 +24,7 @@ from repro.gpusim.replay import (
 )
 from repro.mem.memory import PAGE_SIZE
 from repro.runner.app import AppContext, Application
-from repro.runner.sandbox import SandboxConfig, run_app
+from repro.runner.sandbox import run_app
 
 _MODULE = """
 .kernel fill

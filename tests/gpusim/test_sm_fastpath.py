@@ -101,6 +101,24 @@ class TestHandlerTable:
         assert rebuilt is not table
         assert len(rebuilt) == len(kernel.instructions)
 
+    def test_table_rebuilt_on_same_length_rewrite(self):
+        """Regression: the cache historically keyed on length alone, so an
+        in-place rewrite of equal length kept serving stale dispatch.  The
+        identity check must catch a single swapped instruction."""
+        kernel = assemble(_KERNEL).get("mixed")
+        donor = assemble(_KERNEL.replace("IADD R1, R1, 1", "MOV R1, R2")).get(
+            "mixed"
+        )
+        table = _handler_table(kernel)
+        index = next(
+            i for i, instr in enumerate(kernel.instructions)
+            if instr.opcode == "IADD"
+        )
+        kernel.instructions[index] = donor.instructions[index]
+        rebuilt = _handler_table(kernel)
+        assert rebuilt is not table
+        assert rebuilt[index] is not table[index]
+
     def test_control_opcodes_marked(self):
         kernel = assemble(_KERNEL).get("mixed")
         table = _handler_table(kernel)
